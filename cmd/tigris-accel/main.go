@@ -1,0 +1,373 @@
+// Command tigris-accel reproduces the paper's accelerator evaluation
+// (§6.2–§6.5) on KD-tree search workloads extracted from the DP4
+// (performance-oriented) and DP7 (accuracy-oriented) design points:
+//
+//	-fig 11 — KD-tree speedup & power reduction of Base-KD, Base-2SKD,
+//	          Acc-KD, Acc-2SKD (Fig. 11a/11b), plus end-to-end estimates,
+//	          approximate-search gains, and the energy breakdown (§6.3).
+//	-fig 12 — RU/issue ablation: No-Opt, Bypass, +Forward, MQMN (Fig. 12).
+//	-fig 13 — memory traffic distribution, Acc-2SKD vs Acc-KD (Fig. 13).
+//	-fig 14 — RU/SU/PE sensitivity sweep, 64 configurations (Fig. 14).
+//	-fig 15 — search time & energy vs top-tree height (Fig. 15).
+//	-area   — the §6.2 area table.
+//
+// Usage:
+//
+//	tigris-accel [-fig N | -area | -all] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"tigris/internal/baseline"
+	"tigris/internal/dse"
+	"tigris/internal/kdtree"
+	"tigris/internal/sim"
+	"tigris/internal/synth"
+	"tigris/internal/twostage"
+)
+
+// experiment bundles everything the figures need for one design point.
+// Prepared traces are cached per (tree, approximation) pair because the
+// trace is configuration-independent (see sim.Prepare): Fig. 12/14's
+// parameter sweeps re-time the same trace dozens of times.
+type experiment struct {
+	name      string
+	workloads []sim.Workload // NE radius + RPCE NN (dse.StageWorkloads)
+	canonical *kdtree.Tree
+	twoStage  *twostage.Tree // paper default: top height 10
+	approxNN  float64        // 1.2 m (§6.3)
+	approxRad float64        // 40%% of radius (§6.3)
+
+	prepExact  []*sim.Prepared // twoStage, no approximation
+	prepApprox []*sim.Prepared // twoStage, leader/follower enabled
+	prepTall   []*sim.Prepared // leaf-size-1 tree (Acc-KD)
+}
+
+// approxConfigFor returns cfg with the experiment's approximation knobs
+// set for the workload kind.
+func (e *experiment) approxConfigFor(cfg sim.Config, w sim.Workload) sim.Config {
+	cfg.Approx = e.approxNN
+	if w.Kind == sim.RadiusSearch {
+		cfg.ApproxRadiusFrac = e.approxRad
+	}
+	return cfg
+}
+
+// prepared returns (building on first use) the trace set for the given
+// tree/approx combination.
+func (e *experiment) prepared(which string) []*sim.Prepared {
+	build := func(tree *twostage.Tree, approx bool) []*sim.Prepared {
+		out := make([]*sim.Prepared, len(e.workloads))
+		for i, w := range e.workloads {
+			cfg := sim.DefaultConfig()
+			if approx {
+				cfg = e.approxConfigFor(cfg, w)
+			}
+			p, err := sim.Prepare(tree, w, cfg)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = p
+		}
+		return out
+	}
+	switch which {
+	case "approx":
+		if e.prepApprox == nil {
+			e.prepApprox = build(e.twoStage, true)
+		}
+		return e.prepApprox
+	case "tall":
+		if e.prepTall == nil {
+			tall := twostage.BuildWithLeafSize(e.twoStage.Points(), 1)
+			e.prepTall = build(tall, false)
+		}
+		return e.prepTall
+	default:
+		if e.prepExact == nil {
+			e.prepExact = build(e.twoStage, false)
+		}
+		return e.prepExact
+	}
+}
+
+// simulate times the prepared set under cfg and sums the reports.
+func (e *experiment) simulate(which string, cfg sim.Config) (time.Duration, float64, uint64) {
+	var total time.Duration
+	var energy float64
+	var cycles uint64
+	for i, p := range e.prepared(which) {
+		c := cfg
+		if which == "approx" {
+			c = e.approxConfigFor(c, e.workloads[i])
+		}
+		rep, err := p.Simulate(c)
+		if err != nil {
+			panic(err)
+		}
+		total += rep.Time
+		energy += rep.Energy.Total()
+		cycles += rep.Cycles
+	}
+	return total, energy, cycles
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (11, 12, 13, 14, 15)")
+	area := flag.Bool("area", false, "print the §6.2 area analysis")
+	all := flag.Bool("all", false, "run every experiment")
+	seed := flag.Int64("seed", 2019, "dataset seed")
+	quick := flag.Bool("quick", false, "use small test-scale frames")
+	full := flag.Bool("full", false, "use KITTI-scale ~130k-point frames (the paper's regime; slower)")
+	topHeight := flag.Int("height", -1, "two-stage top-tree height; <0 targets 128-point leaf sets (the paper: height 10 on 130k-point frames = 128-point leaves)")
+	flag.Parse()
+
+	if !*area && *fig == 0 && !*all {
+		*all = true
+	}
+
+	cfg := synth.EvalSequenceConfig(2, *seed)
+	if *quick {
+		cfg = synth.QuickSequenceConfig(2, *seed)
+	}
+	if *full {
+		// HDL-64E class: 64 beams at ~0.18 degree azimuth resolution.
+		cfg.Lidar.Beams = 64
+		cfg.Lidar.AzimuthSteps = 2000
+	}
+	seq := synth.GenerateSequence(cfg)
+	fmt.Printf("dataset: %d-point frames (seed %d)\n\n", seq.Frames[0].Len(), *seed)
+
+	build := func(dp dse.DesignPoint) *experiment {
+		target := seq.Frames[0].Points
+		var two *twostage.Tree
+		if *topHeight < 0 {
+			two = twostage.BuildWithLeafSize(target, 128)
+		} else {
+			two = twostage.Build(target, *topHeight)
+		}
+		return &experiment{
+			name:      dp.Name,
+			workloads: dse.StageWorkloads(seq, dp),
+			canonical: kdtree.Build(target),
+			twoStage:  two,
+			approxNN:  twostage.DefaultNNThreshold,
+			approxRad: twostage.DefaultRadiusThresholdFrac,
+		}
+	}
+	dp7 := build(dse.DP7())
+	dp4 := build(dse.DP4())
+
+	if *area || *all {
+		printArea()
+	}
+	if *fig == 11 || *all {
+		fig11(dp7, "accuracy-oriented DP7")
+		fig11(dp4, "performance-oriented DP4")
+		energyBreakdown(dp4)
+	}
+	if *fig == 12 || *all {
+		fig12(dp7)
+	}
+	if *fig == 13 || *all {
+		fig13(dp7)
+	}
+	if *fig == 14 || *all {
+		fig14(dp7)
+	}
+	if *fig == 15 || *all {
+		fig15(seq, dp7)
+	}
+}
+
+// runBaseline sums the baseline model's time/energy over the workloads.
+func runBaseline(e *experiment, m baseline.Model, twoStage bool) (time.Duration, float64) {
+	var total time.Duration
+	var energy float64
+	for _, w := range e.workloads {
+		var p baseline.Profile
+		if twoStage {
+			p = baseline.ProfileTwoStage(e.twoStage, w)
+		} else {
+			p = baseline.ProfileCanonical(e.canonical, w)
+		}
+		total += m.Time(p)
+		energy += m.Energy(p)
+	}
+	return total, energy
+}
+
+func fig11(e *experiment, label string) {
+	fmt.Printf("=== Fig. 11 (%s): KD-tree speedup & power vs GPU Base-KD ===\n", label)
+	gpu := baseline.RTX2080Ti
+	cpu := baseline.Xeon4110
+
+	baseKDTime, baseKDEnergy := runBaseline(e, gpu, false)
+	base2STime, base2SEnergy := runBaseline(e, gpu, true)
+	cpuTime, _ := runBaseline(e, cpu, false)
+
+	cfg := sim.DefaultConfig()
+	accKDTime, accKDEnergy, _ := e.simulate("tall", cfg)
+	acc2STime, acc2SEnergy, _ := e.simulate("exact", cfg)
+	apxTime, apxEnergy, _ := e.simulate("approx", cfg)
+
+	power := func(energy float64, t time.Duration) float64 {
+		if t <= 0 {
+			return 0
+		}
+		return energy / t.Seconds()
+	}
+	row := func(name string, t time.Duration, energy float64) {
+		fmt.Printf("  %-12s %10.3fms  speedup %7.1fx  power %6.1fW  power-red %5.1fx\n",
+			name, t.Seconds()*1e3, baseKDTime.Seconds()/t.Seconds(),
+			power(energy, t), power(baseKDEnergy, baseKDTime)/power(energy, t))
+	}
+	fmt.Printf("  %-12s %10.3fms  (CPU reference: %.1fms, GPU is %.1fx faster)\n",
+		"Base-KD", baseKDTime.Seconds()*1e3, cpuTime.Seconds()*1e3,
+		cpuTime.Seconds()/baseKDTime.Seconds())
+	row("Base-2SKD", base2STime, base2SEnergy)
+	row("Acc-KD", accKDTime, accKDEnergy)
+	row("Acc-2SKD", acc2STime, acc2SEnergy)
+	row("Acc-2SKD+apx", apxTime, apxEnergy)
+	fmt.Printf("  CPU/Acc-2SKD speedup: %.1fx\n", cpuTime.Seconds()/acc2STime.Seconds())
+	fmt.Println("  paper: Acc-2SKD 77.2x over Base-KD (DP7) / 21x over Base-2SKD (DP4);")
+	fmt.Println("         Base-2SKD 1.28x over Base-KD; approx +11.1x on DP7; 392x over CPU")
+	fmt.Println()
+}
+
+func energyBreakdown(e *experiment) {
+	fmt.Println("=== §6.3: Acc-2SKD energy breakdown (DP4) ===")
+	cfg := sim.DefaultConfig()
+	var sum sim.Energy
+	for _, w := range e.workloads {
+		rep, err := sim.Run(e.twoStage, w, cfg)
+		if err != nil {
+			panic(err)
+		}
+		sum.PE += rep.Energy.PE
+		sum.SRAMRead += rep.Energy.SRAMRead
+		sum.SRAMWrite += rep.Energy.SRAMWrite
+		sum.Leakage += rep.Energy.Leakage
+		sum.DRAM += rep.Energy.DRAM
+	}
+	total := sum.Total()
+	fmt.Printf("  PE         %5.1f%%   (paper 53.7%%)\n", 100*sum.PE/total)
+	fmt.Printf("  SRAM read  %5.1f%%   (paper 34.8%%)\n", 100*sum.SRAMRead/total)
+	fmt.Printf("  SRAM write %5.1f%%   (paper  8.0%%)\n", 100*sum.SRAMWrite/total)
+	fmt.Printf("  leakage    %5.1f%%   (paper  3.3%%)\n", 100*sum.Leakage/total)
+	fmt.Printf("  DRAM       %5.1f%%   (paper  0.2%%)\n", 100*sum.DRAM/total)
+	fmt.Println()
+}
+
+func fig12(e *experiment) {
+	fmt.Println("=== Fig. 12: architectural optimizations (Acc-2SKD on DP7) ===")
+	gpuTime, gpuEnergy := runBaseline(e, baseline.RTX2080Ti, false)
+	gpuPower := gpuEnergy / gpuTime.Seconds()
+
+	variant := func(name string, fwd, byp bool, issue sim.IssuePolicy) {
+		cfg := sim.DefaultConfig()
+		cfg.Forwarding = fwd
+		cfg.Bypassing = byp
+		cfg.Issue = issue
+		t, energy, _ := e.simulate("exact", cfg)
+		fmt.Printf("  %-10s speedup %6.1fx  power-red %5.2fx\n",
+			name, gpuTime.Seconds()/t.Seconds(), gpuPower/(energy/t.Seconds()))
+	}
+	variant("No-Opt", false, false, sim.MQSN)
+	variant("Bypass", false, true, sim.MQSN)
+	variant("+Forward", true, true, sim.MQSN)
+	variant("MQMN", true, true, sim.MQMN)
+	fmt.Println("  paper: Bypass +13.1%, +Forward +10.5%, MQMN 2x speed at ~4x power")
+	fmt.Println()
+}
+
+func fig13(e *experiment) {
+	fmt.Println("=== Fig. 13: memory traffic distribution (%) ===")
+	traffic := func(tree *twostage.Tree, label string) {
+		var sum sim.Traffic
+		for _, w := range e.workloads {
+			rep, err := sim.Run(tree, w, sim.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			sum.FEQueryQueue += rep.Traffic.FEQueryQueue
+			sum.QueryBuf += rep.Traffic.QueryBuf
+			sum.QueryStacks += rep.Traffic.QueryStacks
+			sum.ResultBuf += rep.Traffic.ResultBuf
+			sum.BEQueryQueue += rep.Traffic.BEQueryQueue
+			sum.NodeCache += rep.Traffic.NodeCache
+			sum.PointsBuf += rep.Traffic.PointsBuf
+		}
+		total := float64(sum.Total())
+		fmt.Printf("  %-10s FQQ %4.1f%%  QryBuf %4.1f%%  Stacks %4.1f%%  ResBuf %4.1f%%  BQB %4.1f%%  NodeCache %4.1f%%  PointsBuf %4.1f%%\n",
+			label,
+			100*float64(sum.FEQueryQueue)/total, 100*float64(sum.QueryBuf)/total,
+			100*float64(sum.QueryStacks)/total, 100*float64(sum.ResultBuf)/total,
+			100*float64(sum.BEQueryQueue)/total, 100*float64(sum.NodeCache)/total,
+			100*float64(sum.PointsBuf)/total)
+	}
+	traffic(e.twoStage, "Acc-2SKD")
+	tall := twostage.BuildWithLeafSize(e.twoStage.Points(), 1)
+	traffic(tall, "Acc-KD")
+	fmt.Println("  paper: node cache cuts Acc-2SKD PointsBuf traffic from 53% to 35%")
+	fmt.Println()
+}
+
+func fig14(e *experiment) {
+	fmt.Println("=== Fig. 14: sensitivity to RU / SU / PE counts ===")
+	fmt.Printf("  %-18s %12s %10s\n", "config (RU,SU,PE)", "time (ms)", "power (W)")
+	counts := []int{16, 32, 64, 128}
+	for _, ru := range counts {
+		for _, su := range counts {
+			for _, pe := range counts {
+				cfg := sim.DefaultConfig()
+				cfg.NumRU = ru
+				cfg.NumSU = su
+				cfg.PEsPerSU = pe
+				t, energy, _ := e.simulate("exact", cfg)
+				fmt.Printf("  %4d,%4d,%4d      %10.3f %10.1f\n",
+					ru, su, pe, t.Seconds()*1e3, energy/t.Seconds())
+			}
+		}
+	}
+	fmt.Println("  paper: 64 RU / 32 SU / 32 PE sits at the knee of the curve")
+	fmt.Println()
+}
+
+func fig15(seq *synth.Sequence, e *experiment) {
+	fmt.Println("=== Fig. 15: search time & energy vs top-tree height ===")
+	fmt.Printf("  %-8s %12s %12s\n", "height", "time (ms)", "energy (J)")
+	pts := seq.Frames[0].Points
+	for h := 4; h <= 15; h++ {
+		tree := twostage.Build(pts, h)
+		var t time.Duration
+		var energy float64
+		for _, w := range e.workloads {
+			rep, err := sim.Run(tree, w, sim.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			t += rep.Time
+			energy += rep.Energy.Total()
+		}
+		fmt.Printf("  %-8d %12.3f %12.4f\n", h, t.Seconds()*1e3, energy)
+	}
+	fmt.Println("  paper: performance peaks around height 10, then declines")
+	fmt.Println()
+}
+
+func printArea() {
+	fmt.Println("=== §6.2: area analysis (16 nm) ===")
+	cfg := sim.DefaultConfig()
+	area := cfg.EstimateArea()
+	fmt.Printf("  SRAM:  %6.2f mm²  (%5.1f%%)   [paper 8.38 mm², 53.8%%]\n",
+		area.SRAMmm2, 100*area.SRAMmm2/area.Total())
+	fmt.Printf("  logic: %6.2f mm²  (%5.1f%%)   [paper 7.19 mm², 46.2%%]\n",
+		area.LogicMm2, 100*area.LogicMm2/area.Total())
+	fmt.Printf("  total: %6.2f mm²  (%d RU, %d SU x %d PE, %.1f KB SRAM)\n",
+		area.Total(), cfg.NumRU, cfg.NumSU, cfg.PEsPerSU, float64(area.SRAMBytes)/1024)
+	fmt.Println()
+}

@@ -1,0 +1,133 @@
+// Command tigris-dse reproduces the paper's design-space exploration:
+//
+//	Fig. 3a/3b — accuracy vs time scatter with Pareto-front annotation
+//	Fig. 4a    — per-stage time distribution of the named points DP1–DP8
+//	Fig. 4b    — KD-tree search / construction / other split
+//
+// Usage:
+//
+//	tigris-dse [-frames N] [-seed S] [-grid] [-stages] [-quick]
+//
+// With -grid the full Tbl. 1 knob grid (48 points) is evaluated; with
+// -stages the named DP1–DP8 breakdowns are printed. Default runs both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tigris/internal/dse"
+	"tigris/internal/synth"
+)
+
+func main() {
+	frames := flag.Int("frames", 3, "frames in the synthetic sequence (pairs = frames-1)")
+	seed := flag.Int64("seed", 2019, "dataset seed")
+	gridOnly := flag.Bool("grid", false, "run only the Fig. 3 grid DSE")
+	stagesOnly := flag.Bool("stages", false, "run only the Fig. 4 stage breakdowns")
+	quick := flag.Bool("quick", false, "use small test-scale frames")
+	flag.Parse()
+
+	var cfg synth.SequenceConfig
+	if *quick {
+		cfg = synth.QuickSequenceConfig(*frames, *seed)
+	} else {
+		cfg = synth.EvalSequenceConfig(*frames, *seed)
+	}
+	fmt.Printf("generating %d synthetic LiDAR frames (seed %d)...\n", *frames, *seed)
+	seq := synth.GenerateSequence(cfg)
+	fmt.Printf("frame size: %d points\n\n", seq.Frames[0].Len())
+
+	if !*stagesOnly {
+		runGrid(seq)
+	}
+	if !*gridOnly {
+		runStages(seq)
+	}
+	_ = os.Stdout
+}
+
+// runGrid evaluates the Tbl. 1 grid and prints the Fig. 3 scatter plus
+// Pareto fronts.
+func runGrid(seq *synth.Sequence) {
+	fmt.Println("=== Fig. 3: design-space exploration (error vs time) ===")
+	grid := dse.Grid()
+	evals := make([]dse.Evaluated, 0, len(grid))
+	start := time.Now()
+	for i, dp := range grid {
+		ev := dse.Evaluate(seq, dp)
+		evals = append(evals, ev)
+		fmt.Printf("  [%2d/%d] %-42s terr %6.2f%%  rerr %7.4f°/m  time %8.1fms\n",
+			i+1, len(grid), dp.Name, ev.Error.MeanTranslationalPct,
+			ev.Error.MeanRotationalDegPerM, ev.MeanTime.Seconds()*1e3)
+	}
+	fmt.Printf("grid evaluated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Normalized time as in Fig. 3 (normalized to the slowest point).
+	var maxT time.Duration
+	for i := range evals {
+		if evals[i].MeanTime > maxT {
+			maxT = evals[i].MeanTime
+		}
+	}
+	printFront := func(title string, errOf func(*dse.Evaluated) float64, unit string) {
+		front := dse.ParetoFront(evals, errOf)
+		sort.Slice(front, func(a, b int) bool { return errOf(&front[a]) < errOf(&front[b]) })
+		fmt.Printf("%s (error → normalized time):\n", title)
+		for _, e := range front {
+			fmt.Printf("  %-42s %8.4f%s  %6.3f\n",
+				e.Point.Name, errOf(&e), unit, float64(e.MeanTime)/float64(maxT))
+		}
+		fmt.Println()
+	}
+	printFront("Fig. 3a Pareto front, translational", dse.TranslationalError, "%")
+	printFront("Fig. 3b Pareto front, rotational", dse.RotationalError, "°/m")
+}
+
+// runStages prints the Fig. 4a/4b breakdowns for DP1–DP8.
+func runStages(seq *synth.Sequence) {
+	fmt.Println("=== Fig. 4a: per-stage time distribution of DP1-DP8 (%) ===")
+	fmt.Printf("%-5s %7s %7s %7s %7s %7s %7s %7s\n",
+		"DP", "NE", "KeyPt", "Desc", "KPCE", "Reject", "RPCE", "ErrMin")
+	type row struct {
+		ev dse.Evaluated
+	}
+	var rows []row
+	for _, dp := range dse.NamedDesignPoints() {
+		ev := dse.Evaluate(seq, dp)
+		rows = append(rows, row{ev: ev})
+		total := float64(ev.Stage.Total())
+		pct := func(d time.Duration) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(d) / total
+		}
+		fmt.Printf("%-5s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			dp.Name,
+			pct(ev.Stage.NormalEstimation), pct(ev.Stage.KeypointDetection),
+			pct(ev.Stage.DescriptorCalculation), pct(ev.Stage.KPCE),
+			pct(ev.Stage.Rejection), pct(ev.Stage.RPCE), pct(ev.Stage.ErrorMinimization))
+	}
+
+	fmt.Println("\n=== Fig. 4b: KD-tree search vs construction vs other (%) ===")
+	fmt.Printf("%-5s %10s %14s %8s   (terr, time)\n", "DP", "KD-search", "KD-construct", "other")
+	for i, dp := range dse.NamedDesignPoints() {
+		ev := rows[i].ev
+		total := float64(ev.KDSearch + ev.KDBuild + ev.Other)
+		if total == 0 {
+			total = 1
+		}
+		fmt.Printf("%-5s %9.1f%% %13.1f%% %7.1f%%   (%.2f%%, %.0fms)\n",
+			dp.Name,
+			100*float64(ev.KDSearch)/total,
+			100*float64(ev.KDBuild)/total,
+			100*float64(ev.Other)/total,
+			ev.Error.MeanTranslationalPct,
+			ev.MeanTime.Seconds()*1e3)
+	}
+	fmt.Println("\npaper reference: KD-tree search is 50-85% of time on every DP (Fig. 4b)")
+}

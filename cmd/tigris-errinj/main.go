@@ -1,0 +1,94 @@
+// Command tigris-errinj reproduces the paper's §4.2 error-tolerance study
+// (Fig. 7): errors are injected into KD-tree search and the end-to-end
+// registration error is measured.
+//
+//	Fig. 7a — NN search returns the k-th neighbor instead of the nearest,
+//	          injected into dense RPCE and into sparse KPCE.
+//	Fig. 7b — radius search returns a shell <r1, r2> instead of the ball,
+//	          injected into Normal Estimation.
+//
+// Usage:
+//
+//	tigris-errinj [-mode knn|shell|all] [-frames N] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tigris/internal/dse"
+	"tigris/internal/registration"
+	"tigris/internal/synth"
+)
+
+func main() {
+	mode := flag.String("mode", "all", "knn (Fig. 7a), shell (Fig. 7b), or all")
+	frames := flag.Int("frames", 3, "frames in the synthetic sequence")
+	seed := flag.Int64("seed", 2019, "dataset seed")
+	quick := flag.Bool("quick", false, "use small test-scale frames")
+	flag.Parse()
+
+	cfg := synth.EvalSequenceConfig(*frames, *seed)
+	if *quick {
+		cfg = synth.QuickSequenceConfig(*frames, *seed)
+	}
+	seq := synth.GenerateSequence(cfg)
+	fmt.Printf("sequence: %d frames of %d points\n\n", seq.Len(), seq.Frames[0].Len())
+
+	base := dse.DP7().Config // accuracy-oriented point, as in §4.2's study
+	base.ICP.MaxIterations = 25
+
+	evaluate := func(inject registration.Injection, trustFrontEnd bool) registration.SequenceError {
+		var errs []registration.FrameError
+		cfgI := base
+		cfgI.Inject = inject
+		if trustFrontEnd {
+			// The sparse-KPCE arm measures how front-end corruption
+			// propagates, so the robustness guards that would mask it
+			// (RANSAC verification, the inter-frame motion prior) are
+			// swapped for the paper-era configuration: threshold
+			// rejection and an uncapped initial estimate.
+			cfgI.Rejection.Method = registration.RejectThreshold
+			cfgI.MaxInitialTranslation = -1
+			cfgI.MaxInitialRotation = -1
+		}
+		for i := 0; i+1 < seq.Len(); i++ {
+			res := registration.Register(seq.Frames[i+1], seq.Frames[i], cfgI)
+			errs = append(errs, registration.EvaluatePair(res.Transform, seq.GroundTruthDelta(i)))
+		}
+		return registration.Aggregate(errs)
+	}
+
+	if *mode == "knn" || *mode == "all" {
+		fmt.Println("=== Fig. 7a: k-th NN injection (translational error %) ===")
+		fmt.Printf("%-4s %18s %18s\n", "k", "RPCE (dense)", "KPCE (sparse)")
+		for _, k := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+			dense := evaluate(registration.Injection{RPCEKthNN: k}, false)
+			sparse := evaluate(registration.Injection{KPCEKthNN: k}, true)
+			fmt.Printf("%-4d %11.2f ±%5.2f %11.2f ±%5.2f\n",
+				k,
+				dense.MeanTranslationalPct, dense.StdevTranslationalPct,
+				sparse.MeanTranslationalPct, sparse.StdevTranslationalPct)
+		}
+		fmt.Println("\npaper reference: dense RPCE tolerates large k; sparse KPCE degrades")
+		fmt.Println("sharply (≈40% accuracy loss already at k=2).")
+		fmt.Println()
+	}
+
+	if *mode == "shell" || *mode == "all" {
+		// The paper sweeps <r1, 75cm> against an exact radius of 60 cm; our
+		// DP7 NE radius is 0.75 m, so the shell outer radius is fixed at
+		// 0.95 m and r1 sweeps upward.
+		r := base.Normal.SearchRadius
+		outer := r + 0.2
+		fmt.Printf("=== Fig. 7b: radius-shell injection into NE (exact r = %.2f m) ===\n", r)
+		fmt.Printf("%-14s %18s\n", "<r1,r2> (m)", "NE (dense)")
+		for _, r1 := range []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60} {
+			res := evaluate(registration.Injection{NEShell: &[2]float64{r1, outer}}, false)
+			fmt.Printf("<%.2f,%.2f>   %11.2f ±%5.2f\n",
+				r1, outer, res.MeanTranslationalPct, res.StdevTranslationalPct)
+		}
+		fmt.Println("\npaper reference: registration error is statistically flat until the")
+		fmt.Println("shell excludes most of the true neighborhood.")
+	}
+}

@@ -1,0 +1,102 @@
+// Command tigris-register registers two point cloud files (TIGRIS-CLOUD
+// format, see internal/cloud) and prints the estimated 4×4 transformation
+// matrix that maps the source cloud onto the target cloud — the paper's
+// Eq. 1 output. This is the downstream-user entry point: feed it two
+// LiDAR frames, get the odometry step.
+//
+// Usage:
+//
+//	tigris-register [-searcher canonical|twostage|approx] [-profile] source.cloud target.cloud
+//
+// Generate sample inputs with `go run ./examples/mapping` or via
+// tigris.WriteCloud.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tigris/internal/cloud"
+	"tigris/internal/dse"
+	"tigris/internal/registration"
+)
+
+func main() {
+	searcher := flag.String("searcher", "canonical", "search backend: canonical, twostage, or approx")
+	profile := flag.Bool("profile", false, "print stage timing and KD-tree search breakdown")
+	designPoint := flag.String("dp", "DP5", "design point to run (DP1..DP8)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tigris-register [flags] source.cloud target.cloud")
+		os.Exit(2)
+	}
+
+	src := mustLoad(flag.Arg(0))
+	dst := mustLoad(flag.Arg(1))
+	fmt.Fprintf(os.Stderr, "source: %d points, target: %d points\n", src.Len(), dst.Len())
+
+	cfg, ok := findDesignPoint(*designPoint)
+	if !ok {
+		log.Fatalf("unknown design point %q (want DP1..DP8)", *designPoint)
+	}
+	switch *searcher {
+	case "canonical":
+		cfg.Searcher.Kind = registration.SearchCanonical
+	case "twostage":
+		cfg.Searcher.Kind = registration.SearchTwoStage
+		cfg.Searcher.TopHeight = -1
+	case "approx":
+		cfg.Searcher.Kind = registration.SearchTwoStageApprox
+		cfg.Searcher.TopHeight = -1
+	default:
+		log.Fatalf("unknown searcher %q", *searcher)
+	}
+
+	res := registration.Register(src, dst, cfg)
+
+	// The 4×4 homogeneous matrix, row per line (paper Eq. 1).
+	m := res.Transform.Mat4()
+	for r := 0; r < 4; r++ {
+		fmt.Printf("% .9f % .9f % .9f % .9f\n", m.At(r, 0), m.At(r, 1), m.At(r, 2), m.At(r, 3))
+	}
+
+	if *profile {
+		fmt.Fprintf(os.Stderr, "\ntotal: %v (ICP iterations %d, converged %v)\n",
+			res.Total.Round(1e6), res.ICP.Iterations, res.ICP.Converged)
+		fmt.Fprintf(os.Stderr, "stages: NE %v | keypt %v | desc %v | KPCE %v | reject %v | RPCE %v | solve %v\n",
+			res.Stage.NormalEstimation.Round(1e6), res.Stage.KeypointDetection.Round(1e6),
+			res.Stage.DescriptorCalculation.Round(1e6), res.Stage.KPCE.Round(1e6),
+			res.Stage.Rejection.Round(1e6), res.Stage.RPCE.Round(1e6),
+			res.Stage.ErrorMinimization.Round(1e6))
+		fmt.Fprintf(os.Stderr, "KD-tree: search %v (%.0f%%), construction %v, other %v\n",
+			res.KDSearchTime.Round(1e6),
+			100*float64(res.KDSearchTime)/float64(res.Total),
+			res.KDBuildTime.Round(1e6), res.OtherTime().Round(1e6))
+		fmt.Fprintf(os.Stderr, "keypoints %d/%d, correspondences %d, inliers %d\n",
+			res.SrcKeypoints, res.DstKeypoints, res.Correspondences, res.Inliers)
+	}
+}
+
+func mustLoad(path string) *cloud.Cloud {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	c, err := cloud.Read(f)
+	if err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	return c
+}
+
+func findDesignPoint(name string) (registration.PipelineConfig, bool) {
+	for _, dp := range dse.NamedDesignPoints() {
+		if dp.Name == name {
+			return dp.Config, true
+		}
+	}
+	return registration.PipelineConfig{}, false
+}

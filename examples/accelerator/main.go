@@ -1,0 +1,64 @@
+// Accelerator: run a KD-tree search workload through the Tigris
+// accelerator model and compare it against the GPU and CPU baselines —
+// a miniature version of the paper's Fig. 11 experiment exercising the
+// public API end to end.
+//
+//	go run ./examples/accelerator
+package main
+
+import (
+	"fmt"
+
+	"tigris"
+)
+
+func main() {
+	seq := tigris.GenerateSequence(tigris.EvalSequenceConfig(2, 5))
+	target := seq.Frames[0].Points
+	queries := seq.Frames[1].Points
+	fmt.Printf("workload: %d NN queries against a %d-point frame\n\n",
+		len(queries), len(target))
+
+	w := tigris.SimWorkload{Kind: tigris.NNSearch, Queries: queries}
+
+	// The paper's two-stage structure: height 10 on 130k-point KITTI
+	// frames means ~128-point leaf sets, so target that leaf size here.
+	tree := tigris.BuildTwoStageTreeWithLeafSize(target, 128)
+	rep, err := tigris.Simulate(tree, w, tigris.DefaultAccelConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Tigris accelerator (Acc-2SKD):\n")
+	fmt.Printf("  cycles %d  time %v  power %.1f W\n", rep.Cycles, rep.Time, rep.PowerWatts)
+	fmt.Printf("  RU utilization %.0f%%, SU utilization %.0f%%\n\n",
+		100*rep.RUUtilization, 100*rep.SUUtilization)
+
+	// GPU and CPU baselines on the same searches.
+	canon := tigris.BuildKDTree(target)
+	gpuP := tigris.ProfileCanonicalSearch(canon, w)
+	gpu := tigris.GPUBaseline()
+	cpu := tigris.CPUBaseline()
+	fmt.Printf("%s: %v  (%.0f W)\n", gpu.Name, gpu.Time(gpuP), gpu.PowerWatts)
+	fmt.Printf("%s: %v  (%.0f W)\n\n", cpu.Name, cpu.Time(gpuP), cpu.PowerWatts)
+
+	fmt.Printf("speedup vs GPU: %.1fx   power reduction: %.1fx\n",
+		gpu.Time(gpuP).Seconds()/rep.Time.Seconds(), gpu.PowerWatts/rep.PowerWatts)
+
+	// Approximate search (paper §4.3): same workload with the
+	// leader/follower algorithm at the paper's 1.2 m threshold.
+	approxCfg := tigris.DefaultAccelConfig()
+	approxCfg.Approx = 1.2
+	apx, err := tigris.Simulate(tree, w, approxCfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("approximate search: %.1f%% fewer distance ops, %+.1f%% time\n",
+		100*(1-float64(apx.Counts.PEDistanceOps)/float64(rep.Counts.PEDistanceOps)),
+		100*(float64(apx.Cycles)/float64(rep.Cycles)-1))
+
+	// The functional results are real: spot-check one query against the
+	// software search.
+	nb, _ := tree.Nearest(queries[0], nil)
+	fmt.Printf("\nfunctional check: query 0 -> point %d (sim) vs %d (software)\n",
+		rep.NNResults[0].Index, nb.Index)
+}

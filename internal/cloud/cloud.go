@@ -1,0 +1,179 @@
+// Package cloud provides the point cloud container and the basic
+// manipulations the registration pipeline needs: rigid transformation,
+// voxel-grid downsampling, bounding boxes, and a simple ASCII interchange
+// format modeled on PCD.
+//
+// A point cloud (paper §2.1) is a collection of <x,y,z> points in a 3D
+// Cartesian frame; normals and other per-point metadata are carried in
+// parallel slices so the hot search paths can operate on the bare
+// coordinates.
+package cloud
+
+import (
+	"fmt"
+	"math"
+
+	"tigris/internal/geom"
+)
+
+// Cloud is a point cloud frame. Points is always populated; Normals is
+// either nil or exactly len(Points) long (populated by the Normal
+// Estimation stage).
+type Cloud struct {
+	Points  []geom.Vec3
+	Normals []geom.Vec3
+}
+
+// New returns an empty cloud with capacity for n points.
+func New(n int) *Cloud {
+	return &Cloud{Points: make([]geom.Vec3, 0, n)}
+}
+
+// FromPoints wraps a point slice in a Cloud without copying.
+func FromPoints(pts []geom.Vec3) *Cloud {
+	return &Cloud{Points: pts}
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.Points) }
+
+// HasNormals reports whether per-point normals are populated.
+func (c *Cloud) HasNormals() bool {
+	return c.Normals != nil && len(c.Normals) == len(c.Points)
+}
+
+// Clone returns a deep copy of the cloud.
+func (c *Cloud) Clone() *Cloud {
+	out := &Cloud{Points: make([]geom.Vec3, len(c.Points))}
+	copy(out.Points, c.Points)
+	if c.Normals != nil {
+		out.Normals = make([]geom.Vec3, len(c.Normals))
+		copy(out.Normals, c.Normals)
+	}
+	return out
+}
+
+// Transform returns a new cloud with every point moved by t (Eq. 1 of the
+// paper: X' = R·X + T) and normals rotated.
+func (c *Cloud) Transform(t geom.Transform) *Cloud {
+	out := &Cloud{Points: make([]geom.Vec3, len(c.Points))}
+	for i, p := range c.Points {
+		out.Points[i] = t.Apply(p)
+	}
+	if c.HasNormals() {
+		out.Normals = make([]geom.Vec3, len(c.Normals))
+		for i, n := range c.Normals {
+			out.Normals[i] = t.ApplyDirection(n)
+		}
+	}
+	return out
+}
+
+// TransformInPlace moves every point of c by t without allocating.
+func (c *Cloud) TransformInPlace(t geom.Transform) {
+	for i, p := range c.Points {
+		c.Points[i] = t.Apply(p)
+	}
+	if c.HasNormals() {
+		for i, n := range c.Normals {
+			c.Normals[i] = t.ApplyDirection(n)
+		}
+	}
+}
+
+// Bounds returns the axis-aligned bounding box of the cloud.
+func (c *Cloud) Bounds() geom.Aabb {
+	b := geom.EmptyAabb()
+	for _, p := range c.Points {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Centroid returns the mean of all points; the zero vector for an empty
+// cloud.
+func (c *Cloud) Centroid() geom.Vec3 {
+	if len(c.Points) == 0 {
+		return geom.Vec3{}
+	}
+	var s geom.Vec3
+	for _, p := range c.Points {
+		s = s.Add(p)
+	}
+	return s.Scale(1 / float64(len(c.Points)))
+}
+
+// Select returns a new cloud containing the points (and normals, if
+// present) at the given indices.
+func (c *Cloud) Select(indices []int) *Cloud {
+	out := &Cloud{Points: make([]geom.Vec3, len(indices))}
+	for i, idx := range indices {
+		out.Points[i] = c.Points[idx]
+	}
+	if c.HasNormals() {
+		out.Normals = make([]geom.Vec3, len(indices))
+		for i, idx := range indices {
+			out.Normals[i] = c.Normals[idx]
+		}
+	}
+	return out
+}
+
+// voxelKey identifies one cell of the downsampling grid.
+type voxelKey struct {
+	X, Y, Z int32
+}
+
+// VoxelDownsample returns a new cloud with at most one point per cubic
+// voxel of the given edge length: the centroid of the points that fell in
+// the cell. Registration front-ends routinely downsample dense LiDAR
+// frames before key-point detection; the leaf size is one of the pipeline's
+// parametric knobs.
+func VoxelDownsample(c *Cloud, leaf float64) *Cloud {
+	if leaf <= 0 || c.Len() == 0 {
+		return c.Clone()
+	}
+	type acc struct {
+		sum   geom.Vec3
+		count int
+		first int // index of first point, for deterministic ordering
+	}
+	cells := make(map[voxelKey]*acc, c.Len()/4+1)
+	order := make([]voxelKey, 0, c.Len()/4+1)
+	inv := 1 / leaf
+	for i, p := range c.Points {
+		k := voxelKey{
+			X: int32(math.Floor(p.X * inv)),
+			Y: int32(math.Floor(p.Y * inv)),
+			Z: int32(math.Floor(p.Z * inv)),
+		}
+		a, ok := cells[k]
+		if !ok {
+			a = &acc{first: i}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.sum = a.sum.Add(p)
+		a.count++
+	}
+	out := New(len(order))
+	for _, k := range order {
+		a := cells[k]
+		out.Points = append(out.Points, a.sum.Scale(1/float64(a.count)))
+	}
+	return out
+}
+
+// Validate checks structural invariants: finite coordinates and a normals
+// slice that is either nil or parallel to the points.
+func (c *Cloud) Validate() error {
+	if c.Normals != nil && len(c.Normals) != len(c.Points) {
+		return fmt.Errorf("cloud: %d normals for %d points", len(c.Normals), len(c.Points))
+	}
+	for i, p := range c.Points {
+		if !p.IsFinite() {
+			return fmt.Errorf("cloud: non-finite point %d: %v", i, p)
+		}
+	}
+	return nil
+}

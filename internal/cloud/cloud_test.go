@@ -1,0 +1,252 @@
+package cloud
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tigris/internal/geom"
+)
+
+func randCloud(r *rand.Rand, n int) *Cloud {
+	c := New(n)
+	for i := 0; i < n; i++ {
+		c.Points = append(c.Points, geom.Vec3{
+			X: r.Float64()*40 - 20,
+			Y: r.Float64()*40 - 20,
+			Z: r.Float64()*4 - 2,
+		})
+	}
+	return c
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 1}, {Y: 2}})
+	c.Normals = []geom.Vec3{{Z: 1}, {Z: 1}}
+	d := c.Clone()
+	d.Points[0].X = 99
+	d.Normals[0].Z = 99
+	if c.Points[0].X != 1 || c.Normals[0].Z != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := randCloud(r, 200)
+	tr := geom.Transform{R: geom.RotZ(0.4), T: geom.Vec3{X: 1, Y: -2, Z: 3}}
+	back := c.Transform(tr).Transform(tr.Inverse())
+	for i := range c.Points {
+		if c.Points[i].Dist(back.Points[i]) > 1e-9 {
+			t.Fatalf("round trip moved point %d", i)
+		}
+	}
+}
+
+func TestTransformInPlaceMatchesTransform(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := randCloud(r, 100)
+	c.Normals = make([]geom.Vec3, c.Len())
+	for i := range c.Normals {
+		c.Normals[i] = geom.Vec3{Z: 1}
+	}
+	tr := geom.Transform{R: geom.RotX(0.7), T: geom.Vec3{X: 5}}
+	want := c.Transform(tr)
+	c.TransformInPlace(tr)
+	for i := range c.Points {
+		if c.Points[i] != want.Points[i] || c.Normals[i] != want.Normals[i] {
+			t.Fatalf("in-place transform mismatch at %d", i)
+		}
+	}
+}
+
+func TestNormalsRotateNotTranslate(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 1, Y: 2, Z: 3}})
+	c.Normals = []geom.Vec3{{Z: 1}}
+	tr := geom.Transform{R: geom.Identity3(), T: geom.Vec3{X: 100, Y: 100, Z: 100}}
+	out := c.Transform(tr)
+	if out.Normals[0] != (geom.Vec3{Z: 1}) {
+		t.Errorf("pure translation changed normal: %v", out.Normals[0])
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 1}, {X: 3}, {Y: 2}, {Y: -2}})
+	got := c.Centroid()
+	if got.Dist(geom.Vec3{X: 1}) > 1e-12 {
+		t.Errorf("centroid = %v", got)
+	}
+	if (&Cloud{}).Centroid() != (geom.Vec3{}) {
+		t.Error("empty centroid should be zero")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: -1, Y: 2, Z: 0}, {X: 3, Y: -4, Z: 5}})
+	b := c.Bounds()
+	if b.Min != (geom.Vec3{X: -1, Y: -4, Z: 0}) || b.Max != (geom.Vec3{X: 3, Y: 2, Z: 5}) {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 0}, {X: 1}, {X: 2}, {X: 3}})
+	c.Normals = []geom.Vec3{{Z: 0}, {Z: 1}, {Z: 2}, {Z: 3}}
+	s := c.Select([]int{3, 1})
+	if s.Len() != 2 || s.Points[0].X != 3 || s.Points[1].X != 1 {
+		t.Errorf("select points = %v", s.Points)
+	}
+	if s.Normals[0].Z != 3 || s.Normals[1].Z != 1 {
+		t.Errorf("select normals = %v", s.Normals)
+	}
+}
+
+func TestVoxelDownsampleReduces(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := randCloud(r, 5000)
+	d := VoxelDownsample(c, 2.0)
+	if d.Len() >= c.Len() {
+		t.Fatalf("downsample did not reduce: %d -> %d", c.Len(), d.Len())
+	}
+	if d.Len() == 0 {
+		t.Fatal("downsample removed everything")
+	}
+	// Every output point must lie within the original bounds (centroids of
+	// cell members cannot escape the hull of the inputs).
+	b := c.Bounds()
+	for _, p := range d.Points {
+		if !b.Contains(p) {
+			t.Fatalf("downsampled point %v escaped bounds", p)
+		}
+	}
+}
+
+func TestVoxelDownsampleOnePerCell(t *testing.T) {
+	c := FromPoints([]geom.Vec3{
+		{X: 0.1, Y: 0.1, Z: 0.1},
+		{X: 0.2, Y: 0.3, Z: 0.4}, // same unit cell
+		{X: 1.5, Y: 0.1, Z: 0.1}, // different cell
+	})
+	d := VoxelDownsample(c, 1.0)
+	if d.Len() != 2 {
+		t.Fatalf("expected 2 cells, got %d", d.Len())
+	}
+	// First output is the centroid of the two co-located points.
+	want := geom.Vec3{X: 0.15, Y: 0.2, Z: 0.25}
+	if d.Points[0].Dist(want) > 1e-12 {
+		t.Errorf("cell centroid = %v, want %v", d.Points[0], want)
+	}
+}
+
+func TestVoxelDownsampleDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := randCloud(r, 1000)
+	a := VoxelDownsample(c, 1.5)
+	b := VoxelDownsample(c, 1.5)
+	if a.Len() != b.Len() {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("non-deterministic ordering")
+		}
+	}
+}
+
+func TestVoxelDownsampleNoopLeaf(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 1}, {X: 2}})
+	d := VoxelDownsample(c, 0)
+	if d.Len() != 2 {
+		t.Fatal("leaf<=0 should clone")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := FromPoints([]geom.Vec3{{X: 1}})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid cloud rejected: %v", err)
+	}
+	bad := FromPoints([]geom.Vec3{{X: math.NaN()}})
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN point accepted")
+	}
+	mismatched := FromPoints([]geom.Vec3{{X: 1}, {X: 2}})
+	mismatched.Normals = []geom.Vec3{{Z: 1}}
+	if err := mismatched.Validate(); err == nil {
+		t.Error("mismatched normals accepted")
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := randCloud(r, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("length %d -> %d", c.Len(), back.Len())
+	}
+	for i := range c.Points {
+		if c.Points[i].Dist(back.Points[i]) > 1e-7 {
+			t.Fatalf("point %d: %v -> %v", i, c.Points[i], back.Points[i])
+		}
+	}
+	if back.HasNormals() {
+		t.Error("round trip invented normals")
+	}
+}
+
+func TestIORoundTripWithNormals(t *testing.T) {
+	c := FromPoints([]geom.Vec3{{X: 1, Y: 2, Z: 3}})
+	c.Normals = []geom.Vec3{{X: 0, Y: 0, Z: 1}}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasNormals() || back.Normals[0] != c.Normals[0] {
+		t.Errorf("normals lost: %+v", back.Normals)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOT-A-CLOUD",
+		"TIGRIS-CLOUD v1\nPOINTS abc\nFIELDS xyz\nDATA ascii\n",
+		"TIGRIS-CLOUD v1\nPOINTS 1\nFIELDS wat\nDATA ascii\n1 2 3\n",
+		"TIGRIS-CLOUD v1\nPOINTS 1\nFIELDS xyz\nDATA binary\n1 2 3\n",
+		"TIGRIS-CLOUD v1\nPOINTS 2\nFIELDS xyz\nDATA ascii\n1 2 3\n", // truncated
+		"TIGRIS-CLOUD v1\nPOINTS 1\nFIELDS xyz\nDATA ascii\n1 2\n",   // short row
+		"TIGRIS-CLOUD v1\nPOINTS -5\nFIELDS xyz\nDATA ascii\n",
+	}
+	for i, s := range cases {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestIOEmptyCloud(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, New(0)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty cloud round trip gained points: %d", back.Len())
+	}
+}

@@ -1,0 +1,127 @@
+// Package dse implements the paper's §3 design-space exploration: a grid
+// over the registration pipeline's algorithmic and parametric knobs
+// (Tbl. 1), per-design-point evaluation on a synthetic sequence, Pareto
+// frontier extraction (Fig. 3), and the stage/KD-tree time breakdowns
+// (Fig. 4). It also defines the eight named Pareto-optimal design points
+// DP1–DP8 the paper carries through its evaluation, with the §6.3 anchors:
+// DP4 is performance-oriented (NE radius 0.30 m), DP7 accuracy-oriented
+// (NE radius 0.75 m).
+package dse
+
+import (
+	"time"
+
+	"tigris/internal/registration"
+	"tigris/internal/synth"
+)
+
+// DesignPoint names one pipeline configuration.
+type DesignPoint struct {
+	Name   string
+	Config registration.PipelineConfig
+}
+
+// Evaluated is one design point's measured outcome over a sequence.
+type Evaluated struct {
+	Point DesignPoint
+	// Error aggregates KITTI-style frame errors.
+	Error registration.SequenceError
+	// MeanTime is the mean end-to-end registration time per frame pair.
+	MeanTime time.Duration
+	// Stage is the mean per-stage time (Fig. 4a).
+	Stage registration.StageTimes
+	// KDSearch / KDBuild are the mean Fig. 4b components; Other is the
+	// remainder.
+	KDSearch, KDBuild, Other time.Duration
+	// NodesVisited is the mean 3D-search node visits per frame pair.
+	NodesVisited int64
+}
+
+// KDSearchFrac returns the Fig. 4b KD-search share of total time.
+func (e *Evaluated) KDSearchFrac() float64 {
+	total := e.KDSearch + e.KDBuild + e.Other
+	if total == 0 {
+		return 0
+	}
+	return float64(e.KDSearch) / float64(total)
+}
+
+// Evaluate runs the design point on every consecutive frame pair of the
+// sequence and aggregates errors and timings.
+func Evaluate(seq *synth.Sequence, dp DesignPoint) Evaluated {
+	var out Evaluated
+	out.Point = dp
+	var errs []registration.FrameError
+	pairs := seq.Len() - 1
+	if pairs <= 0 {
+		return out
+	}
+	var totalTime, searchT, buildT, otherT time.Duration
+	var stage registration.StageTimes
+	var visits int64
+	for i := 0; i < pairs; i++ {
+		res := registration.Register(seq.Frames[i+1], seq.Frames[i], dp.Config)
+		errs = append(errs, registration.EvaluatePair(res.Transform, seq.GroundTruthDelta(i)))
+		totalTime += res.Total
+		searchT += res.KDSearchTime
+		buildT += res.KDBuildTime
+		otherT += res.OtherTime()
+		visits += res.NodesVisited
+		stage.NormalEstimation += res.Stage.NormalEstimation
+		stage.KeypointDetection += res.Stage.KeypointDetection
+		stage.DescriptorCalculation += res.Stage.DescriptorCalculation
+		stage.KPCE += res.Stage.KPCE
+		stage.Rejection += res.Stage.Rejection
+		stage.RPCE += res.Stage.RPCE
+		stage.ErrorMinimization += res.Stage.ErrorMinimization
+	}
+	n := time.Duration(pairs)
+	out.Error = registration.Aggregate(errs)
+	out.MeanTime = totalTime / n
+	out.KDSearch = searchT / n
+	out.KDBuild = buildT / n
+	out.Other = otherT / n
+	out.NodesVisited = visits / int64(pairs)
+	out.Stage = registration.StageTimes{
+		NormalEstimation:      stage.NormalEstimation / n,
+		KeypointDetection:     stage.KeypointDetection / n,
+		DescriptorCalculation: stage.DescriptorCalculation / n,
+		KPCE:                  stage.KPCE / n,
+		Rejection:             stage.Rejection / n,
+		RPCE:                  stage.RPCE / n,
+		ErrorMinimization:     stage.ErrorMinimization / n,
+	}
+	return out
+}
+
+// ParetoFront returns the subset of evaluations not dominated in the
+// (error, time) plane: a point is dominated when another point is no
+// worse in both dimensions and strictly better in one. errOf selects the
+// error dimension (translational for Fig. 3a, rotational for Fig. 3b).
+func ParetoFront(evals []Evaluated, errOf func(*Evaluated) float64) []Evaluated {
+	var front []Evaluated
+	for i := range evals {
+		dominated := false
+		ei, ti := errOf(&evals[i]), evals[i].MeanTime
+		for j := range evals {
+			if i == j {
+				continue
+			}
+			ej, tj := errOf(&evals[j]), evals[j].MeanTime
+			if ej <= ei && tj <= ti && (ej < ei || tj < ti) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, evals[i])
+		}
+	}
+	return front
+}
+
+// TranslationalError selects Fig. 3a's error dimension.
+func TranslationalError(e *Evaluated) float64 { return e.Error.MeanTranslationalPct }
+
+// RotationalError selects Fig. 3b's error dimension.
+func RotationalError(e *Evaluated) float64 { return e.Error.MeanRotationalDegPerM }

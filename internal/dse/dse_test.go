@@ -1,0 +1,149 @@
+package dse
+
+import (
+	"testing"
+	"time"
+
+	"tigris/internal/registration"
+	"tigris/internal/sim"
+	"tigris/internal/synth"
+)
+
+func TestNamedDesignPointsAnchors(t *testing.T) {
+	dps := NamedDesignPoints()
+	if len(dps) != 8 {
+		t.Fatalf("expected 8 design points, got %d", len(dps))
+	}
+	names := map[string]bool{}
+	for _, dp := range dps {
+		if names[dp.Name] {
+			t.Errorf("duplicate design point name %s", dp.Name)
+		}
+		names[dp.Name] = true
+	}
+	// §6.3 anchors.
+	if r := DP4().Config.Normal.SearchRadius; r != 0.30 {
+		t.Errorf("DP4 NE radius = %v, paper uses 0.30", r)
+	}
+	if r := DP7().Config.Normal.SearchRadius; r != 0.75 {
+		t.Errorf("DP7 NE radius = %v, paper uses 0.75", r)
+	}
+}
+
+func TestGridCoversKnobs(t *testing.T) {
+	grid := Grid()
+	if len(grid) != 48 {
+		t.Fatalf("grid size = %d, want 48", len(grid))
+	}
+	radii := map[float64]bool{}
+	metrics := map[registration.ErrorMetric]bool{}
+	for _, dp := range grid {
+		radii[dp.Config.Normal.SearchRadius] = true
+		metrics[dp.Config.ICP.Metric] = true
+	}
+	if len(radii) != 3 || len(metrics) != 2 {
+		t.Errorf("grid does not cover knobs: %d radii, %d metrics", len(radii), len(metrics))
+	}
+	seen := map[string]bool{}
+	for _, dp := range grid {
+		if seen[dp.Name] {
+			t.Fatalf("duplicate grid name %s", dp.Name)
+		}
+		seen[dp.Name] = true
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	mk := func(name string, err float64, ms int) Evaluated {
+		return Evaluated{
+			Point:    DesignPoint{Name: name},
+			Error:    registration.SequenceError{MeanTranslationalPct: err},
+			MeanTime: time.Duration(ms) * time.Millisecond,
+		}
+	}
+	evals := []Evaluated{
+		mk("fast-bad", 10, 10),
+		mk("slow-good", 1, 100),
+		mk("dominated", 11, 50), // worse than fast-bad in both
+		mk("mid", 5, 40),        // on the frontier
+		mk("dominated2", 6, 41), // mid beats it in both
+	}
+	front := ParetoFront(evals, TranslationalError)
+	got := map[string]bool{}
+	for _, e := range front {
+		got[e.Point.Name] = true
+	}
+	for _, want := range []string{"fast-bad", "slow-good", "mid"} {
+		if !got[want] {
+			t.Errorf("%s missing from Pareto front", want)
+		}
+	}
+	if got["dominated"] || got["dominated2"] {
+		t.Error("dominated points on the front")
+	}
+	if len(front) != 3 {
+		t.Errorf("front size = %d", len(front))
+	}
+}
+
+func TestEvaluateProducesBreakdown(t *testing.T) {
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 31))
+	dp := DP4()
+	ev := Evaluate(seq, dp)
+	if ev.MeanTime <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if ev.KDSearch <= 0 {
+		t.Error("no KD search time recorded")
+	}
+	if ev.Stage.Total() <= 0 {
+		t.Error("no stage breakdown recorded")
+	}
+	if ev.Error.Frames != 1 {
+		t.Errorf("frames = %d", ev.Error.Frames)
+	}
+	if f := ev.KDSearchFrac(); f <= 0 || f >= 1 {
+		t.Errorf("KD search fraction %v implausible", f)
+	}
+}
+
+func TestEvaluateEmptySequence(t *testing.T) {
+	seq := &synth.Sequence{}
+	ev := Evaluate(seq, DP4())
+	if ev.MeanTime != 0 {
+		t.Error("empty sequence should produce zero evaluation")
+	}
+}
+
+func TestStageWorkloads(t *testing.T) {
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 32))
+	ws := StageWorkloads(seq, DP7())
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 workloads, got %d", len(ws))
+	}
+	if ws[0].Kind != sim.RadiusSearch || ws[0].Radius != 0.75 {
+		t.Errorf("NE workload wrong: %+v", ws[0])
+	}
+	if ws[1].Kind != sim.NNSearch {
+		t.Errorf("RPCE workload wrong kind")
+	}
+	if len(ws[0].Queries) == 0 || len(ws[1].Queries) == 0 {
+		t.Error("empty workloads")
+	}
+	// DP4 strides its RPCE queries; DP7 does not.
+	ws4 := StageWorkloads(seq, DP4())
+	if len(ws4[1].Queries) >= len(ws[1].Queries) {
+		t.Error("DP4's strided RPCE should issue fewer queries than DP7")
+	}
+}
+
+func TestKDTreeSearchDominates(t *testing.T) {
+	// The paper's central §3.2 claim: KD-tree search is 50-85% of
+	// registration time across design points. Check the accuracy-oriented
+	// anchor on a real frame pair.
+	seq := synth.GenerateSequence(synth.EvalSequenceConfig(2, 33))
+	ev := Evaluate(seq, DP7())
+	if f := ev.KDSearchFrac(); f < 0.35 {
+		t.Errorf("KD search fraction %.2f; paper reports 0.50-0.85", f)
+	}
+}

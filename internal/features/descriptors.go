@@ -1,0 +1,428 @@
+package features
+
+import (
+	"math"
+
+	"tigris/internal/cloud"
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/linalg"
+	"tigris/internal/search"
+)
+
+// DescriptorMethod selects the feature descriptor (Tbl. 1, Descriptor
+// Calculation row).
+type DescriptorMethod int
+
+const (
+	// FPFH is the 33-bin Fast Point Feature Histogram [56].
+	FPFH DescriptorMethod = iota
+	// SHOT is the Signature of Histograms of Orientations [64]
+	// (32 spatial sectors × 11 cosine bins = 352 dims).
+	SHOT
+	// SC3D is the 3D Shape Context [20] over a log-radial spherical grid.
+	SC3D
+)
+
+// String implements fmt.Stringer.
+func (m DescriptorMethod) String() string {
+	switch m {
+	case FPFH:
+		return "FPFH"
+	case SHOT:
+		return "SHOT"
+	case SC3D:
+		return "3DSC"
+	default:
+		return "UnknownDescriptorMethod"
+	}
+}
+
+// Dim returns the descriptor dimensionality.
+func (m DescriptorMethod) Dim() int {
+	switch m {
+	case FPFH:
+		return 33
+	case SHOT:
+		return shotSpatialBins * shotCosineBins
+	case SC3D:
+		return scAzimuthBins * scElevationBins * scRadialBins
+	default:
+		return 0
+	}
+}
+
+// DescriptorConfig parameterizes descriptor computation. SearchRadius is
+// the Tbl. 1 knob.
+type DescriptorConfig struct {
+	Method DescriptorMethod
+	// SearchRadius is the descriptor support radius in meters (default 1.0).
+	SearchRadius float64
+}
+
+func (c *DescriptorConfig) defaults() {
+	if c.SearchRadius == 0 {
+		c.SearchRadius = 1.0
+	}
+}
+
+// Descriptors is a dense row-major matrix of per-key-point feature
+// vectors.
+type Descriptors struct {
+	Dim  int
+	Data []float64 // len = Dim * count
+}
+
+// Count returns the number of descriptors.
+func (d *Descriptors) Count() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.Data) / d.Dim
+}
+
+// Row returns the i-th descriptor vector (a view, not a copy).
+func (d *Descriptors) Row(i int) []float64 {
+	return d.Data[i*d.Dim : (i+1)*d.Dim]
+}
+
+// ComputeDescriptors computes the configured descriptor for each key-point
+// index. The cloud must have normals. Neighbor lookups go through s so the
+// pipeline's search instrumentation sees this stage's traffic (it is one
+// of the three dominant stages of Fig. 4a).
+func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg DescriptorConfig) *Descriptors {
+	cfg.defaults()
+	dim := cfg.Method.Dim()
+	out := &Descriptors{Dim: dim, Data: make([]float64, dim*len(keypoints))}
+	var spfhCache map[int][]float64
+	if cfg.Method == FPFH {
+		spfhCache = make(map[int][]float64)
+	}
+	for ki, pi := range keypoints {
+		row := out.Data[ki*dim : (ki+1)*dim]
+		switch cfg.Method {
+		case SHOT:
+			shotDescriptor(c, s, pi, cfg.SearchRadius, row)
+		case SC3D:
+			shapeContextDescriptor(c, s, pi, cfg.SearchRadius, row)
+		default:
+			fpfhDescriptor(c, s, pi, cfg.SearchRadius, row, spfhCache)
+		}
+	}
+	return out
+}
+
+// --- FPFH ---------------------------------------------------------------
+
+const fpfhBinsPerAngle = 11
+
+// darbouxAngles computes the three FPFH pair features (α, φ, θ) between a
+// source point/normal and a target point/normal, following Rusu et al.
+func darbouxAngles(ps, ns, pt, nt geom.Vec3) (alpha, phi, theta float64, ok bool) {
+	d := pt.Sub(ps)
+	dist := d.Norm()
+	if dist < 1e-12 {
+		return 0, 0, 0, false
+	}
+	dn := d.Scale(1 / dist)
+	u := ns
+	v := dn.Cross(u)
+	if v.Norm() < 1e-12 {
+		return 0, 0, 0, false
+	}
+	v = v.Normalize()
+	w := u.Cross(v)
+	alpha = v.Dot(nt)                        // ∈ [-1, 1]
+	phi = u.Dot(dn)                          // ∈ [-1, 1]
+	theta = math.Atan2(w.Dot(nt), u.Dot(nt)) // ∈ [-π, π]
+	return alpha, phi, theta, true
+}
+
+// spfh computes the Simplified Point Feature Histogram of point pi: the
+// concatenated (α, φ, θ) histograms over its neighborhood.
+func spfh(c *cloud.Cloud, s search.Searcher, pi int, radius float64) []float64 {
+	h := make([]float64, 3*fpfhBinsPerAngle)
+	p := c.Points[pi]
+	n := c.Normals[pi]
+	nbs := s.Radius(p, radius)
+	count := 0
+	for _, nb := range nbs {
+		if nb.Index == pi {
+			continue
+		}
+		alpha, phi, theta, ok := darbouxAngles(p, n, c.Points[nb.Index], c.Normals[nb.Index])
+		if !ok {
+			continue
+		}
+		h[binUnit(alpha)]++
+		h[fpfhBinsPerAngle+binUnit(phi)]++
+		h[2*fpfhBinsPerAngle+binAngle(theta)]++
+		count++
+	}
+	if count > 0 {
+		inv := 100 / float64(count) // percentage normalization, as in PCL
+		for i := range h {
+			h[i] *= inv
+		}
+	}
+	return h
+}
+
+// binUnit maps [-1, 1] to one of the 11 bins.
+func binUnit(v float64) int {
+	b := int((v + 1) / 2 * fpfhBinsPerAngle)
+	if b < 0 {
+		b = 0
+	}
+	if b >= fpfhBinsPerAngle {
+		b = fpfhBinsPerAngle - 1
+	}
+	return b
+}
+
+// binAngle maps [-π, π] to one of the 11 bins.
+func binAngle(v float64) int {
+	b := int((v + math.Pi) / (2 * math.Pi) * fpfhBinsPerAngle)
+	if b < 0 {
+		b = 0
+	}
+	if b >= fpfhBinsPerAngle {
+		b = fpfhBinsPerAngle - 1
+	}
+	return b
+}
+
+// fpfhDescriptor computes FPFH(p) = SPFH(p) + Σ_k SPFH(k)/ω_k over the
+// neighborhood, with ω_k the distance weight. SPFHs are cached because
+// neighboring key-points share them.
+func fpfhDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64, cache map[int][]float64) {
+	getSPFH := func(idx int) []float64 {
+		if h, ok := cache[idx]; ok {
+			return h
+		}
+		h := spfh(c, s, idx, radius)
+		cache[idx] = h
+		return h
+	}
+	own := getSPFH(pi)
+	copy(row, own)
+	nbs := s.Radius(c.Points[pi], radius)
+	var wsum float64
+	acc := make([]float64, len(row))
+	for _, nb := range nbs {
+		if nb.Index == pi || nb.Dist2 < 1e-12 {
+			continue
+		}
+		w := 1 / math.Sqrt(nb.Dist2)
+		h := getSPFH(nb.Index)
+		for i := range acc {
+			acc[i] += w * h[i]
+		}
+		wsum += w
+	}
+	if wsum > 0 {
+		for i := range row {
+			row[i] += acc[i] / wsum
+		}
+	}
+}
+
+// --- SHOT ---------------------------------------------------------------
+
+const (
+	shotAzimuthBins   = 8
+	shotElevationBins = 2
+	shotRadialBins    = 2
+	shotSpatialBins   = shotAzimuthBins * shotElevationBins * shotRadialBins // 32
+	shotCosineBins    = 11
+)
+
+// shotLRF builds the repeatable local reference frame of SHOT: the
+// eigenvectors of the distance-weighted covariance with sign
+// disambiguation toward the majority of neighbors.
+func shotLRF(c *cloud.Cloud, s search.Searcher, pi int, radius float64) (x, y, z geom.Vec3, nbs []searchNeighbor) {
+	p := c.Points[pi]
+	nbs = s.Radius(p, radius)
+	var cov geom.Mat3
+	var wsum float64
+	for _, nb := range nbs {
+		d := c.Points[nb.Index].Sub(p)
+		w := radius - math.Sqrt(nb.Dist2)
+		if w <= 0 {
+			continue
+		}
+		cov = cov.Add(geom.OuterProduct(d, d).Scale(w))
+		wsum += w
+	}
+	if wsum <= 0 {
+		return geom.Vec3{X: 1}, geom.Vec3{Y: 1}, geom.Vec3{Z: 1}, nbs
+	}
+	cov = cov.Scale(1 / wsum)
+	eig := linalg.EigenSym3(cov)
+	// Largest eigenvalue first for x, smallest for z.
+	x = eig.Vectors[2]
+	z = eig.Vectors[0]
+	// Sign disambiguation: point each axis toward the majority side.
+	var sx, sz int
+	for _, nb := range nbs {
+		d := c.Points[nb.Index].Sub(p)
+		if d.Dot(x) >= 0 {
+			sx++
+		} else {
+			sx--
+		}
+		if d.Dot(z) >= 0 {
+			sz++
+		} else {
+			sz--
+		}
+	}
+	if sx < 0 {
+		x = x.Neg()
+	}
+	if sz < 0 {
+		z = z.Neg()
+	}
+	y = z.Cross(x)
+	return x, y, z, nbs
+}
+
+// shotDescriptor fills row with the SHOT signature: the support sphere is
+// split into azimuth × elevation × radial sectors; each sector holds an
+// 11-bin histogram of cos(angle between the neighbor normal and the
+// key-point normal).
+func shotDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64) {
+	x, y, z, nbs := shotLRF(c, s, pi, radius)
+	p := c.Points[pi]
+	n := c.Normals[pi]
+	total := 0.0
+	for _, nb := range nbs {
+		if nb.Index == pi {
+			continue
+		}
+		d := c.Points[nb.Index].Sub(p)
+		r := d.Norm()
+		if r < 1e-12 || r > radius {
+			continue
+		}
+		lx, ly, lz := d.Dot(x), d.Dot(y), d.Dot(z)
+		az := math.Atan2(ly, lx) // [-π, π]
+		azBin := int((az + math.Pi) / (2 * math.Pi) * shotAzimuthBins)
+		if azBin >= shotAzimuthBins {
+			azBin = shotAzimuthBins - 1
+		}
+		elBin := 0
+		if lz >= 0 {
+			elBin = 1
+		}
+		radBin := 0
+		if r > radius/2 {
+			radBin = 1
+		}
+		spatial := (radBin*shotElevationBins+elBin)*shotAzimuthBins + azBin
+		cosAngle := c.Normals[nb.Index].Dot(n)
+		cosBin := binUnitN(cosAngle, shotCosineBins)
+		row[spatial*shotCosineBins+cosBin]++
+		total++
+	}
+	if total > 0 {
+		// L2 normalization (SHOT normalizes the whole signature).
+		var norm float64
+		for _, v := range row {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for i := range row {
+			row[i] /= norm
+		}
+	}
+}
+
+// binUnitN maps [-1, 1] into one of nbins bins.
+func binUnitN(v float64, nbins int) int {
+	b := int((v + 1) / 2 * float64(nbins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= nbins {
+		b = nbins - 1
+	}
+	return b
+}
+
+// --- 3DSC ---------------------------------------------------------------
+
+const (
+	scAzimuthBins   = 8
+	scElevationBins = 4
+	scRadialBins    = 5
+)
+
+// shapeContextDescriptor fills row with the 3D Shape Context: a
+// log-radial spherical histogram of neighbor positions in a normal-aligned
+// frame, each contribution weighted by the inverse local density as in
+// Frome et al.
+func shapeContextDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64) {
+	p := c.Points[pi]
+	n := c.Normals[pi]
+	u, v := n.OrthoBasis()
+	nbs := s.Radius(p, radius)
+	rmin := radius / 20
+	logSpan := math.Log(radius / rmin)
+	total := 0.0
+	for _, nb := range nbs {
+		if nb.Index == pi {
+			continue
+		}
+		d := c.Points[nb.Index].Sub(p)
+		r := d.Norm()
+		if r < 1e-12 || r > radius {
+			continue
+		}
+		// Radial bin on a log scale (inner sphere collapses to bin 0).
+		radBin := 0
+		if r > rmin {
+			radBin = int(math.Log(r/rmin) / logSpan * scRadialBins)
+			if radBin >= scRadialBins {
+				radBin = scRadialBins - 1
+			}
+		}
+		lz := d.Dot(n)
+		lx := d.Dot(u)
+		ly := d.Dot(v)
+		az := math.Atan2(ly, lx)
+		azBin := int((az + math.Pi) / (2 * math.Pi) * scAzimuthBins)
+		if azBin >= scAzimuthBins {
+			azBin = scAzimuthBins - 1
+		}
+		el := math.Acos(clamp(lz/r, -1, 1)) // [0, π]
+		elBin := int(el / math.Pi * scElevationBins)
+		if elBin >= scElevationBins {
+			elBin = scElevationBins - 1
+		}
+		idx := (radBin*scElevationBins+elBin)*scAzimuthBins + azBin
+		// Weight by shell volume so outer (larger) shells don't dominate.
+		w := 1 / (1 + r*r)
+		row[idx] += w
+		total += w
+	}
+	if total > 0 {
+		for i := range row {
+			row[i] /= total
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// searchNeighbor aliases the KD-tree result type for readability in this
+// file's signatures.
+type searchNeighbor = kdtree.Neighbor

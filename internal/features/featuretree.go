@@ -1,0 +1,174 @@
+package features
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// FeatureTree is a KD-tree over high-dimensional descriptor vectors, used
+// by the Key-Point Correspondence Estimation stage to find feature-space
+// nearest neighbors (paper Fig. 2: KPCE "establishes the correspondence
+// ... if t's feature is the nearest neighbor of s' feature in the feature
+// space"). KPCE counts toward the pipeline's KD-tree search time just like
+// the 3D searches.
+//
+// In high dimensions KD-tree pruning weakens and search degenerates toward
+// a linear scan; that is the realistic behavior of the reference pipelines
+// too and is why the paper calls KPCE sparse-data search.
+type FeatureTree struct {
+	desc  *Descriptors
+	nodes []ftNode
+	root  int32
+	// Metrics
+	BuildTime  time.Duration
+	SearchTime time.Duration
+	Visited    int64
+	Queries    int64
+}
+
+type ftNode struct {
+	row         int32
+	left, right int32
+	axis        int32
+	split       float64
+}
+
+// NewFeatureTree indexes the given descriptors.
+func NewFeatureTree(d *Descriptors) *FeatureTree {
+	start := time.Now()
+	t := &FeatureTree{desc: d, root: -1}
+	n := d.Count()
+	if n > 0 {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		t.nodes = make([]ftNode, 0, n)
+		t.root = t.build(rows, 0)
+	}
+	t.BuildTime = time.Since(start)
+	return t
+}
+
+// build recursively splits on the axis with the widest spread, cycling
+// through a bounded prefix of dimensions for speed (high-dim trees gain
+// nothing from scanning all 352 dims for spread).
+func (t *FeatureTree) build(rows []int32, depth int) int32 {
+	if len(rows) == 0 {
+		return -1
+	}
+	axis := t.widestAxis(rows)
+	sort.Slice(rows, func(a, b int) bool {
+		va := t.desc.Row(int(rows[a]))[axis]
+		vb := t.desc.Row(int(rows[b]))[axis]
+		if va != vb {
+			return va < vb
+		}
+		return rows[a] < rows[b]
+	})
+	mid := len(rows) / 2
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, ftNode{
+		row:   rows[mid],
+		axis:  int32(axis),
+		split: t.desc.Row(int(rows[mid]))[axis],
+		left:  -1,
+		right: -1,
+	})
+	left := t.build(rows[:mid], depth+1)
+	right := t.build(rows[mid+1:], depth+1)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// widestAxis samples up to 16 candidate axes for the widest spread.
+func (t *FeatureTree) widestAxis(rows []int32) int {
+	dim := t.desc.Dim
+	stride := dim / 16
+	if stride == 0 {
+		stride = 1
+	}
+	bestAxis, bestSpread := 0, -1.0
+	for axis := 0; axis < dim; axis += stride {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		// Sample rows for large sets.
+		step := len(rows)/64 + 1
+		for i := 0; i < len(rows); i += step {
+			v := t.desc.Row(int(rows[i]))[axis]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestSpread = spread
+			bestAxis = axis
+		}
+	}
+	return bestAxis
+}
+
+// FeatureMatch is a feature-space nearest neighbor result.
+type FeatureMatch struct {
+	Row   int
+	Dist2 float64
+}
+
+// Nearest returns the descriptor row nearest to the query vector in L2.
+func (t *FeatureTree) Nearest(q []float64) (FeatureMatch, bool) {
+	if t.root < 0 {
+		return FeatureMatch{}, false
+	}
+	start := time.Now()
+	t.Queries++
+	best := FeatureMatch{Row: -1, Dist2: math.MaxFloat64}
+	t.nearest(t.root, q, &best)
+	t.SearchTime += time.Since(start)
+	return best, best.Row >= 0
+}
+
+func (t *FeatureTree) nearest(ni int32, q []float64, best *FeatureMatch) {
+	n := &t.nodes[ni]
+	t.Visited++
+	if d2 := l2dist2(q, t.desc.Row(int(n.row))); d2 < best.Dist2 {
+		*best = FeatureMatch{Row: int(n.row), Dist2: d2}
+	}
+	diff := q[n.axis] - n.split
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.nearest(near, q, best)
+	}
+	if far >= 0 && diff*diff < best.Dist2 {
+		t.nearest(far, q, best)
+	}
+}
+
+// l2dist2 returns the squared Euclidean distance between two equal-length
+// vectors.
+func l2dist2(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// BruteNearestFeature scans all descriptors for the nearest row; the
+// testing oracle for FeatureTree.
+func BruteNearestFeature(d *Descriptors, q []float64) (FeatureMatch, bool) {
+	best := FeatureMatch{Row: -1, Dist2: math.MaxFloat64}
+	for i := 0; i < d.Count(); i++ {
+		if d2 := l2dist2(q, d.Row(i)); d2 < best.Dist2 {
+			best = FeatureMatch{Row: i, Dist2: d2}
+		}
+	}
+	return best, best.Row >= 0
+}

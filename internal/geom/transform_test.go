@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTransform(r *rand.Rand) Transform {
+	return Transform{R: randRotation(r), T: randVec(r)}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		tr := randTransform(r)
+		inv := tr.Inverse()
+		p := randVec(r)
+		if got := inv.Apply(tr.Apply(p)); !vecApprox(got, p, 1e-8) {
+			t.Fatalf("inverse round trip: %v -> %v", p, got)
+		}
+		if !tr.Compose(inv).NearlyEqual(IdentityTransform(), 1e-9) {
+			t.Fatal("t∘t⁻¹ != identity")
+		}
+		if !inv.Compose(tr).NearlyEqual(IdentityTransform(), 1e-9) {
+			t.Fatal("t⁻¹∘t != identity")
+		}
+	}
+}
+
+func TestTransformComposeOrder(t *testing.T) {
+	// Compose(u) applies u first: (t∘u)(p) = t(u(p)).
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		t1 := randTransform(r)
+		t2 := randTransform(r)
+		p := randVec(r)
+		lhs := t1.Compose(t2).Apply(p)
+		rhs := t1.Apply(t2.Apply(p))
+		if !vecApprox(lhs, rhs, 1e-8) {
+			t.Fatalf("compose order mismatch: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestTransformMat4RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		tr := randTransform(r)
+		back := TransformFromMat4(tr.Mat4())
+		if !tr.NearlyEqual(back, 1e-12) {
+			t.Fatalf("Mat4 round trip changed transform")
+		}
+	}
+}
+
+func TestApplyDirectionIgnoresTranslation(t *testing.T) {
+	tr := Transform{R: RotZ(math.Pi / 4), T: Vec3{100, 200, 300}}
+	d := Vec3{1, 0, 0}
+	got := tr.ApplyDirection(d)
+	want := RotZ(math.Pi / 4).MulVec(d)
+	if !vecApprox(got, want, eps) {
+		t.Errorf("ApplyDirection = %v, want %v", got, want)
+	}
+}
+
+func TestRigidTransformPreservesDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		tr := randTransform(r)
+		a := randVec(r)
+		b := randVec(r)
+		if !approx(tr.Apply(a).Dist(tr.Apply(b)), a.Dist(b), 1e-8) {
+			t.Fatal("rigid transform changed a pairwise distance")
+		}
+	}
+}
+
+func TestQuatMat3RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 300; i++ {
+		rot := randRotation(r)
+		back := QuatFromMat3(rot).Mat3()
+		if !mat3Approx(rot, back, 1e-9) {
+			t.Fatalf("quat round trip failed:\n%v\n%v", rot, back)
+		}
+	}
+}
+
+func TestQuatRotateMatchesMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 200; i++ {
+		axis := randVec(r)
+		if axis.Norm() < 1e-9 {
+			continue
+		}
+		angle := r.Float64() * 2 * math.Pi
+		q := QuatFromAxisAngle(axis, angle)
+		m := AxisAngle(axis, angle)
+		v := randVec(r)
+		if !vecApprox(q.Rotate(v), m.MulVec(v), 1e-8) {
+			t.Fatalf("quat rotate != matrix rotate")
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	for i := 0; i < 100; i++ {
+		q1 := QuatFromMat3(randRotation(r))
+		q2 := QuatFromMat3(randRotation(r))
+		lhs := q1.Mul(q2).Mat3()
+		rhs := q1.Mat3().Mul(q2.Mat3())
+		if !mat3Approx(lhs, rhs, 1e-9) {
+			t.Fatal("quaternion product does not match matrix product")
+		}
+	}
+}
+
+func TestSlerpEndpoints(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		q1 := QuatFromMat3(randRotation(r))
+		q2 := QuatFromMat3(randRotation(r))
+		if !mat3Approx(q1.Slerp(q2, 0).Mat3(), q1.Mat3(), 1e-8) {
+			t.Fatal("slerp(0) != q1")
+		}
+		if !mat3Approx(q1.Slerp(q2, 1).Mat3(), q2.Mat3(), 1e-8) {
+			t.Fatal("slerp(1) != q2")
+		}
+	}
+}
+
+func TestSlerpStaysUnit(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	for i := 0; i < 100; i++ {
+		q1 := QuatFromMat3(randRotation(r))
+		q2 := QuatFromMat3(randRotation(r))
+		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			if n := q1.Slerp(q2, frac).Norm(); !approx(n, 1, 1e-9) {
+				t.Fatalf("slerp norm = %v", n)
+			}
+		}
+	}
+}
+
+func TestSlerpHalfwaySymmetric(t *testing.T) {
+	// Interpolating halfway between identity and a rotation by θ about an
+	// axis should give the rotation by θ/2.
+	axis := Vec3{0, 0, 1}
+	q1 := IdentityQuat()
+	q2 := QuatFromAxisAngle(axis, math.Pi/2)
+	mid := q1.Slerp(q2, 0.5)
+	want := QuatFromAxisAngle(axis, math.Pi/4)
+	if !mat3Approx(mid.Mat3(), want.Mat3(), 1e-9) {
+		t.Errorf("slerp midpoint mismatch: %v vs %v", mid, want)
+	}
+}
+
+func TestTransformRotationAngleAndNorm(t *testing.T) {
+	tr := Transform{R: RotY(0.3), T: Vec3{3, 4, 0}}
+	if !approx(tr.RotationAngle(), 0.3, 1e-9) {
+		t.Errorf("RotationAngle = %v", tr.RotationAngle())
+	}
+	if !approx(tr.TranslationNorm(), 5, 1e-9) {
+		t.Errorf("TranslationNorm = %v", tr.TranslationNorm())
+	}
+}

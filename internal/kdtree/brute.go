@@ -1,0 +1,64 @@
+package kdtree
+
+import (
+	"sort"
+
+	"tigris/internal/geom"
+)
+
+// The brute-force searches are the ground truth the tree is tested
+// against, the degenerate two-stage configuration (top-tree height 0,
+// paper §4.1), and the kernel the accelerator back-end runs over leaf
+// node-sets.
+
+// BruteNearest scans pts linearly for the nearest neighbor of q.
+func BruteNearest(pts []geom.Vec3, q geom.Vec3) (Neighbor, bool) {
+	best := Neighbor{Index: -1, Dist2: 1e308}
+	for i, p := range pts {
+		if d2 := q.Dist2(p); d2 < best.Dist2 {
+			best = Neighbor{Index: i, Dist2: d2}
+		}
+	}
+	return best, best.Index >= 0
+}
+
+// BruteKNearest scans pts linearly for the k nearest neighbors of q,
+// returned in ascending distance order.
+func BruteKNearest(pts []geom.Vec3, q geom.Vec3, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := make(maxHeap, 0, k)
+	for i, p := range pts {
+		d2 := q.Dist2(p)
+		if len(h) < k {
+			h.push(Neighbor{Index: i, Dist2: d2})
+		} else if d2 < h[0].Dist2 {
+			h.replaceTop(Neighbor{Index: i, Dist2: d2})
+		}
+	}
+	res := make([]Neighbor, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		res[i] = h.pop()
+	}
+	return res
+}
+
+// BruteRadius scans pts linearly for all points within r of q, returned in
+// ascending distance order.
+func BruteRadius(pts []geom.Vec3, q geom.Vec3, r float64) []Neighbor {
+	r2 := r * r
+	var res []Neighbor
+	for i, p := range pts {
+		if d2 := q.Dist2(p); d2 <= r2 {
+			res = append(res, Neighbor{Index: i, Dist2: d2})
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist2 != res[b].Dist2 {
+			return res[a].Dist2 < res[b].Dist2
+		}
+		return res[a].Index < res[b].Index
+	})
+	return res
+}

@@ -1,0 +1,359 @@
+// Package kdtree implements the canonical KD-tree of the paper (§4.1): a
+// binary search tree over k-dimensional points (k=3 here) in which every
+// node stores one point and implicitly defines a splitting hyperplane.
+// Search prunes any sub-tree whose bounding half-space cannot contain a
+// better answer than the current one.
+//
+// Point cloud registration uses two search kinds (paper §4.1): radius
+// search (all points within r of the query) and nearest-neighbor search.
+// Both are provided, plus k-nearest-neighbors, which the feature stages
+// (normal estimation with a fixed neighbor count, descriptor support
+// regions) use.
+//
+// Every search can report how many tree nodes it visited via Stats; those
+// counts drive the redundancy analysis of Fig. 6 and the baseline cost
+// models in internal/baseline.
+package kdtree
+
+import (
+	"sort"
+
+	"tigris/internal/geom"
+)
+
+// Neighbor is one search result: the index of a point in the tree's
+// backing slice and its squared distance to the query.
+type Neighbor struct {
+	Index int
+	Dist2 float64
+}
+
+// Stats accumulates instrumentation across searches. Not safe for
+// concurrent use; give each goroutine its own and merge.
+type Stats struct {
+	// NodesVisited counts tree nodes whose point-to-query distance was
+	// computed.
+	NodesVisited int64
+	// NodesPruned counts sub-trees skipped by the bounding-plane test.
+	NodesPruned int64
+	// Queries counts search calls.
+	Queries int64
+}
+
+// Merge adds other's counts into s.
+func (s *Stats) Merge(other Stats) {
+	s.NodesVisited += other.NodesVisited
+	s.NodesPruned += other.NodesPruned
+	s.Queries += other.Queries
+}
+
+// node is one tree node. Children are indices into the flat node slice,
+// -1 when absent.
+type node struct {
+	point       int32 // index into the point slice
+	left, right int32
+	axis        int8
+	split       float64 // coordinate of the point along axis
+}
+
+// Tree is an immutable KD-tree over a point slice. The tree keeps a
+// reference to the slice; callers must not mutate it afterwards.
+type Tree struct {
+	pts   []geom.Vec3
+	nodes []node
+	root  int32
+}
+
+// Build constructs a balanced KD-tree by recursive median split along the
+// widest-spread axis, the strategy FLANN and PCL use for point clouds.
+// Build is O(n log² n) from the per-level sorts.
+func Build(pts []geom.Vec3) *Tree {
+	t := &Tree{
+		pts:   pts,
+		nodes: make([]node, 0, len(pts)),
+	}
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+// build recursively constructs the subtree over idx and returns its root
+// node index, or -1 for an empty set.
+func (t *Tree) build(idx []int32) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := widestAxis(t.pts, idx)
+	// Median split: sort by the chosen axis; ties are broken by index so
+	// construction is deterministic.
+	sort.Slice(idx, func(a, b int) bool {
+		pa := t.pts[idx[a]].Component(axis)
+		pb := t.pts[idx[b]].Component(axis)
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	n := node{
+		point: idx[mid],
+		axis:  int8(axis),
+		split: t.pts[idx[mid]].Component(axis),
+		left:  -1,
+		right: -1,
+	}
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	// Children are built after the parent is appended so the parent's slot
+	// index is stable; fix up links afterwards.
+	left := t.build(idx[:mid])
+	right := t.build(idx[mid+1:])
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// widestAxis returns the axis with the largest coordinate spread over the
+// indexed points.
+func widestAxis(pts []geom.Vec3, idx []int32) int {
+	lo := pts[idx[0]]
+	hi := lo
+	for _, i := range idx[1:] {
+		p := pts[i]
+		if p.X < lo.X {
+			lo.X = p.X
+		} else if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		} else if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+		if p.Z < lo.Z {
+			lo.Z = p.Z
+		} else if p.Z > hi.Z {
+			hi.Z = p.Z
+		}
+	}
+	s := hi.Sub(lo)
+	switch {
+	case s.X >= s.Y && s.X >= s.Z:
+		return 0
+	case s.Y >= s.Z:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Points exposes the backing point slice (read-only by convention).
+func (t *Tree) Points() []geom.Vec3 { return t.pts }
+
+// Height returns the height of the tree (0 for a single node, -1 empty).
+func (t *Tree) Height() int { return t.height(t.root) }
+
+func (t *Tree) height(n int32) int {
+	if n < 0 {
+		return -1
+	}
+	hl := t.height(t.nodes[n].left)
+	hr := t.height(t.nodes[n].right)
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}
+
+// Nearest returns the nearest neighbor to q, or ok=false for an empty
+// tree. stats may be nil.
+func (t *Tree) Nearest(q geom.Vec3, stats *Stats) (Neighbor, bool) {
+	if t.root < 0 {
+		return Neighbor{}, false
+	}
+	if stats != nil {
+		stats.Queries++
+	}
+	best := Neighbor{Index: -1, Dist2: 1e308}
+	t.nearest(t.root, q, &best, stats)
+	return best, best.Index >= 0
+}
+
+func (t *Tree) nearest(ni int32, q geom.Vec3, best *Neighbor, stats *Stats) {
+	n := &t.nodes[ni]
+	if stats != nil {
+		stats.NodesVisited++
+	}
+	d2 := q.Dist2(t.pts[n.point])
+	if d2 < best.Dist2 {
+		*best = Neighbor{Index: int(n.point), Dist2: d2}
+	}
+	diff := q.Component(int(n.axis)) - n.split
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.nearest(near, q, best, stats)
+	}
+	if far >= 0 {
+		// The far half-space can only help if the splitting plane is closer
+		// than the current best.
+		if diff*diff < best.Dist2 {
+			t.nearest(far, q, best, stats)
+		} else if stats != nil {
+			stats.NodesPruned++
+		}
+	}
+}
+
+// KNearest returns the k nearest neighbors to q ordered by increasing
+// distance. Fewer than k are returned when the tree is smaller than k.
+func (t *Tree) KNearest(q geom.Vec3, k int, stats *Stats) []Neighbor {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	if stats != nil {
+		stats.Queries++
+	}
+	h := make(maxHeap, 0, k)
+	t.kNearest(t.root, q, k, &h, stats)
+	// Heap order is max-first; produce ascending.
+	res := make([]Neighbor, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		res[i] = h.pop()
+	}
+	return res
+}
+
+func (t *Tree) kNearest(ni int32, q geom.Vec3, k int, h *maxHeap, stats *Stats) {
+	n := &t.nodes[ni]
+	if stats != nil {
+		stats.NodesVisited++
+	}
+	d2 := q.Dist2(t.pts[n.point])
+	if len(*h) < k {
+		h.push(Neighbor{Index: int(n.point), Dist2: d2})
+	} else if d2 < (*h)[0].Dist2 {
+		h.replaceTop(Neighbor{Index: int(n.point), Dist2: d2})
+	}
+	diff := q.Component(int(n.axis)) - n.split
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.kNearest(near, q, k, h, stats)
+	}
+	if far >= 0 {
+		if len(*h) < k || diff*diff < (*h)[0].Dist2 {
+			t.kNearest(far, q, k, h, stats)
+		} else if stats != nil {
+			stats.NodesPruned++
+		}
+	}
+}
+
+// Radius returns all points within radius r of q (inclusive), ordered by
+// increasing distance.
+func (t *Tree) Radius(q geom.Vec3, r float64, stats *Stats) []Neighbor {
+	if t.root < 0 || r < 0 {
+		return nil
+	}
+	if stats != nil {
+		stats.Queries++
+	}
+	var res []Neighbor
+	t.radius(t.root, q, r*r, &res, stats)
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist2 != res[b].Dist2 {
+			return res[a].Dist2 < res[b].Dist2
+		}
+		return res[a].Index < res[b].Index
+	})
+	return res
+}
+
+func (t *Tree) radius(ni int32, q geom.Vec3, r2 float64, res *[]Neighbor, stats *Stats) {
+	n := &t.nodes[ni]
+	if stats != nil {
+		stats.NodesVisited++
+	}
+	d2 := q.Dist2(t.pts[n.point])
+	if d2 <= r2 {
+		*res = append(*res, Neighbor{Index: int(n.point), Dist2: d2})
+	}
+	diff := q.Component(int(n.axis)) - n.split
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.radius(near, q, r2, res, stats)
+	}
+	if far >= 0 {
+		if diff*diff <= r2 {
+			t.radius(far, q, r2, res, stats)
+		} else if stats != nil {
+			stats.NodesPruned++
+		}
+	}
+}
+
+// maxHeap is a binary max-heap by Dist2, used as the bounded candidate set
+// for k-NN.
+type maxHeap []Neighbor
+
+func (h *maxHeap) push(n Neighbor) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].Dist2 >= (*h)[i].Dist2 {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) replaceTop(n Neighbor) {
+	(*h)[0] = n
+	h.siftDown(0)
+}
+
+func (h *maxHeap) pop() Neighbor {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h maxHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l].Dist2 > h[largest].Dist2 {
+			largest = l
+		}
+		if r < n && h[r].Dist2 > h[largest].Dist2 {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

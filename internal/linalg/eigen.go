@@ -1,0 +1,207 @@
+// Package linalg implements the small-matrix numeric kernels the Tigris
+// pipeline depends on: a cyclic-Jacobi symmetric eigensolver, a 3×3 singular
+// value decomposition, dense Gaussian elimination for the normal equations,
+// and a Levenberg–Marquardt solver (the fine-tuning phase's optional ICP
+// solver, paper Tbl. 1).
+//
+// Everything here is written for 3–6 dimensional problems; clarity and
+// numerical robustness are favored over asymptotic tricks.
+package linalg
+
+import (
+	"math"
+
+	"tigris/internal/geom"
+)
+
+// SymEigen3 holds the eigendecomposition of a symmetric 3×3 matrix.
+// Eigenvalues are sorted ascending; Vectors[i] is the unit eigenvector for
+// Values[i]. Normal estimation uses the eigenvector of the smallest
+// eigenvalue of the neighborhood covariance as the surface normal
+// (PlaneSVD, paper Tbl. 1), and Harris3D uses the full spectrum.
+type SymEigen3 struct {
+	Values  [3]float64
+	Vectors [3]geom.Vec3
+}
+
+// EigenSym3 computes the eigendecomposition of a symmetric 3×3 matrix using
+// the cyclic Jacobi method. Only the lower/upper symmetric part is assumed
+// consistent; the matrix is not modified.
+func EigenSym3(m geom.Mat3) SymEigen3 {
+	// Work on copies: a is driven to diagonal form, v accumulates rotations.
+	a := m
+	v := geom.Identity3()
+
+	const maxSweeps = 50
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Sum of squares of off-diagonal elements.
+		off := a.At(0, 1)*a.At(0, 1) + a.At(0, 2)*a.At(0, 2) + a.At(1, 2)*a.At(1, 2)
+		if off < 1e-30 {
+			break
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := a.At(p, p)
+				aqq := a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				// Stable tangent of the rotation angle.
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply the Givens rotation G(p,q,θ) on both sides of a and
+				// accumulate it into v.
+				for k := 0; k < 3; k++ {
+					akp := a.At(k, p)
+					akq := a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < 3; k++ {
+					apk := a.At(p, k)
+					aqk := a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < 3; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	res := SymEigen3{
+		Values: [3]float64{a.At(0, 0), a.At(1, 1), a.At(2, 2)},
+		Vectors: [3]geom.Vec3{
+			{X: v.At(0, 0), Y: v.At(1, 0), Z: v.At(2, 0)},
+			{X: v.At(0, 1), Y: v.At(1, 1), Z: v.At(2, 1)},
+			{X: v.At(0, 2), Y: v.At(1, 2), Z: v.At(2, 2)},
+		},
+	}
+	res.sort()
+	return res
+}
+
+// sort orders eigenpairs by ascending eigenvalue.
+func (e *SymEigen3) sort() {
+	for i := 0; i < 2; i++ {
+		for j := i + 1; j < 3; j++ {
+			if e.Values[j] < e.Values[i] {
+				e.Values[i], e.Values[j] = e.Values[j], e.Values[i]
+				e.Vectors[i], e.Vectors[j] = e.Vectors[j], e.Vectors[i]
+			}
+		}
+	}
+}
+
+// SVD3 holds the singular value decomposition A = U·diag(S)·Vᵀ of a 3×3
+// matrix. Singular values are sorted descending and non-negative; U and V
+// are orthogonal. The Umeyama transform estimator (registration) consumes
+// this decomposition.
+type SVD3 struct {
+	U geom.Mat3
+	S [3]float64
+	V geom.Mat3
+}
+
+// ComputeSVD3 computes the SVD of a 3×3 matrix via the eigendecomposition
+// of AᵀA (for V and the singular values), recovering U = A·V·S⁻¹ with a
+// null-space completion for rank-deficient inputs.
+func ComputeSVD3(a geom.Mat3) SVD3 {
+	ata := a.Transpose().Mul(a)
+	eig := EigenSym3(ata)
+
+	// Descending order of singular values.
+	var s [3]float64
+	var vcols [3]geom.Vec3
+	for i := 0; i < 3; i++ {
+		ev := eig.Values[2-i]
+		if ev < 0 {
+			ev = 0 // numerical noise on a PSD matrix
+		}
+		s[i] = math.Sqrt(ev)
+		vcols[i] = eig.Vectors[2-i]
+	}
+
+	// Make V a proper orthonormal basis (EigenSym3 already gives orthonormal
+	// vectors up to sign; enforce right-handedness for stability of the
+	// cross-product completion below).
+	if vcols[0].Cross(vcols[1]).Dot(vcols[2]) < 0 {
+		vcols[2] = vcols[2].Neg()
+	}
+
+	var ucols [3]geom.Vec3
+	// Eigenvalues of AᵀA carry O(ε·‖A‖²) numerical noise, so singular values
+	// below √ε relative to the largest are indistinguishable from zero.
+	// Treat them as exact zeros and complete U orthogonally instead of
+	// dividing by noise.
+	tiny := math.Max(1e-300, 1e-7*s[0])
+	for i := 0; i < 3; i++ {
+		if s[i] > tiny {
+			ucols[i] = a.MulVec(vcols[i]).Scale(1 / s[i])
+		} else {
+			s[i] = 0
+			// Complete U orthogonally. For i==0 the matrix is ~zero; pick an
+			// arbitrary basis. Otherwise use the cross product of previous
+			// columns (i is at most 2 when previous two exist).
+			switch i {
+			case 0:
+				ucols[0] = geom.Vec3{X: 1}
+			case 1:
+				b1, _ := ucols[0].OrthoBasis()
+				ucols[1] = b1
+			default:
+				ucols[2] = ucols[0].Cross(ucols[1]).Normalize()
+			}
+		}
+	}
+	// Re-orthonormalize U columns (Gram-Schmidt) to suppress drift when
+	// singular values are close.
+	ucols[0] = ucols[0].Normalize()
+	ucols[1] = ucols[1].Sub(ucols[0].Scale(ucols[0].Dot(ucols[1]))).Normalize()
+	if ucols[1].Norm() == 0 {
+		ucols[1], _ = ucols[0].OrthoBasis()
+	}
+	ucols[2] = ucols[2].
+		Sub(ucols[0].Scale(ucols[0].Dot(ucols[2]))).
+		Sub(ucols[1].Scale(ucols[1].Dot(ucols[2]))).
+		Normalize()
+	if ucols[2].Norm() == 0 {
+		ucols[2] = ucols[0].Cross(ucols[1])
+	}
+
+	return SVD3{
+		U: matFromCols(ucols),
+		S: s,
+		V: matFromCols(vcols),
+	}
+}
+
+// matFromCols assembles a matrix whose columns are the given vectors.
+func matFromCols(c [3]geom.Vec3) geom.Mat3 {
+	return geom.Mat3{
+		c[0].X, c[1].X, c[2].X,
+		c[0].Y, c[1].Y, c[2].Y,
+		c[0].Z, c[1].Z, c[2].Z,
+	}
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, useful for verifying the decomposition.
+func (d SVD3) Reconstruct() geom.Mat3 {
+	ds := geom.Mat3{
+		d.S[0], 0, 0,
+		0, d.S[1], 0,
+		0, 0, d.S[2],
+	}
+	return d.U.Mul(ds).Mul(d.V.Transpose())
+}

@@ -1,0 +1,307 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tigris/internal/geom"
+)
+
+func randSym(r *rand.Rand) geom.Mat3 {
+	var m geom.Mat3
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			v := r.Float64()*10 - 5
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func randMat(r *rand.Rand) geom.Mat3 {
+	var m geom.Mat3
+	for i := range m {
+		m[i] = r.Float64()*10 - 5
+	}
+	return m
+}
+
+func mat3Approx(a, b geom.Mat3, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEigenSym3Reconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		m := randSym(r)
+		e := EigenSym3(m)
+		// Reconstruct M = Σ λᵢ·vᵢvᵢᵀ.
+		var rec geom.Mat3
+		for k := 0; k < 3; k++ {
+			rec = rec.Add(geom.OuterProduct(e.Vectors[k], e.Vectors[k]).Scale(e.Values[k]))
+		}
+		if !mat3Approx(m, rec, 1e-8) {
+			t.Fatalf("eigen reconstruction failed:\nm=%v\nrec=%v", m, rec)
+		}
+	}
+}
+
+func TestEigenSym3Sorted(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		e := EigenSym3(randSym(r))
+		if e.Values[0] > e.Values[1] || e.Values[1] > e.Values[2] {
+			t.Fatalf("eigenvalues not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestEigenSym3VectorsOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		e := EigenSym3(randSym(r))
+		for a := 0; a < 3; a++ {
+			if n := e.Vectors[a].Norm(); math.Abs(n-1) > 1e-9 {
+				t.Fatalf("eigenvector %d not unit: %v", a, n)
+			}
+			for b := a + 1; b < 3; b++ {
+				if d := e.Vectors[a].Dot(e.Vectors[b]); math.Abs(d) > 1e-8 {
+					t.Fatalf("eigenvectors %d,%d not orthogonal: %v", a, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenSym3SatisfiesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		m := randSym(r)
+		e := EigenSym3(m)
+		for k := 0; k < 3; k++ {
+			mv := m.MulVec(e.Vectors[k])
+			lv := e.Vectors[k].Scale(e.Values[k])
+			if mv.Sub(lv).Norm() > 1e-7*(1+math.Abs(e.Values[k])) {
+				t.Fatalf("M·v != λ·v for pair %d: %v vs %v", k, mv, lv)
+			}
+		}
+	}
+}
+
+func TestEigenSym3Diagonal(t *testing.T) {
+	m := geom.Mat3{3, 0, 0, 0, -1, 0, 0, 0, 2}
+	e := EigenSym3(m)
+	want := [3]float64{-1, 2, 3}
+	for i := range want {
+		if math.Abs(e.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, e.Values[i], want[i])
+		}
+	}
+}
+
+func TestSVD3Reconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a := randMat(r)
+		d := ComputeSVD3(a)
+		if !mat3Approx(a, d.Reconstruct(), 1e-7) {
+			t.Fatalf("SVD reconstruction failed:\na=%v\nrec=%v\nS=%v", a, d.Reconstruct(), d.S)
+		}
+	}
+}
+
+func TestSVD3Orthogonality(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	id := geom.Identity3()
+	for i := 0; i < 200; i++ {
+		d := ComputeSVD3(randMat(r))
+		if !mat3Approx(d.U.Transpose().Mul(d.U), id, 1e-8) {
+			t.Fatal("U not orthogonal")
+		}
+		if !mat3Approx(d.V.Transpose().Mul(d.V), id, 1e-8) {
+			t.Fatal("V not orthogonal")
+		}
+	}
+}
+
+func TestSVD3SortedNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		d := ComputeSVD3(randMat(r))
+		if d.S[0] < d.S[1] || d.S[1] < d.S[2] || d.S[2] < 0 {
+			t.Fatalf("singular values not sorted/non-negative: %v", d.S)
+		}
+	}
+}
+
+func TestSVD3RankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := geom.OuterProduct(geom.Vec3{X: 1, Y: 2, Z: 3}, geom.Vec3{X: 4, Y: 5, Z: 6})
+	d := ComputeSVD3(a)
+	if !mat3Approx(a, d.Reconstruct(), 1e-8) {
+		t.Fatalf("rank-1 SVD reconstruction failed")
+	}
+	if d.S[1] > 1e-8 || d.S[2] > 1e-8 {
+		t.Fatalf("rank-1 matrix should have one nonzero singular value: %v", d.S)
+	}
+	// Zero matrix.
+	var z geom.Mat3
+	dz := ComputeSVD3(z)
+	for _, s := range dz.S {
+		if s != 0 {
+			t.Fatalf("zero matrix singular values: %v", dz.S)
+		}
+	}
+}
+
+func TestSVD3OfRotation(t *testing.T) {
+	rot := geom.AxisAngle(geom.Vec3{X: 1, Y: 1, Z: 0}, 0.7)
+	d := ComputeSVD3(rot)
+	for _, s := range d.S {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("rotation singular values should be 1: %v", d.S)
+		}
+	}
+}
+
+func TestSolveDenseKnown(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	x, err := SolveDense([]float64{2, 1, 1, -1}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("solution = %v", x)
+	}
+}
+
+func TestSolveDenseRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(7) // up to 8×8, covers the 6×6 LM case
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = r.Float64()*4 - 2
+		}
+		// Diagonal dominance keeps the random systems well-conditioned.
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) * 3
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.Float64()*10 - 5
+		}
+		b := make([]float64, n)
+		MatVec(a, want, b)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	_, err := SolveDense([]float64{1, 2, 2, 4}, []float64{1, 2})
+	if err == nil {
+		t.Fatal("expected error for singular system")
+	}
+}
+
+func TestSolveDenseDimensionMismatch(t *testing.T) {
+	if _, err := SolveDense([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSolveDenseNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	x, err := SolveDense([]float64{0, 1, 1, 0}, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v", x)
+	}
+}
+
+func TestLMQuadraticBowl(t *testing.T) {
+	// Minimize (p0-3)² + (p1+2)²: residuals are the two terms directly.
+	f := func(p []float64, out []float64) {
+		out[0] = p[0] - 3
+		out[1] = p[1] + 2
+	}
+	res, err := LevenbergMarquardt(f, []float64{0, 0}, 2, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-3) > 1e-6 || math.Abs(res.Params[1]+2) > 1e-6 {
+		t.Fatalf("LM solution = %v", res.Params)
+	}
+	if !res.Converged {
+		t.Error("LM should report convergence")
+	}
+}
+
+func TestLMRosenbrock(t *testing.T) {
+	// Rosenbrock as least squares: r1 = 10(y - x²), r2 = 1 - x.
+	f := func(p []float64, out []float64) {
+		out[0] = 10 * (p[1] - p[0]*p[0])
+		out[1] = 1 - p[0]
+	}
+	res, err := LevenbergMarquardt(f, []float64{-1.2, 1}, 2, LMOptions{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-1) > 1e-4 || math.Abs(res.Params[1]-1) > 1e-4 {
+		t.Fatalf("Rosenbrock solution = %v (cost %v)", res.Params, res.Cost)
+	}
+}
+
+func TestLMCurveFit(t *testing.T) {
+	// Fit a + b·x to noisy-free samples of 2 + 0.5·x.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	f := func(p []float64, out []float64) {
+		for i, x := range xs {
+			out[i] = p[0] + p[1]*x - (2 + 0.5*x)
+		}
+	}
+	res, err := LevenbergMarquardt(f, []float64{0, 0}, len(xs), LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-2) > 1e-6 || math.Abs(res.Params[1]-0.5) > 1e-6 {
+		t.Fatalf("fit = %v", res.Params)
+	}
+	if res.Cost > 1e-12 {
+		t.Fatalf("residual cost = %v", res.Cost)
+	}
+}
+
+func TestLMUnderdetermined(t *testing.T) {
+	f := func(p []float64, out []float64) { out[0] = p[0] + p[1] }
+	if _, err := LevenbergMarquardt(f, []float64{0, 0}, 1, LMOptions{}); err == nil {
+		t.Fatal("expected error for underdetermined problem")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	x := []float64{1, 0, -1}
+	y := make([]float64, 2)
+	MatVec(a, x, y)
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MatVec = %v", y)
+	}
+}

@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ResidualFunc evaluates the residual vector r(params) into out. The number
+// of residuals is fixed by the caller (len(out) on every call).
+type ResidualFunc func(params []float64, out []float64)
+
+// LMOptions configures the Levenberg–Marquardt solver. Zero values select
+// the documented defaults.
+type LMOptions struct {
+	// MaxIterations bounds outer LM iterations (default 50).
+	MaxIterations int
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+	// GradientTol stops when the max-abs gradient entry falls below it
+	// (default 1e-10).
+	GradientTol float64
+	// StepTol stops when the parameter update norm falls below it
+	// (default 1e-12).
+	StepTol float64
+	// JacobianStep is the central-difference step for the numeric Jacobian
+	// (default 1e-6).
+	JacobianStep float64
+}
+
+func (o *LMOptions) defaults() {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50
+	}
+	if o.InitialLambda == 0 {
+		o.InitialLambda = 1e-3
+	}
+	if o.GradientTol == 0 {
+		o.GradientTol = 1e-10
+	}
+	if o.StepTol == 0 {
+		o.StepTol = 1e-12
+	}
+	if o.JacobianStep == 0 {
+		o.JacobianStep = 1e-6
+	}
+}
+
+// LMResult reports the outcome of a Levenberg–Marquardt run.
+type LMResult struct {
+	Params     []float64
+	Cost       float64 // final 0.5·‖r‖²
+	Iterations int
+	Converged  bool
+}
+
+// ErrLMDimensions is returned when the residual count is smaller than the
+// parameter count.
+var ErrLMDimensions = errors.New("linalg: fewer residuals than parameters")
+
+// LevenbergMarquardt minimizes 0.5·‖r(p)‖² over p starting from initial,
+// with nResiduals residual terms, using a numerically differentiated
+// Jacobian. This is the paper's optional ICP solver choice (Tbl. 1,
+// "Solver": Levenberg-Marquardt [45]); the point-to-plane error metric uses
+// it to optimize the 6-DoF twist.
+func LevenbergMarquardt(f ResidualFunc, initial []float64, nResiduals int, opts LMOptions) (LMResult, error) {
+	opts.defaults()
+	nParams := len(initial)
+	if nResiduals < nParams {
+		return LMResult{}, ErrLMDimensions
+	}
+
+	params := make([]float64, nParams)
+	copy(params, initial)
+
+	r := make([]float64, nResiduals)
+	rTrial := make([]float64, nResiduals)
+	jac := make([]float64, nResiduals*nParams) // row-major, row = residual
+	jtj := make([]float64, nParams*nParams)
+	jtr := make([]float64, nParams)
+	trial := make([]float64, nParams)
+
+	f(params, r)
+	cost := halfNorm2(r)
+	lambda := opts.InitialLambda
+
+	res := LMResult{Params: params, Cost: cost}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		numericJacobian(f, params, r, jac, rTrial, opts.JacobianStep)
+
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = -Jᵀr  (Marquardt scaling).
+		for i := 0; i < nParams; i++ {
+			jtr[i] = 0
+			for j := 0; j < nParams; j++ {
+				var s float64
+				for k := 0; k < nResiduals; k++ {
+					s += jac[k*nParams+i] * jac[k*nParams+j]
+				}
+				jtj[i*nParams+j] = s
+			}
+			for k := 0; k < nResiduals; k++ {
+				jtr[i] += jac[k*nParams+i] * r[k]
+			}
+		}
+
+		// Gradient convergence check.
+		maxGrad := 0.0
+		for _, g := range jtr {
+			if a := math.Abs(g); a > maxGrad {
+				maxGrad = a
+			}
+		}
+		if maxGrad < opts.GradientTol {
+			res.Converged = true
+			break
+		}
+
+		improved := false
+		for attempt := 0; attempt < 20; attempt++ {
+			// Damped system.
+			a := make([]float64, len(jtj))
+			copy(a, jtj)
+			for i := 0; i < nParams; i++ {
+				d := jtj[i*nParams+i]
+				if d == 0 {
+					d = 1
+				}
+				a[i*nParams+i] += lambda * d
+			}
+			neg := make([]float64, nParams)
+			for i, g := range jtr {
+				neg[i] = -g
+			}
+			delta, err := SolveDense(a, neg)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			for i := range trial {
+				trial[i] = params[i] + delta[i]
+			}
+			f(trial, rTrial)
+			trialCost := halfNorm2(rTrial)
+			if trialCost < cost {
+				copy(params, trial)
+				copy(r, rTrial)
+				cost = trialCost
+				lambda = math.Max(lambda*0.3, 1e-12)
+				improved = true
+				if norm2(delta) < opts.StepTol*opts.StepTol {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		res.Cost = cost
+		if !improved || res.Converged {
+			if !improved {
+				res.Converged = true // stuck in a (local) minimum
+			}
+			break
+		}
+	}
+	res.Params = params
+	res.Cost = cost
+	return res, nil
+}
+
+// numericJacobian fills jac (row-major, nResiduals×nParams) with central
+// differences. r0 is the residual at params (used only for sizing); scratch
+// must have len(r0).
+func numericJacobian(f ResidualFunc, params, r0, jac, scratch []float64, step float64) {
+	nParams := len(params)
+	nRes := len(r0)
+	plus := make([]float64, nRes)
+	for j := 0; j < nParams; j++ {
+		h := step * math.Max(1, math.Abs(params[j]))
+		orig := params[j]
+		params[j] = orig + h
+		f(params, plus)
+		params[j] = orig - h
+		f(params, scratch)
+		params[j] = orig
+		inv := 1 / (2 * h)
+		for i := 0; i < nRes; i++ {
+			jac[i*nParams+j] = (plus[i] - scratch[i]) * inv
+		}
+	}
+}
+
+func halfNorm2(v []float64) float64 { return 0.5 * norm2(v) }
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}

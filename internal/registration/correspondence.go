@@ -1,0 +1,221 @@
+// Package registration implements the paper's configurable two-phase point
+// cloud registration pipeline (Fig. 2): an initial-estimation front-end
+// (normals → key-points → descriptors → KPCE → rejection → transform) and
+// an ICP fine-tuning phase (RPCE → transform estimation, iterated to
+// convergence), together with the KITTI-style accuracy metrics and the
+// error-injection experiment harness of §4.2.
+package registration
+
+import (
+	"sort"
+
+	"tigris/internal/features"
+	"tigris/internal/geom"
+)
+
+// Correspondence pairs a source point index with a target point index.
+type Correspondence struct {
+	Source, Target int
+	// Dist2 is the squared distance in whatever space the correspondence
+	// was estimated (feature space for KPCE, 3D for RPCE).
+	Dist2 float64
+}
+
+// KPCEConfig configures Key-Point Correspondence Estimation. The
+// reciprocity knob is the Tbl. 1 parameter.
+type KPCEConfig struct {
+	// Reciprocal keeps only pairs that are mutually nearest in feature
+	// space.
+	Reciprocal bool
+}
+
+// EstimateKeypointCorrespondences matches source key-point descriptors to
+// target key-point descriptors by feature-space nearest neighbor (paper
+// Fig. 2, KPCE). Returned indices are positions in the key-point lists,
+// not raw cloud indices.
+func EstimateKeypointCorrespondences(src, dst *features.Descriptors, cfg KPCEConfig) []Correspondence {
+	if src.Count() == 0 || dst.Count() == 0 {
+		return nil
+	}
+	dstTree := features.NewFeatureTree(dst)
+	var srcTree *features.FeatureTree
+	if cfg.Reciprocal {
+		srcTree = features.NewFeatureTree(src)
+	}
+	var out []Correspondence
+	for i := 0; i < src.Count(); i++ {
+		m, ok := dstTree.Nearest(src.Row(i))
+		if !ok {
+			continue
+		}
+		if cfg.Reciprocal {
+			back, ok := srcTree.Nearest(dst.Row(m.Row))
+			if !ok || back.Row != i {
+				continue
+			}
+		}
+		out = append(out, Correspondence{Source: i, Target: m.Row, Dist2: m.Dist2})
+	}
+	return out
+}
+
+// RejectionMethod selects the correspondence rejection algorithm (Tbl. 1).
+type RejectionMethod int
+
+const (
+	// RejectThreshold drops correspondences whose feature distance exceeds
+	// a multiple of the median distance.
+	RejectThreshold RejectionMethod = iota
+	// RejectRANSAC keeps the largest consensus set under a rigid-transform
+	// hypothesis (Fischler & Bolles [19]).
+	RejectRANSAC
+)
+
+// String implements fmt.Stringer.
+func (m RejectionMethod) String() string {
+	switch m {
+	case RejectThreshold:
+		return "Threshold"
+	case RejectRANSAC:
+		return "RANSAC"
+	default:
+		return "UnknownRejection"
+	}
+}
+
+// RejectionConfig parameterizes correspondence rejection.
+type RejectionConfig struct {
+	Method RejectionMethod
+	// DistanceRatio for RejectThreshold: keep pairs with feature distance
+	// below DistanceRatio × median (default 2.0).
+	DistanceRatio float64
+	// RANSACIterations (default 400).
+	RANSACIterations int
+	// RANSACInlierDist is the 3D inlier distance in meters (default 0.5).
+	RANSACInlierDist float64
+	// Seed makes RANSAC deterministic.
+	Seed int64
+}
+
+func (c *RejectionConfig) defaults() {
+	if c.DistanceRatio == 0 {
+		c.DistanceRatio = 2.0
+	}
+	if c.RANSACIterations == 0 {
+		c.RANSACIterations = 400
+	}
+	if c.RANSACInlierDist == 0 {
+		c.RANSACInlierDist = 0.5
+	}
+}
+
+// RejectCorrespondences filters the key-point correspondences. srcPts and
+// dstPts are the 3D key-point positions aligned with the descriptor rows.
+func RejectCorrespondences(corr []Correspondence, srcPts, dstPts []geom.Vec3, cfg RejectionConfig) []Correspondence {
+	cfg.defaults()
+	if len(corr) == 0 {
+		return nil
+	}
+	switch cfg.Method {
+	case RejectRANSAC:
+		return ransacReject(corr, srcPts, dstPts, cfg)
+	default:
+		return thresholdReject(corr, cfg)
+	}
+}
+
+// thresholdReject keeps correspondences whose feature distance is below
+// DistanceRatio × median feature distance.
+func thresholdReject(corr []Correspondence, cfg RejectionConfig) []Correspondence {
+	ds := make([]float64, len(corr))
+	for i, c := range corr {
+		ds[i] = c.Dist2
+	}
+	sort.Float64s(ds)
+	median := ds[len(ds)/2]
+	limit := median * cfg.DistanceRatio * cfg.DistanceRatio // distances are squared
+	out := corr[:0:0]
+	for _, c := range corr {
+		if c.Dist2 <= limit {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ransacReject runs RANSAC over 3-point rigid-transform hypotheses and
+// returns the inliers of the best hypothesis.
+func ransacReject(corr []Correspondence, srcPts, dstPts []geom.Vec3, cfg RejectionConfig) []Correspondence {
+	if len(corr) < 3 {
+		return corr
+	}
+	rng := newPCG(uint64(cfg.Seed)*6364136223846793005 + 1442695040888963407)
+	inlierD2 := cfg.RANSACInlierDist * cfg.RANSACInlierDist
+
+	bestCount := -1
+	var bestInliers []Correspondence
+	sample := make([]Correspondence, 3)
+	for iter := 0; iter < cfg.RANSACIterations; iter++ {
+		// Draw 3 distinct correspondences.
+		i0 := int(rng.next() % uint64(len(corr)))
+		i1 := int(rng.next() % uint64(len(corr)))
+		i2 := int(rng.next() % uint64(len(corr)))
+		if i0 == i1 || i1 == i2 || i0 == i2 {
+			continue
+		}
+		sample[0], sample[1], sample[2] = corr[i0], corr[i1], corr[i2]
+		tr, ok := estimateFromCorr(sample, srcPts, dstPts)
+		if !ok {
+			continue
+		}
+		count := 0
+		for _, c := range corr {
+			if tr.Apply(srcPts[c.Source]).Dist2(dstPts[c.Target]) <= inlierD2 {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestCount = count
+			bestInliers = bestInliers[:0]
+			for _, c := range corr {
+				if tr.Apply(srcPts[c.Source]).Dist2(dstPts[c.Target]) <= inlierD2 {
+					bestInliers = append(bestInliers, c)
+				}
+			}
+		}
+	}
+	if len(bestInliers) < 3 {
+		// Degenerate data: fall back to the unfiltered set rather than
+		// returning an unusable correspondence list.
+		return corr
+	}
+	return bestInliers
+}
+
+// estimateFromCorr estimates the rigid transform aligning the source side
+// of the correspondences onto the target side (Umeyama, see transform.go).
+func estimateFromCorr(corr []Correspondence, srcPts, dstPts []geom.Vec3) (geom.Transform, bool) {
+	src := make([]geom.Vec3, len(corr))
+	dst := make([]geom.Vec3, len(corr))
+	for i, c := range corr {
+		src[i] = srcPts[c.Source]
+		dst[i] = dstPts[c.Target]
+	}
+	return EstimateRigidTransform(src, dst)
+}
+
+// pcg is a tiny PCG-XSH-RR deterministic PRNG for RANSAC sampling.
+type pcg struct {
+	state uint64
+}
+
+func newPCG(seed uint64) *pcg { return &pcg{state: seed | 1} }
+
+func (p *pcg) next() uint64 {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	x := p.state
+	count := x >> 59
+	x ^= x >> 18
+	x = (x >> 27) & 0xffffffff
+	return (x >> count) | (x << ((32 - count) & 31))
+}

@@ -1,0 +1,159 @@
+package registration
+
+import (
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/geom"
+	"tigris/internal/search"
+)
+
+// ICPConfig parameterizes the fine-tuning phase (paper Fig. 2, right):
+// Raw-Point Correspondence Estimation alternating with transformation
+// estimation until convergence. The convergence criteria are the Tbl. 1
+// knobs the paper highlights as impacting both accuracy and compute time.
+type ICPConfig struct {
+	// Metric selects point-to-point (SVD) or point-to-plane (LM).
+	Metric ErrorMetric
+	// MaxIterations bounds ICP iterations (default 30).
+	MaxIterations int
+	// MaxCorrespondenceDist drops pairs farther than this during RPCE, in
+	// meters (default 2.0).
+	MaxCorrespondenceDist float64
+	// TransformEpsilon stops when an iteration's incremental translation
+	// falls below it (default 1e-4 m).
+	TransformEpsilon float64
+	// EuclideanFitnessEpsilon stops when the RMSE improvement between
+	// iterations falls below it (default 1e-5).
+	EuclideanFitnessEpsilon float64
+	// Reciprocal requires source→target and target→source NN agreement
+	// during RPCE (Tbl. 1 knob). It roughly doubles search cost.
+	Reciprocal bool
+	// SourceStride subsamples source points during RPCE (1 = use all; the
+	// performance-oriented design points use larger strides).
+	SourceStride int
+}
+
+func (c *ICPConfig) defaults() {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 30
+	}
+	if c.MaxCorrespondenceDist == 0 {
+		c.MaxCorrespondenceDist = 2.0
+	}
+	if c.TransformEpsilon == 0 {
+		c.TransformEpsilon = 1e-4
+	}
+	if c.EuclideanFitnessEpsilon == 0 {
+		c.EuclideanFitnessEpsilon = 1e-5
+	}
+	if c.SourceStride == 0 {
+		c.SourceStride = 1
+	}
+}
+
+// ICPResult reports the fine-tuning outcome.
+type ICPResult struct {
+	// Transform maps source-frame points into the target frame, including
+	// the initial guess.
+	Transform geom.Transform
+	// Iterations actually executed.
+	Iterations int
+	// FinalRMSE is the last iteration's correspondence RMSE.
+	FinalRMSE float64
+	// Converged is false when MaxIterations was exhausted.
+	Converged bool
+	// RPCETime is the wall time spent in correspondence search.
+	RPCETime time.Duration
+	// SolveTime is the wall time spent in transform estimation.
+	SolveTime time.Duration
+}
+
+// ICP runs iterative closest point from the initial guess. target is the
+// searcher indexing the target cloud (it must also expose the target
+// normals when the point-to-plane metric is selected). srcSearcherFactory
+// is only needed for reciprocal RPCE and may be nil otherwise; it is
+// called once with the current source points.
+func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, initial geom.Transform, cfg ICPConfig) ICPResult {
+	cfg.defaults()
+	res := ICPResult{Transform: initial}
+	cur := src.Transform(initial)
+
+	prevRMSE := -1.0
+	var srcSearch search.Searcher
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+
+		// RPCE: for every point in the (moved) source cloud, find its
+		// nearest neighbor in the target (paper Fig. 2).
+		start := time.Now()
+		if cfg.Reciprocal {
+			srcSearch = search.NewKDSearcher(cur.Points)
+		}
+		maxD2 := cfg.MaxCorrespondenceDist * cfg.MaxCorrespondenceDist
+		var srcPts, dstPts, dstNs []geom.Vec3
+		for i := 0; i < cur.Len(); i += cfg.SourceStride {
+			p := cur.Points[i]
+			nb, ok := target.Nearest(p)
+			if !ok || nb.Dist2 > maxD2 {
+				continue
+			}
+			if cfg.Reciprocal {
+				back, ok := srcSearch.Nearest(target.Points()[nb.Index])
+				if !ok || back.Index != i {
+					continue
+				}
+			}
+			srcPts = append(srcPts, p)
+			dstPts = append(dstPts, target.Points()[nb.Index])
+			if cfg.Metric == PointToPlane && targetNormals != nil {
+				dstNs = append(dstNs, targetNormals[nb.Index])
+			}
+		}
+		res.RPCETime += time.Since(start)
+		if len(srcPts) < 6 {
+			return res // too little overlap to continue
+		}
+
+		// Transformation estimation (paper Fig. 2, "Error Minimization").
+		start = time.Now()
+		var delta geom.Transform
+		var ok bool
+		if cfg.Metric == PointToPlane && dstNs != nil {
+			delta, ok = EstimatePointToPlane(srcPts, dstPts, dstNs)
+		} else {
+			delta, ok = EstimateRigidTransform(srcPts, dstPts)
+		}
+		res.SolveTime += time.Since(start)
+		if !ok {
+			return res
+		}
+
+		res.Transform = delta.Compose(res.Transform)
+		cur.TransformInPlace(delta)
+
+		rmse := AlignmentRMSE(geom.IdentityTransform(), applyAll(delta, srcPts), dstPts)
+		res.FinalRMSE = rmse
+
+		// Convergence criteria (Tbl. 1): small incremental motion or small
+		// fitness improvement.
+		if delta.TranslationNorm() < cfg.TransformEpsilon && delta.RotationAngle() < cfg.TransformEpsilon {
+			res.Converged = true
+			return res
+		}
+		if prevRMSE >= 0 && prevRMSE-rmse < cfg.EuclideanFitnessEpsilon && rmse <= prevRMSE {
+			res.Converged = true
+			return res
+		}
+		prevRMSE = rmse
+	}
+	return res
+}
+
+func applyAll(t geom.Transform, pts []geom.Vec3) []geom.Vec3 {
+	out := make([]geom.Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = t.Apply(p)
+	}
+	return out
+}

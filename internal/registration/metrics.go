@@ -1,0 +1,69 @@
+package registration
+
+import (
+	"math"
+
+	"tigris/internal/geom"
+)
+
+// FrameError is the KITTI odometry error of one registered frame pair
+// (paper §6.1: "standard rotational and translational errors [22]").
+type FrameError struct {
+	// Translational error as a percentage of the distance traveled.
+	TranslationalPct float64
+	// Rotational error in degrees per meter traveled.
+	RotationalDegPerM float64
+}
+
+// EvaluatePair compares an estimated frame-to-frame transform against the
+// ground truth. Both transforms map frame i+1 coordinates into frame i
+// coordinates.
+func EvaluatePair(estimated, truth geom.Transform) FrameError {
+	pathLen := truth.TranslationNorm()
+	if pathLen < 1e-9 {
+		pathLen = 1e-9 // static pair: report absolute errors per meter
+	}
+	errT := estimated.Inverse().Compose(truth)
+	return FrameError{
+		TranslationalPct:  errT.TranslationNorm() / pathLen * 100,
+		RotationalDegPerM: errT.RotationAngle() * 180 / math.Pi / pathLen,
+	}
+}
+
+// SequenceError aggregates frame errors the way the paper reports them:
+// mean across all frames of a sequence, with the standard deviation used
+// for Fig. 7's error bars.
+type SequenceError struct {
+	MeanTranslationalPct   float64
+	MeanRotationalDegPerM  float64
+	StdevTranslationalPct  float64
+	StdevRotationalDegPerM float64
+	Frames                 int
+}
+
+// Aggregate summarizes per-frame errors.
+func Aggregate(errs []FrameError) SequenceError {
+	n := len(errs)
+	if n == 0 {
+		return SequenceError{}
+	}
+	var st, sr float64
+	for _, e := range errs {
+		st += e.TranslationalPct
+		sr += e.RotationalDegPerM
+	}
+	mt := st / float64(n)
+	mr := sr / float64(n)
+	var vt, vr float64
+	for _, e := range errs {
+		vt += (e.TranslationalPct - mt) * (e.TranslationalPct - mt)
+		vr += (e.RotationalDegPerM - mr) * (e.RotationalDegPerM - mr)
+	}
+	return SequenceError{
+		MeanTranslationalPct:   mt,
+		MeanRotationalDegPerM:  mr,
+		StdevTranslationalPct:  math.Sqrt(vt / float64(n)),
+		StdevRotationalDegPerM: math.Sqrt(vr / float64(n)),
+		Frames:                 n,
+	}
+}

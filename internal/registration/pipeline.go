@@ -1,0 +1,403 @@
+package registration
+
+import (
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/features"
+	"tigris/internal/geom"
+	"tigris/internal/search"
+	"tigris/internal/twostage"
+)
+
+// SearcherKind selects the KD-tree variant the pipeline routes every
+// neighbor search through.
+type SearcherKind int
+
+const (
+	// SearchCanonical uses the classic KD-tree (the §3 characterization
+	// baseline).
+	SearchCanonical SearcherKind = iota
+	// SearchTwoStage uses the two-stage tree with exact search.
+	SearchTwoStage
+	// SearchTwoStageApprox uses the two-stage tree with the approximate
+	// leader/follower algorithm on the dense stages (NE radius search and
+	// RPCE NN search), exactly the stages §4.2 found error-tolerant.
+	SearchTwoStageApprox
+)
+
+// String implements fmt.Stringer.
+func (k SearcherKind) String() string {
+	switch k {
+	case SearchCanonical:
+		return "Canonical"
+	case SearchTwoStage:
+		return "TwoStage"
+	case SearchTwoStageApprox:
+		return "TwoStageApprox"
+	default:
+		return "UnknownSearcher"
+	}
+}
+
+// SearcherConfig bundles the search-backend knobs.
+type SearcherConfig struct {
+	Kind SearcherKind
+	// TopHeight for the two-stage variants (paper default 10; <0 sizes
+	// leaf sets to ~128 points).
+	TopHeight int
+	// NNThreshold is the approximate-search NN discriminator in meters
+	// (default twostage.DefaultNNThreshold).
+	NNThreshold float64
+	// RadiusThresholdFrac is the approximate-search radius discriminator
+	// as a fraction of the search radius (default
+	// twostage.DefaultRadiusThresholdFrac).
+	RadiusThresholdFrac float64
+}
+
+// Injection configures the §4.2 error-injection study; the zero value
+// injects nothing.
+type Injection struct {
+	// RPCEKthNN replaces RPCE's nearest neighbor with the k-th nearest
+	// (Fig. 7a "RPCE (dense)"); 0 or 1 disables.
+	RPCEKthNN int
+	// KPCEKthNN does the same in feature space during KPCE (Fig. 7a
+	// "KPCE (sparse)"); 0 or 1 disables.
+	KPCEKthNN int
+	// NEShell replaces NE's radius-r ball with the shell [R1, R2]
+	// (Fig. 7b); nil disables.
+	NEShell *[2]float64
+}
+
+// PipelineConfig is the full knob set of Fig. 2 / Tbl. 1.
+type PipelineConfig struct {
+	// VoxelLeaf downsamples both clouds before the front-end (0 disables).
+	// The front-end stages run on the downsampled clouds; fine-tuning RPCE
+	// runs on the raw clouds as the paper's pipeline does.
+	VoxelLeaf float64
+	// FrontEndOnRaw forces front-end stages onto the raw clouds even when
+	// VoxelLeaf is set (accuracy-oriented design points).
+	FrontEndOnRaw bool
+
+	Normal     features.NormalConfig
+	Keypoint   features.KeypointConfig
+	Descriptor features.DescriptorConfig
+	KPCE       KPCEConfig
+	Rejection  RejectionConfig
+	ICP        ICPConfig
+	Searcher   SearcherConfig
+	Inject     Injection
+
+	// MaxInitialTranslation / MaxInitialRotation bound the front-end's
+	// initial estimate. Consecutive LiDAR frames (10 Hz) cannot move
+	// meters or flip around, but scene symmetry (a street looks alike
+	// fore and aft) occasionally yields a *consistent* wrong hypothesis
+	// that distance-based rejection cannot catch; odometry pipelines
+	// guard with exactly this kind of motion prior. Violations fall back
+	// to the identity initialization. Zero values select 5 m and 0.6 rad;
+	// negative values disable the check.
+	MaxInitialTranslation float64
+	MaxInitialRotation    float64
+}
+
+// StageTimes is the Fig. 4a breakdown: wall time per pipeline stage.
+type StageTimes struct {
+	NormalEstimation      time.Duration
+	KeypointDetection     time.Duration
+	DescriptorCalculation time.Duration
+	KPCE                  time.Duration
+	Rejection             time.Duration
+	RPCE                  time.Duration
+	ErrorMinimization     time.Duration
+}
+
+// Total sums all stages.
+func (s StageTimes) Total() time.Duration {
+	return s.NormalEstimation + s.KeypointDetection + s.DescriptorCalculation +
+		s.KPCE + s.Rejection + s.RPCE + s.ErrorMinimization
+}
+
+// Result is the pipeline output plus all instrumentation.
+type Result struct {
+	// Transform maps source-frame points into the target frame (the
+	// paper's M of Eq. 1).
+	Transform geom.Transform
+	// Initial is the front-end's initial estimate before fine-tuning.
+	Initial geom.Transform
+	// Stage holds the Fig. 4a per-stage times.
+	Stage StageTimes
+	// Total is the end-to-end wall time.
+	Total time.Duration
+	// KDSearchTime / KDBuildTime are the Fig. 4b split; OtherTime is the
+	// remainder of Total.
+	KDSearchTime time.Duration
+	KDBuildTime  time.Duration
+	// NodesVisited counts every point/node distance computation in 3D
+	// search, feeding the baseline cost models.
+	NodesVisited int64
+	// SearchQueries counts 3D search calls.
+	SearchQueries int64
+	// ICP reports fine-tuning details.
+	ICP ICPResult
+	// Front-end population counts.
+	SrcKeypoints, DstKeypoints int
+	Correspondences, Inliers   int
+}
+
+// OtherTime returns Total − KDSearchTime − KDBuildTime (clamped at 0).
+func (r *Result) OtherTime() time.Duration {
+	o := r.Total - r.KDSearchTime - r.KDBuildTime
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// newSearcher builds the configured search backend over pts.
+func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
+	switch cfg.Kind {
+	case SearchTwoStage:
+		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{TopHeight: cfg.TopHeight})
+	case SearchTwoStageApprox:
+		thd := cfg.NNThreshold
+		if thd == 0 {
+			thd = twostage.DefaultNNThreshold
+		}
+		frac := cfg.RadiusThresholdFrac
+		if frac == 0 {
+			frac = twostage.DefaultRadiusThresholdFrac
+		}
+		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{
+			TopHeight: cfg.TopHeight,
+			Approx:    &twostage.ApproxOptions{Threshold: thd, RadiusThresholdFrac: frac},
+		})
+	default:
+		return search.NewKDSearcher(pts)
+	}
+}
+
+// Register runs the full two-phase pipeline, estimating the transform that
+// maps src onto dst.
+func Register(src, dst *cloud.Cloud, cfg PipelineConfig) Result {
+	start := time.Now()
+	var res Result
+
+	// Optional downsampling for the front-end.
+	feSrc, feDst := src, dst
+	if cfg.VoxelLeaf > 0 && !cfg.FrontEndOnRaw {
+		feSrc = cloud.VoxelDownsample(src, cfg.VoxelLeaf)
+		feDst = cloud.VoxelDownsample(dst, cfg.VoxelLeaf)
+	}
+
+	srcSearch := newSearcher(feSrc.Points, cfg.Searcher)
+	dstSearch := newSearcher(feDst.Points, cfg.Searcher)
+
+	// --- Initial estimation phase (paper Fig. 2, left) ---
+
+	// (1) Normal estimation, optionally with shell error injection.
+	neSrc, neDst := srcSearch, dstSearch
+	if cfg.Inject.NEShell != nil {
+		neSrc = &search.ShellSearcher{Inner: srcSearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
+		neDst = &search.ShellSearcher{Inner: dstSearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
+	}
+	t0 := time.Now()
+	features.EstimateNormals(feSrc, neSrc, cfg.Normal)
+	features.EstimateNormals(feDst, neDst, cfg.Normal)
+	res.Stage.NormalEstimation = time.Since(t0)
+
+	// (2) Key-point detection.
+	t0 = time.Now()
+	srcKPs := features.DetectKeypoints(feSrc, srcSearch, cfg.Keypoint)
+	dstKPs := features.DetectKeypoints(feDst, dstSearch, cfg.Keypoint)
+	res.Stage.KeypointDetection = time.Since(t0)
+	res.SrcKeypoints = len(srcKPs)
+	res.DstKeypoints = len(dstKPs)
+
+	// (3) Descriptor calculation.
+	t0 = time.Now()
+	srcDesc := features.ComputeDescriptors(feSrc, srcSearch, srcKPs, cfg.Descriptor)
+	dstDesc := features.ComputeDescriptors(feDst, dstSearch, dstKPs, cfg.Descriptor)
+	res.Stage.DescriptorCalculation = time.Since(t0)
+
+	// (4) KPCE in feature space.
+	t0 = time.Now()
+	var corr []Correspondence
+	var featSearchTime, featBuildTime time.Duration
+	if cfg.Inject.KPCEKthNN > 1 {
+		corr = kpceKthNN(srcDesc, dstDesc, cfg.Inject.KPCEKthNN)
+	} else {
+		corr, featSearchTime, featBuildTime = kpceTimed(srcDesc, dstDesc, cfg.KPCE)
+	}
+	res.Stage.KPCE = time.Since(t0)
+	res.Correspondences = len(corr)
+
+	// (5) Rejection + initial transform.
+	t0 = time.Now()
+	srcKPPts := selectPoints(feSrc.Points, srcKPs)
+	dstKPPts := selectPoints(feDst.Points, dstKPs)
+	inliers := RejectCorrespondences(corr, srcKPPts, dstKPPts, cfg.Rejection)
+	res.Inliers = len(inliers)
+	initial, ok := estimateFromCorr(inliers, srcKPPts, dstKPPts)
+	// Guard against a junk initial estimate: a tiny or low-ratio consensus
+	// means the front-end found no reliable matches (e.g. feature-poor
+	// scenes), and a wrong initialization is worse for ICP than none —
+	// exactly the local-minimum trap the paper's two-phase design exists
+	// to avoid (§3.1).
+	if !ok || len(inliers) < 6 || (len(corr) > 0 && float64(len(inliers)) < 0.2*float64(len(corr))) {
+		initial = geom.IdentityTransform()
+	}
+	maxT, maxR := cfg.MaxInitialTranslation, cfg.MaxInitialRotation
+	if maxT == 0 {
+		maxT = 5
+	}
+	if maxR == 0 {
+		maxR = 0.6
+	}
+	if (maxT > 0 && initial.TranslationNorm() > maxT) || (maxR > 0 && initial.RotationAngle() > maxR) {
+		initial = geom.IdentityTransform()
+	}
+	res.Stage.Rejection = time.Since(t0)
+	res.Initial = initial
+
+	// --- Fine-tuning phase (paper Fig. 2, right) ---
+
+	// RPCE searches the raw target cloud. When the front-end ran on a
+	// downsampled cloud the fine-tuning phase needs its own target index.
+	icpTarget := dstSearch
+	icpTargetCloud := feDst
+	if feDst != dst {
+		icpTarget = newSearcher(dst.Points, cfg.Searcher)
+		icpTargetCloud = dst
+		if cfg.ICP.Metric == PointToPlane {
+			features.EstimateNormals(icpTargetCloud, icpTarget, cfg.Normal)
+		}
+	}
+	var rpceSearch search.Searcher = icpTarget
+	if cfg.Inject.RPCEKthNN > 1 {
+		rpceSearch = &search.KthNNSearcher{Inner: icpTarget, K: cfg.Inject.RPCEKthNN}
+	}
+	// Fine-tuning always refines with the raw source points.
+	icpRes := ICP(src, rpceSearch, icpTargetCloud.Normals, initial, cfg.ICP)
+	res.ICP = icpRes
+	res.Stage.RPCE = icpRes.RPCETime
+	res.Stage.ErrorMinimization = icpRes.SolveTime
+	res.Transform = icpRes.Transform
+
+	// --- Instrumentation roll-up (Fig. 4b split) ---
+	searchers := []search.Searcher{srcSearch, dstSearch}
+	if icpTarget != dstSearch {
+		searchers = append(searchers, icpTarget)
+	}
+	for _, s := range searchers {
+		m := s.Metrics()
+		res.KDSearchTime += m.SearchTime
+		res.KDBuildTime += m.BuildTime
+		res.NodesVisited += m.NodesVisited
+		res.SearchQueries += m.Queries
+	}
+	res.KDSearchTime += featSearchTime
+	res.KDBuildTime += featBuildTime
+
+	res.Total = time.Since(start)
+	return res
+}
+
+// kpceTimed runs KPCE and reports the feature-tree search/build times so
+// they can be attributed to KD-tree time (KPCE is a KD-tree-search stage
+// in the paper's accounting, Fig. 2 shading).
+func kpceTimed(src, dst *features.Descriptors, cfg KPCEConfig) ([]Correspondence, time.Duration, time.Duration) {
+	if src.Count() == 0 || dst.Count() == 0 {
+		return nil, 0, 0
+	}
+	dstTree := features.NewFeatureTree(dst)
+	var srcTree *features.FeatureTree
+	if cfg.Reciprocal {
+		srcTree = features.NewFeatureTree(src)
+	}
+	var out []Correspondence
+	for i := 0; i < src.Count(); i++ {
+		m, ok := dstTree.Nearest(src.Row(i))
+		if !ok {
+			continue
+		}
+		if cfg.Reciprocal {
+			back, ok := srcTree.Nearest(dst.Row(m.Row))
+			if !ok || back.Row != i {
+				continue
+			}
+		}
+		out = append(out, Correspondence{Source: i, Target: m.Row, Dist2: m.Dist2})
+	}
+	searchT := dstTree.SearchTime
+	buildT := dstTree.BuildTime
+	if srcTree != nil {
+		searchT += srcTree.SearchTime
+		buildT += srcTree.BuildTime
+	}
+	return out, searchT, buildT
+}
+
+// kpceKthNN is the Fig. 7a sparse-injection variant: each source feature
+// is matched to its k-th nearest target feature instead of the nearest.
+func kpceKthNN(src, dst *features.Descriptors, k int) []Correspondence {
+	if src.Count() == 0 || dst.Count() == 0 {
+		return nil
+	}
+	var out []Correspondence
+	for i := 0; i < src.Count(); i++ {
+		row, d2, ok := bruteKthFeature(dst, src.Row(i), k)
+		if !ok {
+			continue
+		}
+		out = append(out, Correspondence{Source: i, Target: row, Dist2: d2})
+	}
+	return out
+}
+
+// bruteKthFeature returns the k-th nearest descriptor row (1-based k),
+// falling back to the farthest available when the set is smaller than k.
+func bruteKthFeature(d *features.Descriptors, q []float64, k int) (int, float64, bool) {
+	n := d.Count()
+	if n == 0 {
+		return 0, 0, false
+	}
+	type cand struct {
+		row int
+		d2  float64
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		cands[i] = cand{row: i, d2: l2dist2Rows(q, d.Row(i))}
+	}
+	// Partial selection of the k smallest.
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if cands[j].d2 < cands[min].d2 {
+				min = j
+			}
+		}
+		cands[i], cands[min] = cands[min], cands[i]
+	}
+	return cands[k-1].row, cands[k-1].d2, true
+}
+
+func l2dist2Rows(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func selectPoints(pts []geom.Vec3, idx []int) []geom.Vec3 {
+	out := make([]geom.Vec3, len(idx))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	return out
+}

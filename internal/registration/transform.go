@@ -1,0 +1,198 @@
+package registration
+
+import (
+	"math"
+
+	"tigris/internal/geom"
+	"tigris/internal/linalg"
+)
+
+// EstimateRigidTransform solves the point-to-point least-squares alignment
+// problem: find the rigid T minimizing Σ‖T(srcᵢ) − dstᵢ‖² for paired
+// points, via the SVD method of Umeyama/Arun (the paper's "SVD [25]"
+// solver choice in Tbl. 1). Returns ok=false when fewer than 3 pairs are
+// given or the configuration is degenerate.
+func EstimateRigidTransform(src, dst []geom.Vec3) (geom.Transform, bool) {
+	if len(src) != len(dst) || len(src) < 3 {
+		return geom.IdentityTransform(), false
+	}
+	n := float64(len(src))
+	var cs, cd geom.Vec3
+	for i := range src {
+		cs = cs.Add(src[i])
+		cd = cd.Add(dst[i])
+	}
+	cs = cs.Scale(1 / n)
+	cd = cd.Scale(1 / n)
+
+	// Cross-covariance H = Σ (srcᵢ−c̄s)(dstᵢ−c̄d)ᵀ.
+	var h geom.Mat3
+	for i := range src {
+		h = h.Add(geom.OuterProduct(src[i].Sub(cs), dst[i].Sub(cd)))
+	}
+	svd := linalg.ComputeSVD3(h)
+	// R = V·D·Uᵀ with D correcting for reflections.
+	d := geom.Identity3()
+	if svd.V.Mul(svd.U.Transpose()).Det() < 0 {
+		d.Set(2, 2, -1)
+	}
+	r := svd.V.Mul(d).Mul(svd.U.Transpose())
+	if !r.IsRotation(1e-6) {
+		return geom.IdentityTransform(), false
+	}
+	t := cd.Sub(r.MulVec(cs))
+	return geom.Transform{R: r, T: t}, true
+}
+
+// ErrorMetric selects the ICP error formulation (Tbl. 1, Transformation
+// Estimation row).
+type ErrorMetric int
+
+const (
+	// PointToPoint minimizes Σ‖T(s)−t‖² (Besl & McKay [9], solved in
+	// closed form by SVD).
+	PointToPoint ErrorMetric = iota
+	// PointToPlane minimizes Σ((T(s)−t)·n_t)² (Chen & Medioni [12],
+	// solved iteratively, here by Levenberg–Marquardt [45]).
+	PointToPlane
+)
+
+// String implements fmt.Stringer.
+func (m ErrorMetric) String() string {
+	switch m {
+	case PointToPoint:
+		return "PointToPoint"
+	case PointToPlane:
+		return "PointToPlane"
+	default:
+		return "UnknownErrorMetric"
+	}
+}
+
+// EstimatePointToPlane solves the point-to-plane alignment: find the rigid
+// T minimizing Σ((T(srcᵢ)−dstᵢ)·nᵢ)², with nᵢ the target surface normal.
+// It runs Levenberg–Marquardt over a 6-DoF twist (rx, ry, rz, tx, ty, tz)
+// with the analytic Jacobian of the linearized residual: for the residual
+// r = (R·s + t − d)·n, ∂r/∂ξ = [ (R·s)×n ; n ] at the current estimate —
+// the standard ICP linearization (Low 2004) the paper's LM solver [45]
+// choice corresponds to.
+func EstimatePointToPlane(src, dst, normals []geom.Vec3) (geom.Transform, bool) {
+	if len(src) != len(dst) || len(src) != len(normals) || len(src) < 6 {
+		return geom.IdentityTransform(), false
+	}
+	cur := geom.IdentityTransform()
+	lambda := 1e-4
+	cost := pointToPlaneCost(cur, src, dst, normals)
+	var jtj [36]float64
+	var jtr [6]float64
+	// A handful of damped Gauss-Newton steps suffices: the outer ICP loop
+	// re-linearizes anyway.
+	for iter := 0; iter < 6; iter++ {
+		// Accumulate the 6×6 normal equations in one pass.
+		for i := range jtj {
+			jtj[i] = 0
+		}
+		for i := range jtr {
+			jtr[i] = 0
+		}
+		for i := range src {
+			s := cur.Apply(src[i])
+			n := normals[i]
+			r := s.Sub(dst[i]).Dot(n)
+			c := s.Cross(n)
+			row := [6]float64{c.X, c.Y, c.Z, n.X, n.Y, n.Z}
+			for a := 0; a < 6; a++ {
+				jtr[a] += row[a] * r
+				for b := a; b < 6; b++ {
+					jtj[a*6+b] += row[a] * row[b]
+				}
+			}
+		}
+		for a := 0; a < 6; a++ {
+			for b := 0; b < a; b++ {
+				jtj[a*6+b] = jtj[b*6+a]
+			}
+		}
+		improved := false
+		for attempt := 0; attempt < 8; attempt++ {
+			damped := jtj
+			for a := 0; a < 6; a++ {
+				d := jtj[a*6+a]
+				if d == 0 {
+					d = 1
+				}
+				damped[a*6+a] += lambda * d
+			}
+			neg := make([]float64, 6)
+			for a := 0; a < 6; a++ {
+				neg[a] = -jtr[a]
+			}
+			delta, err := linalg.SolveDense(damped[:], neg)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := twistToTransform(delta).Compose(cur)
+			trialCost := pointToPlaneCost(trial, src, dst, normals)
+			if trialCost < cost {
+				cur = trial
+				cost = trialCost
+				lambda = math.Max(lambda*0.3, 1e-12)
+				improved = true
+				if vecNorm6(delta) < 1e-10 {
+					return cur, true
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, true
+}
+
+func pointToPlaneCost(t geom.Transform, src, dst, normals []geom.Vec3) float64 {
+	var s float64
+	for i := range src {
+		r := t.Apply(src[i]).Sub(dst[i]).Dot(normals[i])
+		s += r * r
+	}
+	return s
+}
+
+func vecNorm6(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// twistToTransform converts a 6-vector (rx, ry, rz, tx, ty, tz) into a
+// rigid transform using the exponential map (Rodrigues).
+func twistToTransform(p []float64) geom.Transform {
+	w := geom.Vec3{X: p[0], Y: p[1], Z: p[2]}
+	angle := w.Norm()
+	var r geom.Mat3
+	if angle < 1e-12 {
+		r = geom.Identity3()
+	} else {
+		r = geom.AxisAngle(w.Scale(1/angle), angle)
+	}
+	return geom.Transform{R: r, T: geom.Vec3{X: p[3], Y: p[4], Z: p[5]}}
+}
+
+// AlignmentRMSE returns the root-mean-square point-to-point error of the
+// transform over the pairs; the ICP convergence criterion watches it.
+func AlignmentRMSE(tr geom.Transform, src, dst []geom.Vec3) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range src {
+		s += tr.Apply(src[i]).Dist2(dst[i])
+	}
+	return math.Sqrt(s / float64(len(src)))
+}

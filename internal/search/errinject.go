@@ -1,0 +1,91 @@
+package search
+
+import (
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// The error-injection wrappers implement the §4.2 study that quantifies the
+// registration pipeline's tolerance to inexact KD-tree search:
+//
+//   - KthNNSearcher replaces the NN result with the k-th nearest neighbor
+//     (Fig. 7a's x-axis).
+//   - ShellSearcher replaces radius-r results with the points lying in the
+//     spherical shell <r1, r2> with r1 < r < r2 (Fig. 7b's x-axis).
+//
+// Both delegate every other query kind to the wrapped searcher unchanged.
+
+// KthNNSearcher degrades Nearest to return the K-th nearest neighbor
+// (K = 1 is exact).
+type KthNNSearcher struct {
+	Inner Searcher
+	K     int
+}
+
+// Nearest implements Searcher with the k-th-neighbor substitution.
+func (s *KthNNSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	res := s.Inner.KNearest(q, k)
+	if len(res) == 0 {
+		return kdtree.Neighbor{}, false
+	}
+	// If the cloud has fewer than k points, fall back to the farthest
+	// available, keeping the distortion monotone in K.
+	return res[len(res)-1], true
+}
+
+// KNearest implements Searcher (undistorted).
+func (s *KthNNSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	return s.Inner.KNearest(q, k)
+}
+
+// Radius implements Searcher (undistorted).
+func (s *KthNNSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	return s.Inner.Radius(q, r)
+}
+
+// Points implements Searcher.
+func (s *KthNNSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+
+// Metrics implements Searcher.
+func (s *KthNNSearcher) Metrics() *Metrics { return s.Inner.Metrics() }
+
+// ShellSearcher degrades Radius(q, r) to return points in the shell
+// [R1, R2] instead of the ball [0, r]. The caller chooses R1 < r < R2 as in
+// Fig. 7b (e.g. <30 cm, 75 cm> against r = 60 cm).
+type ShellSearcher struct {
+	Inner  Searcher
+	R1, R2 float64
+}
+
+// Radius implements Searcher with the shell substitution.
+func (s *ShellSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	outer := s.Inner.Radius(q, s.R2)
+	r1sq := s.R1 * s.R1
+	res := outer[:0:0]
+	for _, nb := range outer {
+		if nb.Dist2 >= r1sq {
+			res = append(res, nb)
+		}
+	}
+	return res
+}
+
+// Nearest implements Searcher (undistorted).
+func (s *ShellSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	return s.Inner.Nearest(q)
+}
+
+// KNearest implements Searcher (undistorted).
+func (s *ShellSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	return s.Inner.KNearest(q, k)
+}
+
+// Points implements Searcher.
+func (s *ShellSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+
+// Metrics implements Searcher.
+func (s *ShellSearcher) Metrics() *Metrics { return s.Inner.Metrics() }

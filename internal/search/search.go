@@ -1,0 +1,229 @@
+// Package search defines the neighbor-search abstraction the registration
+// pipeline is written against, with interchangeable backends:
+//
+//   - KDSearcher: the canonical KD-tree (the pipeline's default, §3).
+//   - TwoStageSearcher: the two-stage tree, optionally with the
+//     approximate leader/follower algorithm (§4).
+//   - Error-injection wrappers (errinject.go): the §4.2 study that replaces
+//     NN results with the k-th neighbor and radius results with a shell.
+//
+// Every searcher records per-instance metrics (wall time, query and visit
+// counts) so the pipeline can attribute stage time to KD-tree search the
+// way Fig. 4b does.
+package search
+
+import (
+	"math"
+	"time"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/twostage"
+)
+
+// Metrics accumulates instrumentation for one searcher instance. Not safe
+// for concurrent use.
+type Metrics struct {
+	BuildTime    time.Duration
+	SearchTime   time.Duration
+	Queries      int64
+	NodesVisited int64 // points/nodes whose distance was computed
+}
+
+// Merge adds other's counters into m.
+func (m *Metrics) Merge(other Metrics) {
+	m.BuildTime += other.BuildTime
+	m.SearchTime += other.SearchTime
+	m.Queries += other.Queries
+	m.NodesVisited += other.NodesVisited
+}
+
+// Searcher answers neighbor queries over a fixed point set.
+type Searcher interface {
+	// Nearest returns the nearest neighbor of q.
+	Nearest(q geom.Vec3) (kdtree.Neighbor, bool)
+	// KNearest returns the k nearest neighbors of q in ascending order.
+	KNearest(q geom.Vec3, k int) []kdtree.Neighbor
+	// Radius returns all neighbors within r of q in ascending order.
+	Radius(q geom.Vec3, r float64) []kdtree.Neighbor
+	// Points exposes the indexed point slice.
+	Points() []geom.Vec3
+	// Metrics returns the accumulated instrumentation.
+	Metrics() *Metrics
+}
+
+// KDSearcher wraps the canonical KD-tree.
+type KDSearcher struct {
+	tree    *kdtree.Tree
+	stats   kdtree.Stats
+	metrics Metrics
+}
+
+// NewKDSearcher builds a canonical KD-tree over pts, recording build time.
+func NewKDSearcher(pts []geom.Vec3) *KDSearcher {
+	s := &KDSearcher{}
+	start := time.Now()
+	s.tree = kdtree.Build(pts)
+	s.metrics.BuildTime = time.Since(start)
+	return s
+}
+
+// Nearest implements Searcher.
+func (s *KDSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	start := time.Now()
+	nb, ok := s.tree.Nearest(q, &s.stats)
+	s.record(start)
+	return nb, ok
+}
+
+// KNearest implements Searcher.
+func (s *KDSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	start := time.Now()
+	res := s.tree.KNearest(q, k, &s.stats)
+	s.record(start)
+	return res
+}
+
+// Radius implements Searcher.
+func (s *KDSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	start := time.Now()
+	res := s.tree.Radius(q, r, &s.stats)
+	s.record(start)
+	return res
+}
+
+// Points implements Searcher.
+func (s *KDSearcher) Points() []geom.Vec3 { return s.tree.Points() }
+
+// Metrics implements Searcher.
+func (s *KDSearcher) Metrics() *Metrics {
+	s.metrics.Queries = s.stats.Queries
+	s.metrics.NodesVisited = s.stats.NodesVisited
+	return &s.metrics
+}
+
+func (s *KDSearcher) record(start time.Time) {
+	s.metrics.SearchTime += time.Since(start)
+}
+
+// TwoStageSearcher wraps the two-stage tree, optionally with the
+// approximate leader/follower session.
+type TwoStageSearcher struct {
+	tree    *twostage.Tree
+	session *twostage.ApproxSession // nil when approximation is disabled
+	stats   twostage.Stats
+	metrics Metrics
+}
+
+// TwoStageConfig configures a TwoStageSearcher.
+type TwoStageConfig struct {
+	// TopHeight is the top-tree height (paper default 10 for ~130k-point
+	// frames; <0 selects a height that yields ~128-point leaf sets).
+	TopHeight int
+	// Approx enables the leader/follower algorithm with these options.
+	Approx *twostage.ApproxOptions
+}
+
+// NewTwoStageSearcher builds a two-stage tree over pts.
+func NewTwoStageSearcher(pts []geom.Vec3, cfg TwoStageConfig) *TwoStageSearcher {
+	s := &TwoStageSearcher{}
+	start := time.Now()
+	if cfg.TopHeight < 0 {
+		s.tree = twostage.BuildWithLeafSize(pts, 128)
+	} else {
+		s.tree = twostage.Build(pts, cfg.TopHeight)
+	}
+	s.metrics.BuildTime = time.Since(start)
+	if cfg.Approx != nil {
+		s.session = s.tree.NewApproxSession(*cfg.Approx)
+	}
+	return s
+}
+
+// Tree exposes the underlying two-stage structure (used by the accelerator
+// simulator, which replays the same searches cycle by cycle).
+func (s *TwoStageSearcher) Tree() *twostage.Tree { return s.tree }
+
+// Nearest implements Searcher.
+func (s *TwoStageSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	start := time.Now()
+	var nb kdtree.Neighbor
+	var ok bool
+	if s.session != nil {
+		nb, ok = s.session.Nearest(q, &s.stats)
+	} else {
+		nb, ok = s.tree.Nearest(q, &s.stats)
+	}
+	s.record(start)
+	return nb, ok
+}
+
+// KNearest implements Searcher. The two-stage structure serves k-NN
+// exactly (no leader/follower path: the pipeline stages that use k-NN are
+// the sparse ones the paper excludes from approximation, §4.2).
+func (s *TwoStageSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	start := time.Now()
+	// Exact k-NN via radius-free exhaustive merge: reuse Nearest's
+	// traversal by falling back to a canonical scan of candidate leaves is
+	// complex; the two-stage tree answers k-NN by brute-forcing the whole
+	// set only when the top-tree is absent. For simplicity and exactness we
+	// run a bounded search: collect via expanding radius.
+	res := s.kNearest(q, k)
+	s.record(start)
+	return res
+}
+
+// kNearest answers k-NN exactly on the two-stage tree by radius doubling:
+// start from the NN distance and expand until k neighbors are inside.
+func (s *TwoStageSearcher) kNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	if k <= 0 || s.tree.Len() == 0 {
+		return nil
+	}
+	nb, _ := s.tree.Nearest(q, &s.stats)
+	r := 2 * (1e-6 + math.Sqrt(nb.Dist2))
+	for i := 0; i < 64; i++ {
+		res := s.tree.Radius(q, r, &s.stats)
+		if len(res) >= k || len(res) == s.tree.Len() {
+			if len(res) > k {
+				res = res[:k]
+			}
+			return res
+		}
+		r *= 2
+	}
+	res := s.tree.Radius(q, r, &s.stats)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// Radius implements Searcher.
+func (s *TwoStageSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	start := time.Now()
+	var res []kdtree.Neighbor
+	if s.session != nil {
+		res = s.session.Radius(q, r, &s.stats)
+	} else {
+		res = s.tree.Radius(q, r, &s.stats)
+	}
+	s.record(start)
+	return res
+}
+
+// Points implements Searcher.
+func (s *TwoStageSearcher) Points() []geom.Vec3 { return s.tree.Points() }
+
+// Metrics implements Searcher.
+func (s *TwoStageSearcher) Metrics() *Metrics {
+	s.metrics.Queries = s.stats.Queries
+	s.metrics.NodesVisited = s.stats.TotalVisited()
+	return &s.metrics
+}
+
+// Stats exposes the two-stage counters (leader hits etc.).
+func (s *TwoStageSearcher) Stats() *twostage.Stats { return &s.stats }
+
+func (s *TwoStageSearcher) record(start time.Time) {
+	s.metrics.SearchTime += time.Since(start)
+}

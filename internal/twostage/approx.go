@@ -1,0 +1,261 @@
+package twostage
+
+import (
+	"math"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// ApproxOptions configures the leader/follower approximate search
+// (Algorithm 1 of the paper).
+type ApproxOptions struct {
+	// Threshold is the discriminator thd: a query whose distance to its
+	// closest leader exceeds it becomes a leader itself. Zero or negative
+	// disables approximation (every query takes the precise path).
+	//
+	// The paper's empirical settings (§6.3): 1.2 m for NN search, and 40%
+	// of the search radius for radius search.
+	Threshold float64
+	// RadiusThresholdFrac, when positive, overrides Threshold for radius
+	// searches with frac × r (the paper's 40%-of-radius rule). Zero keeps
+	// the absolute Threshold for both search kinds.
+	RadiusThresholdFrac float64
+	// MaxLeaders caps the per-leaf leader group. The accelerator's Leader
+	// Buffer holds 16 entries (§5.3); capping "improves accuracy because
+	// more queries will be searched exactly". Zero selects 16.
+	MaxLeaders int
+}
+
+func (o *ApproxOptions) defaults() {
+	if o.MaxLeaders == 0 {
+		o.MaxLeaders = 16
+	}
+}
+
+// DefaultNNThreshold is the paper's empirically chosen NN discriminator.
+const DefaultNNThreshold = 1.2
+
+// DefaultRadiusThresholdFrac is the paper's radius-search discriminator as
+// a fraction of the search radius.
+const DefaultRadiusThresholdFrac = 0.4
+
+// nnLeader caches one leader query and its best match within one leaf.
+type nnLeader struct {
+	q   geom.Vec3
+	res kdtree.Neighbor // leaf-local nearest (Index < 0 if leaf was empty)
+}
+
+// radLeader caches one leader query and its leaf-local radius result.
+type radLeader struct {
+	q   geom.Vec3
+	res []kdtree.Neighbor
+}
+
+// NearestBatchApprox answers NN queries as a batch with the approximate
+// leader/follower algorithm. Results are positionally aligned with
+// queries; a result with Index < 0 means the tree was empty.
+func (t *Tree) NearestBatchApprox(queries []geom.Vec3, opts ApproxOptions, stats *Stats) []kdtree.Neighbor {
+	opts.defaults()
+	leaders := make([][]nnLeader, len(t.leaves))
+	out := make([]kdtree.Neighbor, len(queries))
+	for qi, q := range queries {
+		if stats != nil {
+			stats.Queries++
+		}
+		best := kdtree.Neighbor{Index: -1, Dist2: math.MaxFloat64}
+		t.nearestApprox(t.root, q, &best, leaders, opts, stats)
+		out[qi] = best
+	}
+	return out
+}
+
+// nearestApprox mirrors nearestChild but applies Algorithm 1 at leaves.
+func (t *Tree) nearestApprox(c Child, q geom.Vec3, best *kdtree.Neighbor, leaders [][]nnLeader, opts ApproxOptions, stats *Stats) {
+	switch {
+	case c == ChildNone:
+		return
+	case c.IsLeaf():
+		id := c.LeafID()
+		set := t.leaves[id]
+		if len(set) == 0 {
+			return
+		}
+		if opts.Threshold > 0 && len(leaders[id]) > 0 {
+			// Find the closest leader for q (paper: getMinDist).
+			closest := -1
+			closestD2 := math.MaxFloat64
+			for li := range leaders[id] {
+				if stats != nil {
+					stats.LeaderChecks++
+				}
+				if d2 := q.Dist2(leaders[id][li].q); d2 < closestD2 {
+					closestD2 = d2
+					closest = li
+				}
+			}
+			if math.Sqrt(closestD2) < opts.Threshold {
+				// Approximate path: search in the leader's results.
+				if stats != nil {
+					stats.FollowerHits++
+				}
+				ld := leaders[id][closest]
+				if ld.res.Index >= 0 {
+					if stats != nil {
+						stats.LeafPointsViewed++
+					}
+					if d2 := q.Dist2(t.pts[ld.res.Index]); d2 < best.Dist2 {
+						*best = kdtree.Neighbor{Index: ld.res.Index, Dist2: d2}
+					}
+				}
+				return
+			}
+		}
+		// Precise path: exhaustive scan of the leaf set.
+		if stats != nil {
+			stats.LeafPointsViewed += int64(len(set))
+		}
+		local := kdtree.Neighbor{Index: -1, Dist2: math.MaxFloat64}
+		for _, pi := range set {
+			d2 := q.Dist2(t.pts[pi])
+			if d2 < local.Dist2 {
+				local = kdtree.Neighbor{Index: int(pi), Dist2: d2}
+			}
+			if d2 < best.Dist2 {
+				*best = kdtree.Neighbor{Index: int(pi), Dist2: d2}
+			}
+		}
+		if opts.Threshold > 0 && len(leaders[id]) < opts.MaxLeaders {
+			leaders[id] = append(leaders[id], nnLeader{q: q, res: local})
+			if stats != nil {
+				stats.LeaderInserts++
+			}
+		}
+	default:
+		n := &t.nodes[c]
+		if stats != nil {
+			stats.TopNodesVisited++
+		}
+		if d2 := q.Dist2(t.pts[n.Point]); d2 < best.Dist2 {
+			*best = kdtree.Neighbor{Index: int(n.Point), Dist2: d2}
+		}
+		diff := q.Component(int(n.Axis)) - n.Split
+		near, far := n.Left, n.Right
+		if diff > 0 {
+			near, far = far, near
+		}
+		t.nearestApprox(near, q, best, leaders, opts, stats)
+		if far != ChildNone {
+			if diff*diff < best.Dist2 {
+				t.nearestApprox(far, q, best, leaders, opts, stats)
+			} else if stats != nil {
+				stats.TopNodesPruned++
+			}
+		}
+	}
+}
+
+// RadiusBatchApprox answers radius queries as a batch with the approximate
+// leader/follower algorithm. Results are positionally aligned with queries
+// and sorted by ascending distance.
+func (t *Tree) RadiusBatchApprox(queries []geom.Vec3, r float64, opts ApproxOptions, stats *Stats) [][]kdtree.Neighbor {
+	opts.defaults()
+	if opts.RadiusThresholdFrac > 0 {
+		opts.Threshold = opts.RadiusThresholdFrac * r
+	}
+	leaders := make([][]radLeader, len(t.leaves))
+	out := make([][]kdtree.Neighbor, len(queries))
+	r2 := r * r
+	for qi, q := range queries {
+		if stats != nil {
+			stats.Queries++
+		}
+		var res []kdtree.Neighbor
+		t.radiusApprox(t.root, q, r2, &res, leaders, opts, stats)
+		sortNeighbors(res)
+		out[qi] = res
+	}
+	return out
+}
+
+func (t *Tree) radiusApprox(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neighbor, leaders [][]radLeader, opts ApproxOptions, stats *Stats) {
+	switch {
+	case c == ChildNone:
+		return
+	case c.IsLeaf():
+		id := c.LeafID()
+		set := t.leaves[id]
+		if len(set) == 0 {
+			return
+		}
+		if opts.Threshold > 0 && len(leaders[id]) > 0 {
+			closest := -1
+			closestD2 := math.MaxFloat64
+			for li := range leaders[id] {
+				if stats != nil {
+					stats.LeaderChecks++
+				}
+				if d2 := q.Dist2(leaders[id][li].q); d2 < closestD2 {
+					closestD2 = d2
+					closest = li
+				}
+			}
+			if math.Sqrt(closestD2) < opts.Threshold {
+				if stats != nil {
+					stats.FollowerHits++
+				}
+				// Approximate path: re-filter the leader's result set with
+				// this query's center.
+				ld := leaders[id][closest]
+				if stats != nil {
+					stats.LeafPointsViewed += int64(len(ld.res))
+				}
+				for _, nb := range ld.res {
+					if d2 := q.Dist2(t.pts[nb.Index]); d2 <= r2 {
+						*res = append(*res, kdtree.Neighbor{Index: nb.Index, Dist2: d2})
+					}
+				}
+				return
+			}
+		}
+		// Precise path.
+		if stats != nil {
+			stats.LeafPointsViewed += int64(len(set))
+		}
+		var local []kdtree.Neighbor
+		for _, pi := range set {
+			if d2 := q.Dist2(t.pts[pi]); d2 <= r2 {
+				nb := kdtree.Neighbor{Index: int(pi), Dist2: d2}
+				local = append(local, nb)
+				*res = append(*res, nb)
+			}
+		}
+		if opts.Threshold > 0 && len(leaders[id]) < opts.MaxLeaders {
+			leaders[id] = append(leaders[id], radLeader{q: q, res: local})
+			if stats != nil {
+				stats.LeaderInserts++
+			}
+		}
+	default:
+		n := &t.nodes[c]
+		if stats != nil {
+			stats.TopNodesVisited++
+		}
+		if d2 := q.Dist2(t.pts[n.Point]); d2 <= r2 {
+			*res = append(*res, kdtree.Neighbor{Index: int(n.Point), Dist2: d2})
+		}
+		diff := q.Component(int(n.Axis)) - n.Split
+		near, far := n.Left, n.Right
+		if diff > 0 {
+			near, far = far, near
+		}
+		t.radiusApprox(near, q, r2, res, leaders, opts, stats)
+		if far != ChildNone {
+			if diff*diff <= r2 {
+				t.radiusApprox(far, q, r2, res, leaders, opts, stats)
+			} else if stats != nil {
+				stats.TopNodesPruned++
+			}
+		}
+	}
+}

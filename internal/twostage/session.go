@@ -1,0 +1,65 @@
+package twostage
+
+import (
+	"math"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// ApproxSession runs approximate searches with leader state that persists
+// across calls, the way the accelerator's per-leaf Leader Buffers persist
+// across the queries of one pipeline stage (§5.3). Create one session per
+// stage invocation; the batch helpers in this package are one-shot
+// sessions.
+//
+// Radius leaders are only meaningful for a fixed radius; if the radius
+// changes between calls the radius leader state is reset.
+type ApproxSession struct {
+	tree *Tree
+	opts ApproxOptions
+	nn   [][]nnLeader
+	rad  [][]radLeader
+	radR float64
+}
+
+// NewApproxSession creates a session over t.
+func (t *Tree) NewApproxSession(opts ApproxOptions) *ApproxSession {
+	opts.defaults()
+	return &ApproxSession{
+		tree: t,
+		opts: opts,
+		nn:   make([][]nnLeader, len(t.leaves)),
+		rad:  make([][]radLeader, len(t.leaves)),
+		radR: -1,
+	}
+}
+
+// Nearest performs one approximate NN query, updating leader state.
+func (s *ApproxSession) Nearest(q geom.Vec3, stats *Stats) (kdtree.Neighbor, bool) {
+	if stats != nil {
+		stats.Queries++
+	}
+	best := kdtree.Neighbor{Index: -1, Dist2: math.MaxFloat64}
+	s.tree.nearestApprox(s.tree.root, q, &best, s.nn, s.opts, stats)
+	return best, best.Index >= 0
+}
+
+// Radius performs one approximate radius query, updating leader state.
+func (s *ApproxSession) Radius(q geom.Vec3, r float64, stats *Stats) []kdtree.Neighbor {
+	if stats != nil {
+		stats.Queries++
+	}
+	if r != s.radR {
+		s.rad = make([][]radLeader, len(s.tree.leaves))
+		s.radR = r
+	}
+	opts := s.opts
+	if opts.RadiusThresholdFrac > 0 {
+		opts.Threshold = opts.RadiusThresholdFrac * r
+	}
+	var res []kdtree.Neighbor
+	s.tree.radiusApprox(s.tree.root, q, r*r, &res, s.rad, opts, stats)
+	sortNeighbors(res)
+	return res
+}

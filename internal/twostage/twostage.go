@@ -1,0 +1,339 @@
+// Package twostage implements the paper's two-stage KD-tree (§4.1) and the
+// approximate leader/follower search algorithm built on it (§4.3,
+// Algorithm 1).
+//
+// The two-stage tree splits a canonical KD-tree at height htop: the top
+// half ("top-tree") is identical to the first htop levels of the classic
+// tree, but each top-tree leaf organizes all remaining descendant points
+// as an *unordered set* that is searched exhaustively. This trades
+// redundant distance computations for parallelism: the unordered sets have
+// no intra-set dependencies (node-level parallelism), and separate queries
+// proceed independently (query-level parallelism), which is exactly what
+// the internal/sim accelerator exploits.
+//
+// The approximate algorithm observes that queries arriving at the same
+// leaf are spatially close, so their results are similar. Queries arriving
+// at a leaf are split into leaders (searched exhaustively, results cached)
+// and followers (searched only against the closest leader's result set).
+// A distance discriminator thd decides the split, and the leader set per
+// leaf is capped (16 in the accelerator's Leader Buffer, §5.3).
+package twostage
+
+import (
+	"math"
+	"sort"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// Child encodes a top-tree child link: an internal node index (>= 0), an
+// empty slot (ChildNone), or a leaf-set reference (use LeafID to decode).
+type Child int32
+
+// ChildNone marks an absent child.
+const ChildNone Child = -1
+
+// leafBase offsets leaf encodings so they never collide with node indices.
+const leafBase Child = -2
+
+// IsLeaf reports whether the child link points at a leaf set.
+func (c Child) IsLeaf() bool { return c <= leafBase }
+
+// IsNode reports whether the child link points at an internal node.
+func (c Child) IsNode() bool { return c >= 0 }
+
+// LeafID returns the leaf-set index encoded in a leaf child link.
+func (c Child) LeafID() int { return int(leafBase - c) }
+
+// encodeLeaf builds the child link for leaf set id.
+func encodeLeaf(id int) Child { return leafBase - Child(id) }
+
+// Node is one top-tree node. It stores a point (like the canonical tree)
+// and a splitting plane. Exported so the accelerator simulator can walk
+// the exact structure the hardware would hold in its Input Point Buffer.
+type Node struct {
+	Point       int32 // index into the point slice
+	Left, Right Child
+	Axis        int8
+	Split       float64
+}
+
+// Tree is a two-stage KD-tree.
+type Tree struct {
+	pts    []geom.Vec3
+	nodes  []Node
+	leaves [][]int32
+	root   Child
+	height int
+}
+
+// Build constructs a two-stage tree with the given top-tree height. Height
+// 0 degenerates to a single unordered set (pure brute force, paper §4.1);
+// larger heights approach the canonical tree.
+func Build(pts []geom.Vec3, topHeight int) *Tree {
+	if topHeight < 0 {
+		topHeight = 0
+	}
+	t := &Tree{pts: pts, height: topHeight}
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+// BuildWithLeafSize constructs a two-stage tree whose leaf sets hold
+// roughly targetLeafSize points, the x-axis parameter of Fig. 6. The
+// corresponding top height is ceil(log2(n / targetLeafSize)).
+func BuildWithLeafSize(pts []geom.Vec3, targetLeafSize int) *Tree {
+	if targetLeafSize < 1 {
+		targetLeafSize = 1
+	}
+	n := len(pts)
+	h := 0
+	for size := n; size > targetLeafSize; size = (size - 1) / 2 {
+		h++
+	}
+	return Build(pts, h)
+}
+
+func (t *Tree) build(idx []int32, depth int) Child {
+	if len(idx) == 0 {
+		return ChildNone
+	}
+	if depth >= t.height {
+		id := len(t.leaves)
+		set := make([]int32, len(idx))
+		copy(set, idx)
+		t.leaves = append(t.leaves, set)
+		return encodeLeaf(id)
+	}
+	axis := widestAxis(t.pts, idx)
+	sort.Slice(idx, func(a, b int) bool {
+		pa := t.pts[idx[a]].Component(axis)
+		pb := t.pts[idx[b]].Component(axis)
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, Node{
+		Point: idx[mid],
+		Axis:  int8(axis),
+		Split: t.pts[idx[mid]].Component(axis),
+		Left:  ChildNone,
+		Right: ChildNone,
+	})
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[self].Left = left
+	t.nodes[self].Right = right
+	return Child(self)
+}
+
+// widestAxis mirrors the canonical tree's split-axis policy so that the
+// top-tree is "exactly the same as the first htop levels of the classic
+// KD-tree" (paper §4.1).
+func widestAxis(pts []geom.Vec3, idx []int32) int {
+	lo := pts[idx[0]]
+	hi := lo
+	for _, i := range idx[1:] {
+		p := pts[i]
+		if p.X < lo.X {
+			lo.X = p.X
+		} else if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		} else if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+		if p.Z < lo.Z {
+			lo.Z = p.Z
+		} else if p.Z > hi.Z {
+			hi.Z = p.Z
+		}
+	}
+	s := hi.Sub(lo)
+	switch {
+	case s.X >= s.Y && s.X >= s.Z:
+		return 0
+	case s.Y >= s.Z:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Points exposes the backing point slice.
+func (t *Tree) Points() []geom.Vec3 { return t.pts }
+
+// Nodes exposes the top-tree nodes (read-only by convention).
+func (t *Tree) Nodes() []Node { return t.nodes }
+
+// Leaves exposes the unordered leaf sets (read-only by convention).
+func (t *Tree) Leaves() [][]int32 { return t.leaves }
+
+// Root returns the root child link.
+func (t *Tree) Root() Child { return t.root }
+
+// TopHeight returns the configured top-tree height.
+func (t *Tree) TopHeight() int { return t.height }
+
+// MaxLeafSize returns the size of the largest leaf set (the paper's
+// "leaf-set size" knob reported in Fig. 6).
+func (t *Tree) MaxLeafSize() int {
+	m := 0
+	for _, l := range t.leaves {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// Stats instruments two-stage searches. The split between top-tree visits
+// and leaf-set visits matters: the paper's Fig. 6 counts both as "nodes
+// visited", while the accelerator maps the former onto Recursion Units and
+// the latter onto Search Unit PEs.
+type Stats struct {
+	TopNodesVisited  int64 // top-tree nodes whose distance was computed
+	TopNodesPruned   int64 // top-tree sub-trees skipped
+	LeafPointsViewed int64 // points scanned in exhaustive leaf searches
+	LeaderChecks     int64 // leader-distance computations (approx mode)
+	FollowerHits     int64 // queries served via a leader's result set
+	LeaderInserts    int64 // queries promoted to leaders
+	Queries          int64
+}
+
+// TotalVisited returns the Fig. 6 "nodes visited" metric: every point whose
+// distance to a query was computed.
+func (s *Stats) TotalVisited() int64 {
+	return s.TopNodesVisited + s.LeafPointsViewed + s.LeaderChecks
+}
+
+// Merge adds other's counters into s.
+func (s *Stats) Merge(other Stats) {
+	s.TopNodesVisited += other.TopNodesVisited
+	s.TopNodesPruned += other.TopNodesPruned
+	s.LeafPointsViewed += other.LeafPointsViewed
+	s.LeaderChecks += other.LeaderChecks
+	s.FollowerHits += other.FollowerHits
+	s.LeaderInserts += other.LeaderInserts
+	s.Queries += other.Queries
+}
+
+// Nearest performs an exact NN search on the two-stage structure.
+func (t *Tree) Nearest(q geom.Vec3, stats *Stats) (kdtree.Neighbor, bool) {
+	if stats != nil {
+		stats.Queries++
+	}
+	best := kdtree.Neighbor{Index: -1, Dist2: math.MaxFloat64}
+	t.nearestChild(t.root, q, &best, stats)
+	return best, best.Index >= 0
+}
+
+func (t *Tree) nearestChild(c Child, q geom.Vec3, best *kdtree.Neighbor, stats *Stats) {
+	switch {
+	case c == ChildNone:
+		return
+	case c.IsLeaf():
+		set := t.leaves[c.LeafID()]
+		if stats != nil {
+			stats.LeafPointsViewed += int64(len(set))
+		}
+		for _, pi := range set {
+			if d2 := q.Dist2(t.pts[pi]); d2 < best.Dist2 {
+				*best = kdtree.Neighbor{Index: int(pi), Dist2: d2}
+			}
+		}
+	default:
+		n := &t.nodes[c]
+		if stats != nil {
+			stats.TopNodesVisited++
+		}
+		if d2 := q.Dist2(t.pts[n.Point]); d2 < best.Dist2 {
+			*best = kdtree.Neighbor{Index: int(n.Point), Dist2: d2}
+		}
+		diff := q.Component(int(n.Axis)) - n.Split
+		near, far := n.Left, n.Right
+		if diff > 0 {
+			near, far = far, near
+		}
+		t.nearestChild(near, q, best, stats)
+		if far != ChildNone {
+			if diff*diff < best.Dist2 {
+				t.nearestChild(far, q, best, stats)
+			} else if stats != nil {
+				stats.TopNodesPruned++
+			}
+		}
+	}
+}
+
+// Radius performs an exact radius search on the two-stage structure,
+// returning neighbors in ascending distance order.
+func (t *Tree) Radius(q geom.Vec3, r float64, stats *Stats) []kdtree.Neighbor {
+	if stats != nil {
+		stats.Queries++
+	}
+	var res []kdtree.Neighbor
+	t.radiusChild(t.root, q, r*r, &res, stats)
+	sortNeighbors(res)
+	return res
+}
+
+func (t *Tree) radiusChild(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neighbor, stats *Stats) {
+	switch {
+	case c == ChildNone:
+		return
+	case c.IsLeaf():
+		set := t.leaves[c.LeafID()]
+		if stats != nil {
+			stats.LeafPointsViewed += int64(len(set))
+		}
+		for _, pi := range set {
+			if d2 := q.Dist2(t.pts[pi]); d2 <= r2 {
+				*res = append(*res, kdtree.Neighbor{Index: int(pi), Dist2: d2})
+			}
+		}
+	default:
+		n := &t.nodes[c]
+		if stats != nil {
+			stats.TopNodesVisited++
+		}
+		if d2 := q.Dist2(t.pts[n.Point]); d2 <= r2 {
+			*res = append(*res, kdtree.Neighbor{Index: int(n.Point), Dist2: d2})
+		}
+		diff := q.Component(int(n.Axis)) - n.Split
+		near, far := n.Left, n.Right
+		if diff > 0 {
+			near, far = far, near
+		}
+		t.radiusChild(near, q, r2, res, stats)
+		if far != ChildNone {
+			if diff*diff <= r2 {
+				t.radiusChild(far, q, r2, res, stats)
+			} else if stats != nil {
+				stats.TopNodesPruned++
+			}
+		}
+	}
+}
+
+func sortNeighbors(res []kdtree.Neighbor) {
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist2 != res[b].Dist2 {
+			return res[a].Dist2 < res[b].Dist2
+		}
+		return res[a].Index < res[b].Index
+	})
+}

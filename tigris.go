@@ -1,0 +1,250 @@
+// Package tigris is the public API of the Tigris reproduction: point
+// cloud registration (the paper's configurable two-phase pipeline),
+// acceleration-amenable KD-tree search (two-stage trees and the
+// approximate leader/follower algorithm), the cycle-level accelerator
+// model, CPU/GPU baseline models, a synthetic LiDAR dataset generator,
+// and the design-space-exploration harness.
+//
+// # Quick start
+//
+//	seq := tigris.GenerateSequence(tigris.EvalSequenceConfig(2, 42))
+//	res := tigris.Register(seq.Frames[1], seq.Frames[0], tigris.DefaultPipelineConfig())
+//	err := tigris.EvaluatePair(res.Transform, seq.GroundTruthDelta(0))
+//	fmt.Printf("terr %.2f%%  rerr %.4f deg/m\n", err.TranslationalPct, err.RotationalDegPerM)
+//
+// # Layout
+//
+// The implementation lives in internal/ packages; this package re-exports
+// the stable surface via type aliases, so all documented methods of the
+// aliased types are part of the public API:
+//
+//   - geometry: Vec3, Mat3, Transform (internal/geom)
+//   - containers: Cloud (internal/cloud)
+//   - search: KDTree, TwoStageTree, approximate sessions (internal/kdtree,
+//     internal/twostage, internal/search)
+//   - registration: PipelineConfig, Register, ICP, metrics
+//     (internal/registration)
+//   - accelerator: AccelConfig, SimWorkload, Simulate (internal/sim)
+//   - baselines: GPUModel/CPUModel (internal/baseline)
+//   - dataset: GenerateSequence (internal/synth)
+//   - experiments: design points and Pareto tools (internal/dse)
+package tigris
+
+import (
+	"io"
+
+	"tigris/internal/baseline"
+	"tigris/internal/cloud"
+	"tigris/internal/dse"
+	"tigris/internal/features"
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/registration"
+	"tigris/internal/sim"
+	"tigris/internal/synth"
+	"tigris/internal/twostage"
+)
+
+// Geometry.
+type (
+	// Vec3 is a 3D point or direction.
+	Vec3 = geom.Vec3
+	// Transform is a rigid-body transform (rotation + translation).
+	Transform = geom.Transform
+	// Mat3 is a 3×3 row-major matrix.
+	Mat3 = geom.Mat3
+)
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return geom.V3(x, y, z) }
+
+// IdentityTransform returns the identity rigid transform.
+func IdentityTransform() Transform { return geom.IdentityTransform() }
+
+// Point clouds.
+type (
+	// Cloud is a point cloud frame (points plus optional normals).
+	Cloud = cloud.Cloud
+)
+
+// NewCloud returns an empty cloud with capacity for n points.
+func NewCloud(n int) *Cloud { return cloud.New(n) }
+
+// CloudFromPoints wraps a point slice without copying.
+func CloudFromPoints(pts []Vec3) *Cloud { return cloud.FromPoints(pts) }
+
+// VoxelDownsample reduces a cloud to one centroid per voxel cell.
+func VoxelDownsample(c *Cloud, leaf float64) *Cloud { return cloud.VoxelDownsample(c, leaf) }
+
+// WriteCloud serializes a cloud in the ASCII TIGRIS-CLOUD format.
+func WriteCloud(w io.Writer, c *Cloud) error { return cloud.Write(w, c) }
+
+// ReadCloud parses a cloud previously produced by WriteCloud.
+func ReadCloud(r io.Reader) (*Cloud, error) { return cloud.Read(r) }
+
+// KD-tree search.
+type (
+	// Neighbor is one search result (point index + squared distance).
+	Neighbor = kdtree.Neighbor
+	// KDTree is the canonical KD-tree (paper §4.1).
+	KDTree = kdtree.Tree
+	// KDStats instruments canonical searches.
+	KDStats = kdtree.Stats
+	// TwoStageTree is the paper's parallelism-exposing structure (§4.1).
+	TwoStageTree = twostage.Tree
+	// TwoStageStats instruments two-stage searches.
+	TwoStageStats = twostage.Stats
+	// ApproxOptions configures the leader/follower algorithm (§4.3).
+	ApproxOptions = twostage.ApproxOptions
+)
+
+// BuildKDTree constructs a canonical KD-tree.
+func BuildKDTree(pts []Vec3) *KDTree { return kdtree.Build(pts) }
+
+// BuildTwoStageTree constructs a two-stage tree with the given top height.
+func BuildTwoStageTree(pts []Vec3, topHeight int) *TwoStageTree {
+	return twostage.Build(pts, topHeight)
+}
+
+// BuildTwoStageTreeWithLeafSize constructs a two-stage tree whose leaf
+// sets hold roughly targetLeafSize points (the Fig. 6 knob).
+func BuildTwoStageTreeWithLeafSize(pts []Vec3, targetLeafSize int) *TwoStageTree {
+	return twostage.BuildWithLeafSize(pts, targetLeafSize)
+}
+
+// Feature stages.
+type (
+	// NormalConfig parameterizes normal estimation.
+	NormalConfig = features.NormalConfig
+	// KeypointConfig parameterizes key-point detection.
+	KeypointConfig = features.KeypointConfig
+	// DescriptorConfig parameterizes descriptor computation.
+	DescriptorConfig = features.DescriptorConfig
+)
+
+// Registration pipeline.
+type (
+	// PipelineConfig is the full Tbl. 1 knob set.
+	PipelineConfig = registration.PipelineConfig
+	// Result is the registration outcome with instrumentation.
+	Result = registration.Result
+	// ICPConfig parameterizes fine-tuning.
+	ICPConfig = registration.ICPConfig
+	// FrameError is the KITTI-style per-pair error.
+	FrameError = registration.FrameError
+	// SequenceError aggregates frame errors.
+	SequenceError = registration.SequenceError
+)
+
+// Register estimates the transform mapping src onto dst.
+func Register(src, dst *Cloud, cfg PipelineConfig) Result {
+	return registration.Register(src, dst, cfg)
+}
+
+// EvaluatePair scores an estimated transform against ground truth.
+func EvaluatePair(estimated, truth Transform) FrameError {
+	return registration.EvaluatePair(estimated, truth)
+}
+
+// AggregateErrors summarizes per-frame errors.
+func AggregateErrors(errs []FrameError) SequenceError {
+	return registration.Aggregate(errs)
+}
+
+// DefaultPipelineConfig returns a balanced design point (the DSE base
+// configuration) suitable for the synthetic LiDAR frames.
+func DefaultPipelineConfig() PipelineConfig {
+	dps := dse.NamedDesignPoints()
+	return dps[4].Config // DP5: the balanced middle of the frontier
+}
+
+// Dataset generation.
+type (
+	// SequenceConfig configures synthetic sequence generation.
+	SequenceConfig = synth.SequenceConfig
+	// Sequence is a generated dataset (frames + ground-truth poses).
+	Sequence = synth.Sequence
+	// LidarConfig models the spinning multi-beam sensor.
+	LidarConfig = synth.LidarConfig
+	// SceneConfig controls procedural street generation.
+	SceneConfig = synth.SceneConfig
+)
+
+// GenerateSequence renders LiDAR frames along a trajectory.
+func GenerateSequence(cfg SequenceConfig) *Sequence { return synth.GenerateSequence(cfg) }
+
+// QuickSequenceConfig returns a small, fast test-scale dataset config.
+func QuickSequenceConfig(frames int, seed int64) SequenceConfig {
+	return synth.QuickSequenceConfig(frames, seed)
+}
+
+// EvalSequenceConfig returns the experiment-scale dataset config
+// (~18k points/frame).
+func EvalSequenceConfig(frames int, seed int64) SequenceConfig {
+	return synth.EvalSequenceConfig(frames, seed)
+}
+
+// Accelerator model.
+type (
+	// AccelConfig describes one accelerator instance (§5, §6.2).
+	AccelConfig = sim.Config
+	// AccelReport is a simulation outcome.
+	AccelReport = sim.Report
+	// SimWorkload is a batch of same-kind search queries.
+	SimWorkload = sim.Workload
+)
+
+// Search kinds for SimWorkload.
+const (
+	NNSearch     = sim.NNSearch
+	RadiusSearch = sim.RadiusSearch
+)
+
+// DefaultAccelConfig returns the paper's evaluated configuration (64 RUs,
+// 32 SUs, 32 PEs/SU at 500 MHz).
+func DefaultAccelConfig() AccelConfig { return sim.DefaultConfig() }
+
+// Simulate executes the workload on the modeled accelerator.
+func Simulate(tree *TwoStageTree, w SimWorkload, cfg AccelConfig) (*AccelReport, error) {
+	return sim.Run(tree, w, cfg)
+}
+
+// Baselines.
+type (
+	// BaselineModel is a CPU/GPU throughput+power model.
+	BaselineModel = baseline.Model
+	// BaselineProfile summarizes a workload as visit counts.
+	BaselineProfile = baseline.Profile
+)
+
+// GPUBaseline returns the RTX 2080 Ti model (paper §6.1).
+func GPUBaseline() BaselineModel { return baseline.RTX2080Ti }
+
+// CPUBaseline returns the Xeon 4110 model (paper §6.1).
+func CPUBaseline() BaselineModel { return baseline.Xeon4110 }
+
+// ProfileCanonicalSearch replays the workload on a canonical KD-tree.
+func ProfileCanonicalSearch(t *KDTree, w SimWorkload) BaselineProfile {
+	return baseline.ProfileCanonical(t, w)
+}
+
+// ProfileTwoStageSearch replays the workload on a two-stage tree.
+func ProfileTwoStageSearch(t *TwoStageTree, w SimWorkload) BaselineProfile {
+	return baseline.ProfileTwoStage(t, w)
+}
+
+// Design-space exploration.
+type (
+	// DesignPoint names one pipeline configuration.
+	DesignPoint = dse.DesignPoint
+	// EvaluatedDesignPoint is one design point's measured outcome.
+	EvaluatedDesignPoint = dse.Evaluated
+)
+
+// NamedDesignPoints returns the paper's Pareto points DP1–DP8.
+func NamedDesignPoints() []DesignPoint { return dse.NamedDesignPoints() }
+
+// EvaluateDesignPoint runs a design point over a sequence.
+func EvaluateDesignPoint(seq *Sequence, dp DesignPoint) EvaluatedDesignPoint {
+	return dse.Evaluate(seq, dp)
+}

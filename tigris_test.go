@@ -1,0 +1,104 @@
+package tigris_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tigris"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the
+// quickstart example does: dataset → registration → evaluation →
+// accelerator simulation → baseline comparison.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	seq := tigris.GenerateSequence(tigris.QuickSequenceConfig(2, 8))
+	if seq.Len() != 2 || seq.Frames[0].Len() == 0 {
+		t.Fatal("sequence generation failed")
+	}
+
+	cfg := tigris.DefaultPipelineConfig()
+	res := tigris.Register(seq.Frames[1], seq.Frames[0], cfg)
+	e := tigris.EvaluatePair(res.Transform, seq.GroundTruthDelta(0))
+	if math.IsNaN(e.TranslationalPct) || e.TranslationalPct < 0 {
+		t.Fatalf("bad error metric: %+v", e)
+	}
+	if res.Total <= 0 || res.KDSearchTime <= 0 {
+		t.Fatal("instrumentation missing")
+	}
+
+	agg := tigris.AggregateErrors([]tigris.FrameError{e, e})
+	if agg.Frames != 2 {
+		t.Fatal("aggregation broken")
+	}
+
+	// Search structures.
+	pts := seq.Frames[0].Points
+	kd := tigris.BuildKDTree(pts)
+	two := tigris.BuildTwoStageTreeWithLeafSize(pts, 64)
+	q := pts[0]
+	a, _ := kd.Nearest(q, nil)
+	b, _ := two.Nearest(q, nil)
+	if a.Index != b.Index {
+		t.Fatal("tree variants disagree")
+	}
+
+	// Accelerator + baselines. The workload must be frame-scale for the
+	// GPU's throughput to beat its kernel-launch overhead.
+	w := tigris.SimWorkload{Kind: tigris.NNSearch, Queries: pts}
+	rep, err := tigris.Simulate(two, w, tigris.DefaultAccelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles == 0 || len(rep.NNResults) != len(pts) {
+		t.Fatal("simulation empty")
+	}
+	prof := tigris.ProfileCanonicalSearch(kd, w)
+	if tigris.GPUBaseline().Time(prof) <= 0 || tigris.CPUBaseline().Time(prof) <= 0 {
+		t.Fatal("baseline models broken")
+	}
+	if tigris.GPUBaseline().Time(prof) >= tigris.CPUBaseline().Time(prof) {
+		t.Fatal("GPU should beat CPU at this workload size")
+	}
+}
+
+func TestPublicAPICloudHelpers(t *testing.T) {
+	c := tigris.CloudFromPoints([]tigris.Vec3{
+		tigris.V3(0.1, 0.1, 0), tigris.V3(0.2, 0.2, 0), tigris.V3(5, 5, 0),
+	})
+	d := tigris.VoxelDownsample(c, 1.0)
+	if d.Len() != 2 {
+		t.Fatalf("downsample = %d cells", d.Len())
+	}
+	var buf bytes.Buffer
+	if err := tigris.WriteCloud(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tigris.ReadCloud(&buf)
+	if err != nil || back.Len() != d.Len() {
+		t.Fatalf("cloud IO round trip: %v", err)
+	}
+}
+
+func TestPublicAPIDesignPoints(t *testing.T) {
+	dps := tigris.NamedDesignPoints()
+	if len(dps) != 8 {
+		t.Fatalf("expected DP1..DP8, got %d", len(dps))
+	}
+	seq := tigris.GenerateSequence(tigris.QuickSequenceConfig(2, 9))
+	ev := tigris.EvaluateDesignPoint(seq, dps[3]) // DP4
+	if ev.MeanTime <= 0 {
+		t.Fatal("design point evaluation produced no timing")
+	}
+}
+
+func TestPublicAPITransforms(t *testing.T) {
+	tr := tigris.IdentityTransform()
+	if !tr.NearlyEqual(tr.Compose(tr), 1e-12) {
+		t.Fatal("identity compose broken")
+	}
+	v := tigris.V3(1, 2, 3)
+	if tr.Apply(v) != v {
+		t.Fatal("identity apply broken")
+	}
+}
