@@ -15,6 +15,7 @@ import (
 	"tigris/internal/dse"
 	"tigris/internal/kdtree"
 	"tigris/internal/registration"
+	"tigris/internal/search"
 	"tigris/internal/sim"
 	"tigris/internal/synth"
 	"tigris/internal/twostage"
@@ -354,6 +355,100 @@ func BenchmarkFig15_TopTreeHeight(b *testing.B) {
 		}
 	}
 }
+
+// --- Serial vs parallel batched search ----------------------------------
+//
+// The batched Searcher API spreads each stage's queries over a worker
+// pool; these pairs measure the end-to-end and per-query-kind speedup on
+// the current machine (compare the Serial/Parallel ns/op in BENCH_*.json
+// runs). Exact search results are bit-identical between the variants.
+
+func benchmarkRegister(b *testing.B, parallelism int) {
+	seq := benchSeq()
+	cfg := dse.DP4().Config
+	cfg.Searcher.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := registration.Register(seq.Frames[1], seq.Frames[0], cfg)
+		if res.Stage.Total() <= 0 {
+			b.Fatal("per-stage StageTimes not populated")
+		}
+	}
+}
+
+// BenchmarkRegisterSerial pins every search batch to one worker.
+func BenchmarkRegisterSerial(b *testing.B) { benchmarkRegister(b, 1) }
+
+// BenchmarkRegisterParallel uses one worker per CPU (the default).
+func BenchmarkRegisterParallel(b *testing.B) { benchmarkRegister(b, 0) }
+
+// searchBench lazily builds the shared micro-benchmark data: a KD-tree
+// over frame 0 and the full frame-1 point set as the query batch.
+var searchBench struct {
+	once    sync.Once
+	target  []Vec3
+	queries []Vec3
+}
+
+func searchBenchData() ([]Vec3, []Vec3) {
+	searchBench.once.Do(func() {
+		seq := benchSeq()
+		searchBench.target = seq.Frames[0].Points
+		searchBench.queries = seq.Frames[1].Points
+	})
+	return searchBench.target, searchBench.queries
+}
+
+func benchmarkRadiusBatch(b *testing.B, parallelism int) {
+	target, queries := searchBenchData()
+	s := search.NewKDSearcher(target)
+	s.SetParallelism(parallelism)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.RadiusBatch(queries, 0.5)
+		if len(res) != len(queries) {
+			b.Fatal("batch size mismatch")
+		}
+	}
+}
+
+// BenchmarkRadiusBatchSerial / Parallel: the NE-stage query shape.
+func BenchmarkRadiusBatchSerial(b *testing.B)   { benchmarkRadiusBatch(b, 1) }
+func BenchmarkRadiusBatchParallel(b *testing.B) { benchmarkRadiusBatch(b, 0) }
+
+func benchmarkKNearestBatch(b *testing.B, parallelism int) {
+	target, queries := searchBenchData()
+	s := search.NewKDSearcher(target)
+	s.SetParallelism(parallelism)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.KNearestBatch(queries, 10)
+		if len(res) != len(queries) {
+			b.Fatal("batch size mismatch")
+		}
+	}
+}
+
+// BenchmarkKNearestBatchSerial / Parallel: the k-NN support-region shape.
+func BenchmarkKNearestBatchSerial(b *testing.B)   { benchmarkKNearestBatch(b, 1) }
+func BenchmarkKNearestBatchParallel(b *testing.B) { benchmarkKNearestBatch(b, 0) }
+
+func benchmarkNearestBatchTwoStage(b *testing.B, parallelism int) {
+	target, queries := searchBenchData()
+	s := search.NewTwoStageSearcher(target, search.TwoStageConfig{TopHeight: -1, Parallelism: parallelism})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.NearestBatch(queries)
+		if len(res) != len(queries) {
+			b.Fatal("batch size mismatch")
+		}
+	}
+}
+
+// BenchmarkNearestBatchTwoStageSerial / Parallel: the RPCE query shape on
+// the parallelism-exposing tree.
+func BenchmarkNearestBatchTwoStageSerial(b *testing.B)   { benchmarkNearestBatchTwoStage(b, 1) }
+func BenchmarkNearestBatchTwoStageParallel(b *testing.B) { benchmarkNearestBatchTwoStage(b, 0) }
 
 // BenchmarkTableArea reports the §6.2 area model outputs.
 func BenchmarkTableArea(b *testing.B) {

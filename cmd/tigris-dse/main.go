@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tigris-dse [-frames N] [-seed S] [-grid] [-stages] [-quick]
+//	tigris-dse [-frames N] [-seed S] [-parallel N] [-grid] [-stages] [-quick]
 //
 // With -grid the full Tbl. 1 knob grid (48 points) is evaluated; with
 // -stages the named DP1–DP8 breakdowns are printed. Default runs both.
@@ -26,6 +26,7 @@ import (
 func main() {
 	frames := flag.Int("frames", 3, "frames in the synthetic sequence (pairs = frames-1)")
 	seed := flag.Int64("seed", 2019, "dataset seed")
+	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
 	gridOnly := flag.Bool("grid", false, "run only the Fig. 3 grid DSE")
 	stagesOnly := flag.Bool("stages", false, "run only the Fig. 4 stage breakdowns")
 	quick := flag.Bool("quick", false, "use small test-scale frames")
@@ -42,22 +43,23 @@ func main() {
 	fmt.Printf("frame size: %d points\n\n", seq.Frames[0].Len())
 
 	if !*stagesOnly {
-		runGrid(seq)
+		runGrid(seq, *parallel)
 	}
 	if !*gridOnly {
-		runStages(seq)
+		runStages(seq, *parallel)
 	}
 	_ = os.Stdout
 }
 
 // runGrid evaluates the Tbl. 1 grid and prints the Fig. 3 scatter plus
 // Pareto fronts.
-func runGrid(seq *synth.Sequence) {
+func runGrid(seq *synth.Sequence, parallel int) {
 	fmt.Println("=== Fig. 3: design-space exploration (error vs time) ===")
 	grid := dse.Grid()
 	evals := make([]dse.Evaluated, 0, len(grid))
 	start := time.Now()
 	for i, dp := range grid {
+		dp.Config.Searcher.Parallelism = parallel
 		ev := dse.Evaluate(seq, dp)
 		evals = append(evals, ev)
 		fmt.Printf("  [%2d/%d] %-42s terr %6.2f%%  rerr %7.4f°/m  time %8.1fms\n",
@@ -88,7 +90,7 @@ func runGrid(seq *synth.Sequence) {
 }
 
 // runStages prints the Fig. 4a/4b breakdowns for DP1–DP8.
-func runStages(seq *synth.Sequence) {
+func runStages(seq *synth.Sequence, parallel int) {
 	fmt.Println("=== Fig. 4a: per-stage time distribution of DP1-DP8 (%) ===")
 	fmt.Printf("%-5s %7s %7s %7s %7s %7s %7s %7s\n",
 		"DP", "NE", "KeyPt", "Desc", "KPCE", "Reject", "RPCE", "ErrMin")
@@ -97,6 +99,7 @@ func runStages(seq *synth.Sequence) {
 	}
 	var rows []row
 	for _, dp := range dse.NamedDesignPoints() {
+		dp.Config.Searcher.Parallelism = parallel
 		ev := dse.Evaluate(seq, dp)
 		rows = append(rows, row{ev: ev})
 		total := float64(ev.Stage.Total())

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tigris-register [-searcher canonical|twostage|approx] [-profile] source.cloud target.cloud
+//	tigris-register [-searcher canonical|twostage|approx] [-parallel N] [-profile] source.cloud target.cloud
 //
 // Generate sample inputs with `go run ./examples/mapping` or via
 // tigris.WriteCloud.
@@ -25,6 +25,7 @@ import (
 
 func main() {
 	searcher := flag.String("searcher", "canonical", "search backend: canonical, twostage, or approx")
+	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
 	profile := flag.Bool("profile", false, "print stage timing and KD-tree search breakdown")
 	designPoint := flag.String("dp", "DP5", "design point to run (DP1..DP8)")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	default:
 		log.Fatalf("unknown searcher %q", *searcher)
 	}
+	cfg.Searcher.Parallelism = *parallel
 
 	res := registration.Register(src, dst, cfg)
 

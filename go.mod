@@ -1,0 +1,3 @@
+module tigris
+
+go 1.24

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"tigris/internal/kdtree"
+	"tigris/internal/par"
 	"tigris/internal/sim"
 	"tigris/internal/twostage"
 )
@@ -98,19 +99,29 @@ func (m Model) Energy(p Profile) float64 {
 }
 
 // ProfileCanonical replays the workload on a canonical KD-tree and
-// returns its visit profile (the paper's Base-KD configuration).
+// returns its visit profile (the paper's Base-KD configuration). The
+// replay is sequential; use ProfileCanonicalParallel to spread it over a
+// worker pool (the profile is identical either way).
 func ProfileCanonical(tree *kdtree.Tree, w sim.Workload) Profile {
+	return ProfileCanonicalParallel(tree, w, 1)
+}
+
+// ProfileCanonicalParallel replays the workload on a canonical KD-tree
+// over parallelism workers (<= 0 selects NumCPU). Each worker records
+// into its own stats shard and the shards are merged, so the returned
+// visit counts are identical to the sequential replay — only the
+// wall time changes.
+func ProfileCanonicalParallel(tree *kdtree.Tree, w sim.Workload, parallelism int) Profile {
 	var stats kdtree.Stats
-	switch w.Kind {
-	case sim.RadiusSearch:
-		for _, q := range w.Queries {
-			tree.Radius(q, w.Radius, &stats)
-		}
-	default:
-		for _, q := range w.Queries {
-			tree.Nearest(q, &stats)
-		}
-	}
+	par.Sharded(len(w.Queries), par.Workers(parallelism),
+		func(shard *kdtree.Stats, i int) {
+			if w.Kind == sim.RadiusSearch {
+				tree.Radius(w.Queries[i], w.Radius, shard)
+			} else {
+				tree.Nearest(w.Queries[i], shard)
+			}
+		},
+		func(shard *kdtree.Stats) { stats.Merge(*shard) })
 	return Profile{
 		TreeVisits: stats.NodesVisited,
 		Queries:    stats.Queries,
@@ -119,19 +130,27 @@ func ProfileCanonical(tree *kdtree.Tree, w sim.Workload) Profile {
 
 // ProfileTwoStage replays the workload on a two-stage tree and returns
 // its visit profile (the paper's Base-2SKD configuration). Top-tree
-// visits are traversal-shaped; leaf scans are brute-force-shaped.
+// visits are traversal-shaped; leaf scans are brute-force-shaped. The
+// replay is sequential; use ProfileTwoStageParallel for the worker-pool
+// variant with an identical profile.
 func ProfileTwoStage(tree *twostage.Tree, w sim.Workload) Profile {
+	return ProfileTwoStageParallel(tree, w, 1)
+}
+
+// ProfileTwoStageParallel replays the workload on a two-stage tree over
+// parallelism workers (<= 0 selects NumCPU), with per-worker stats shards
+// merged into one profile.
+func ProfileTwoStageParallel(tree *twostage.Tree, w sim.Workload, parallelism int) Profile {
 	var stats twostage.Stats
-	switch w.Kind {
-	case sim.RadiusSearch:
-		for _, q := range w.Queries {
-			tree.Radius(q, w.Radius, &stats)
-		}
-	default:
-		for _, q := range w.Queries {
-			tree.Nearest(q, &stats)
-		}
-	}
+	par.Sharded(len(w.Queries), par.Workers(parallelism),
+		func(shard *twostage.Stats, i int) {
+			if w.Kind == sim.RadiusSearch {
+				tree.Radius(w.Queries[i], w.Radius, shard)
+			} else {
+				tree.Nearest(w.Queries[i], shard)
+			}
+		},
+		func(shard *twostage.Stats) { stats.Merge(*shard) })
 	return Profile{
 		TreeVisits:  stats.TopNodesVisited,
 		BruteVisits: stats.LeafPointsViewed + stats.LeaderChecks,

@@ -124,3 +124,30 @@ func TestTimeMonotoneInWork(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelProfileMatchesSequential(t *testing.T) {
+	// The worker-pool replay shards stats per worker and merges; the
+	// resulting profile must be identical to the sequential replay for
+	// both trees and both search kinds.
+	r := rand.New(rand.NewSource(99))
+	pts := surfacePoints(r, 3000)
+	wn := nnWorkload(pts, r, 500)
+	wr := sim.Workload{Kind: sim.RadiusSearch, Radius: 0.8, Queries: wn.Queries}
+	canon := kdtree.Build(pts)
+	two := twostage.BuildWithLeafSize(pts, 64)
+
+	for _, w := range []sim.Workload{wn, wr} {
+		seqC := ProfileCanonical(canon, w)
+		for _, p := range []int{2, 8} {
+			if got := ProfileCanonicalParallel(canon, w, p); got != seqC {
+				t.Errorf("canonical kind=%v p=%d: %+v, want %+v", w.Kind, p, got, seqC)
+			}
+		}
+		seqT := ProfileTwoStage(two, w)
+		for _, p := range []int{2, 8} {
+			if got := ProfileTwoStageParallel(two, w, p); got != seqT {
+				t.Errorf("twostage kind=%v p=%d: %+v, want %+v", w.Kind, p, got, seqT)
+			}
+		}
+	}
+}

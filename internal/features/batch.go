@@ -1,0 +1,44 @@
+package features
+
+import (
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/par"
+	"tigris/internal/search"
+)
+
+// batchBlockSize bounds how many neighborhoods a full-cloud stage
+// materializes at once: queries stream through the searcher in blocks,
+// each answered by one batch call and consumed by one parallel sweep, so
+// peak memory is O(block × neighbors) instead of O(cloud × neighbors)
+// on million-point frames. The size is a multiple of
+// search.ApproxBatchChunk so the approximate backend's session-chunk
+// boundaries — and therefore its results — are identical whether the
+// stage issues one big batch or streams blocks.
+const batchBlockSize = 32 * search.ApproxBatchChunk
+
+// forBlocks streams pts through batch in bounded blocks and hands every
+// query's neighbors to fn on the worker pool. fn receives the worker id
+// (stable within one call, for per-worker tallies), the global query
+// index, and that query's neighbor list; it must write results
+// positionally, which keeps the output bit-identical to the sequential
+// per-query loop.
+func forBlocks(workers int, pts []geom.Vec3, batch func(block []geom.Vec3) [][]kdtree.Neighbor, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+	for lo := 0; lo < len(pts); lo += batchBlockSize {
+		hi := lo + batchBlockSize
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		nbs := batch(pts[lo:hi])
+		par.For(hi-lo, workers, func(w, j int) {
+			fn(w, lo+j, nbs[j])
+		})
+	}
+}
+
+// forRadiusBlocks is forBlocks for the common radius-search shape.
+func forRadiusBlocks(s search.Searcher, pts []geom.Vec3, r float64, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+	forBlocks(s.Parallelism(), pts, func(block []geom.Vec3) [][]kdtree.Neighbor {
+		return s.RadiusBatch(block, r)
+	}, fn)
+}

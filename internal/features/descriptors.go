@@ -2,11 +2,13 @@ package features
 
 import (
 	"math"
+	"sort"
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/linalg"
+	"tigris/internal/par"
 	"tigris/internal/search"
 )
 
@@ -90,26 +92,96 @@ func (d *Descriptors) Row(i int) []float64 {
 // index. The cloud must have normals. Neighbor lookups go through s so the
 // pipeline's search instrumentation sees this stage's traffic (it is one
 // of the three dominant stages of Fig. 4a).
+//
+// The stage is batched: one RadiusBatch fetches every key-point support
+// region, then the pure per-key-point histogram math fans out over
+// internal/par. FPFH needs a second level — the SPFHs of every support
+// point — which is gathered as its own batch over the deduplicated
+// support set, replacing the sequential memoization cache with a
+// precomputed table (same values, computed once each, in parallel).
 func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg DescriptorConfig) *Descriptors {
 	cfg.defaults()
 	dim := cfg.Method.Dim()
 	out := &Descriptors{Dim: dim, Data: make([]float64, dim*len(keypoints))}
-	var spfhCache map[int][]float64
-	if cfg.Method == FPFH {
-		spfhCache = make(map[int][]float64)
-	}
+	kpPts := make([]geom.Vec3, len(keypoints))
 	for ki, pi := range keypoints {
-		row := out.Data[ki*dim : (ki+1)*dim]
-		switch cfg.Method {
-		case SHOT:
-			shotDescriptor(c, s, pi, cfg.SearchRadius, row)
-		case SC3D:
-			shapeContextDescriptor(c, s, pi, cfg.SearchRadius, row)
-		default:
-			fpfhDescriptor(c, s, pi, cfg.SearchRadius, row, spfhCache)
-		}
+		kpPts[ki] = c.Points[pi]
+	}
+	kpNbs := s.RadiusBatch(kpPts, cfg.SearchRadius)
+	workers := s.Parallelism()
+	switch cfg.Method {
+	case SHOT:
+		par.For(len(keypoints), workers, func(_, ki int) {
+			shotDescriptor(c, keypoints[ki], cfg.SearchRadius, kpNbs[ki], out.Data[ki*dim:(ki+1)*dim])
+		})
+	case SC3D:
+		par.For(len(keypoints), workers, func(_, ki int) {
+			shapeContextDescriptor(c, keypoints[ki], cfg.SearchRadius, kpNbs[ki], out.Data[ki*dim:(ki+1)*dim])
+		})
+	default:
+		spfhTable := computeSPFHTable(c, s, keypoints, kpNbs, cfg.SearchRadius)
+		par.For(len(keypoints), workers, func(_, ki int) {
+			fpfhDescriptor(c, keypoints[ki], kpNbs[ki], out.Data[ki*dim:(ki+1)*dim], spfhTable)
+		})
 	}
 	return out
+}
+
+// computeSPFHTable returns the SPFH of every point an FPFH row will read:
+// each key-point itself plus every neighbor its weighting loop touches.
+// Key-point SPFHs reuse the neighborhoods the caller already fetched
+// (kpNbs is their exact radius result); the remaining support points are
+// deduplicated and sorted so their batch is issued in a deterministic
+// order, and every SPFH is computed exactly once (the sequential
+// implementation memoized the same values in a cache keyed by index).
+func computeSPFHTable(c *cloud.Cloud, s search.Searcher, keypoints []int, kpNbs [][]kdtree.Neighbor, radius float64) map[int][]float64 {
+	kpSet := make(map[int]struct{}, len(keypoints))
+	for _, pi := range keypoints {
+		kpSet[pi] = struct{}{}
+	}
+	needSet := make(map[int]struct{}, len(keypoints)*8)
+	for ki, pi := range keypoints {
+		for _, nb := range kpNbs[ki] {
+			if nb.Index == pi || nb.Dist2 < 1e-12 {
+				continue
+			}
+			if _, isKP := kpSet[nb.Index]; isKP {
+				continue
+			}
+			needSet[nb.Index] = struct{}{}
+		}
+	}
+	need := make([]int, 0, len(needSet))
+	for idx := range needSet {
+		need = append(need, idx)
+	}
+	sort.Ints(need)
+
+	kpRows := make([][]float64, len(keypoints))
+	par.For(len(keypoints), s.Parallelism(), func(_, ki int) {
+		kpRows[ki] = spfh(c, keypoints[ki], kpNbs[ki])
+	})
+
+	pts := make([]geom.Vec3, len(need))
+	for i, idx := range need {
+		pts[i] = c.Points[idx]
+	}
+	// The support set can approach the whole cloud when key-points are
+	// dense, so stream it in bounded blocks like the full-cloud stages:
+	// only the SPFH rows persist, each block's neighbor lists are
+	// released after its sweep.
+	rows := make([][]float64, len(need))
+	forRadiusBlocks(s, pts, radius, func(_, i int, nbs []kdtree.Neighbor) {
+		rows[i] = spfh(c, need[i], nbs)
+	})
+	table := make(map[int][]float64, len(keypoints)+len(need))
+	for ki, pi := range keypoints {
+		table[pi] = kpRows[ki]
+	}
+	for i, idx := range need {
+		table[idx] = rows[i]
+	}
+	return table
 }
 
 // --- FPFH ---------------------------------------------------------------
@@ -138,13 +210,13 @@ func darbouxAngles(ps, ns, pt, nt geom.Vec3) (alpha, phi, theta float64, ok bool
 	return alpha, phi, theta, true
 }
 
-// spfh computes the Simplified Point Feature Histogram of point pi: the
-// concatenated (α, φ, θ) histograms over its neighborhood.
-func spfh(c *cloud.Cloud, s search.Searcher, pi int, radius float64) []float64 {
+// spfh computes the Simplified Point Feature Histogram of point pi over
+// the prefetched radius neighborhood nbs: the concatenated (α, φ, θ)
+// histograms.
+func spfh(c *cloud.Cloud, pi int, nbs []kdtree.Neighbor) []float64 {
 	h := make([]float64, 3*fpfhBinsPerAngle)
 	p := c.Points[pi]
 	n := c.Normals[pi]
-	nbs := s.Radius(p, radius)
 	count := 0
 	for _, nb := range nbs {
 		if nb.Index == pi {
@@ -193,20 +265,10 @@ func binAngle(v float64) int {
 }
 
 // fpfhDescriptor computes FPFH(p) = SPFH(p) + Σ_k SPFH(k)/ω_k over the
-// neighborhood, with ω_k the distance weight. SPFHs are cached because
-// neighboring key-points share them.
-func fpfhDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64, cache map[int][]float64) {
-	getSPFH := func(idx int) []float64 {
-		if h, ok := cache[idx]; ok {
-			return h
-		}
-		h := spfh(c, s, idx, radius)
-		cache[idx] = h
-		return h
-	}
-	own := getSPFH(pi)
-	copy(row, own)
-	nbs := s.Radius(c.Points[pi], radius)
+// prefetched neighborhood, with ω_k the distance weight. spfhTable holds
+// the SPFH of every index the loop reads (see computeSPFHTable).
+func fpfhDescriptor(c *cloud.Cloud, pi int, nbs []kdtree.Neighbor, row []float64, spfhTable map[int][]float64) {
+	copy(row, spfhTable[pi])
 	var wsum float64
 	acc := make([]float64, len(row))
 	for _, nb := range nbs {
@@ -214,7 +276,7 @@ func fpfhDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, r
 			continue
 		}
 		w := 1 / math.Sqrt(nb.Dist2)
-		h := getSPFH(nb.Index)
+		h := spfhTable[nb.Index]
 		for i := range acc {
 			acc[i] += w * h[i]
 		}
@@ -237,12 +299,12 @@ const (
 	shotCosineBins    = 11
 )
 
-// shotLRF builds the repeatable local reference frame of SHOT: the
-// eigenvectors of the distance-weighted covariance with sign
-// disambiguation toward the majority of neighbors.
-func shotLRF(c *cloud.Cloud, s search.Searcher, pi int, radius float64) (x, y, z geom.Vec3, nbs []searchNeighbor) {
+// shotLRF builds the repeatable local reference frame of SHOT over the
+// prefetched radius neighborhood: the eigenvectors of the
+// distance-weighted covariance with sign disambiguation toward the
+// majority of neighbors.
+func shotLRF(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor) (x, y, z geom.Vec3) {
 	p := c.Points[pi]
-	nbs = s.Radius(p, radius)
 	var cov geom.Mat3
 	var wsum float64
 	for _, nb := range nbs {
@@ -255,7 +317,7 @@ func shotLRF(c *cloud.Cloud, s search.Searcher, pi int, radius float64) (x, y, z
 		wsum += w
 	}
 	if wsum <= 0 {
-		return geom.Vec3{X: 1}, geom.Vec3{Y: 1}, geom.Vec3{Z: 1}, nbs
+		return geom.Vec3{X: 1}, geom.Vec3{Y: 1}, geom.Vec3{Z: 1}
 	}
 	cov = cov.Scale(1 / wsum)
 	eig := linalg.EigenSym3(cov)
@@ -284,15 +346,15 @@ func shotLRF(c *cloud.Cloud, s search.Searcher, pi int, radius float64) (x, y, z
 		z = z.Neg()
 	}
 	y = z.Cross(x)
-	return x, y, z, nbs
+	return x, y, z
 }
 
-// shotDescriptor fills row with the SHOT signature: the support sphere is
-// split into azimuth × elevation × radial sectors; each sector holds an
-// 11-bin histogram of cos(angle between the neighbor normal and the
-// key-point normal).
-func shotDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64) {
-	x, y, z, nbs := shotLRF(c, s, pi, radius)
+// shotDescriptor fills row with the SHOT signature over the prefetched
+// neighborhood: the support sphere is split into azimuth × elevation ×
+// radial sectors; each sector holds an 11-bin histogram of cos(angle
+// between the neighbor normal and the key-point normal).
+func shotDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor, row []float64) {
+	x, y, z := shotLRF(c, pi, radius, nbs)
 	p := c.Points[pi]
 	n := c.Normals[pi]
 	total := 0.0
@@ -358,15 +420,14 @@ const (
 	scRadialBins    = 5
 )
 
-// shapeContextDescriptor fills row with the 3D Shape Context: a
-// log-radial spherical histogram of neighbor positions in a normal-aligned
-// frame, each contribution weighted by the inverse local density as in
-// Frome et al.
-func shapeContextDescriptor(c *cloud.Cloud, s search.Searcher, pi int, radius float64, row []float64) {
+// shapeContextDescriptor fills row with the 3D Shape Context over the
+// prefetched neighborhood: a log-radial spherical histogram of neighbor
+// positions in a normal-aligned frame, each contribution weighted by the
+// inverse local density as in Frome et al.
+func shapeContextDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor, row []float64) {
 	p := c.Points[pi]
 	n := c.Normals[pi]
 	u, v := n.OrthoBasis()
-	nbs := s.Radius(p, radius)
 	rmin := radius / 20
 	logSpan := math.Log(radius / rmin)
 	total := 0.0

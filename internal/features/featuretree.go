@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"tigris/internal/par"
 )
 
 // FeatureTree is a KD-tree over high-dimensional descriptor vectors, used
@@ -16,6 +18,10 @@ import (
 // In high dimensions KD-tree pruning weakens and search degenerates toward
 // a linear scan; that is the realistic behavior of the reference pipelines
 // too and is why the paper calls KPCE sparse-data search.
+//
+// A FeatureTree is not safe for concurrent use; NearestBatch parallelizes
+// internally with per-worker visit shards, like the search.Searcher batch
+// methods.
 type FeatureTree struct {
 	desc  *Descriptors
 	nodes []ftNode
@@ -126,14 +132,41 @@ func (t *FeatureTree) Nearest(q []float64) (FeatureMatch, bool) {
 	start := time.Now()
 	t.Queries++
 	best := FeatureMatch{Row: -1, Dist2: math.MaxFloat64}
-	t.nearest(t.root, q, &best)
+	t.nearest(t.root, q, &best, &t.Visited)
 	t.SearchTime += time.Since(start)
 	return best, best.Row >= 0
 }
 
-func (t *FeatureTree) nearest(ni int32, q []float64, best *FeatureMatch) {
+// NearestBatch answers Nearest for every query row on a worker pool of
+// the given size (<= 0 selects NumCPU). Results are positionally aligned
+// with qs; a miss (empty tree) has Row -1. Each worker counts visits into
+// its own shard, merged after the batch, and SearchTime accumulates the
+// batch's wall time — so the tree's metrics stay exact while the queries
+// run concurrently. Results are bit-identical to per-query Nearest calls.
+func (t *FeatureTree) NearestBatch(qs [][]float64, parallelism int) []FeatureMatch {
+	out := make([]FeatureMatch, len(qs))
+	if t.root < 0 {
+		for i := range out {
+			out[i] = FeatureMatch{Row: -1}
+		}
+		return out
+	}
+	start := time.Now()
+	par.Sharded(len(qs), par.Workers(parallelism),
+		func(visited *int64, i int) {
+			best := FeatureMatch{Row: -1, Dist2: math.MaxFloat64}
+			t.nearest(t.root, qs[i], &best, visited)
+			out[i] = best
+		},
+		func(visited *int64) { t.Visited += *visited })
+	t.Queries += int64(len(qs))
+	t.SearchTime += time.Since(start)
+	return out
+}
+
+func (t *FeatureTree) nearest(ni int32, q []float64, best *FeatureMatch, visited *int64) {
 	n := &t.nodes[ni]
-	t.Visited++
+	*visited++
 	if d2 := l2dist2(q, t.desc.Row(int(n.row))); d2 < best.Dist2 {
 		*best = FeatureMatch{Row: int(n.row), Dist2: d2}
 	}
@@ -143,10 +176,10 @@ func (t *FeatureTree) nearest(ni int32, q []float64, best *FeatureMatch) {
 		near, far = far, near
 	}
 	if near >= 0 {
-		t.nearest(near, q, best)
+		t.nearest(near, q, best, visited)
 	}
 	if far >= 0 && diff*diff < best.Dist2 {
-		t.nearest(far, q, best)
+		t.nearest(far, q, best, visited)
 	}
 }
 

@@ -6,7 +6,9 @@ import (
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
+	"tigris/internal/kdtree"
 	"tigris/internal/linalg"
+	"tigris/internal/par"
 	"tigris/internal/search"
 )
 
@@ -102,10 +104,9 @@ func DetectKeypoints(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []in
 // alternative response functions (NOBLE, CURVATURE) for the same reason.
 func harrisResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []float64 {
 	res := make([]float64, c.Len())
-	for i, p := range c.Points {
-		nbs := s.Radius(p, cfg.Radius)
+	forRadiusBlocks(s, c.Points, cfg.Radius, func(_, i int, nbs []kdtree.Neighbor) {
 		if len(nbs) < 5 {
-			continue
+			return
 		}
 		var mean geom.Vec3
 		for _, nb := range nbs {
@@ -119,7 +120,7 @@ func harrisResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []fl
 		}
 		cov = cov.Scale(1 / float64(len(nbs)))
 		res[i] = cov.Trace() + cov.Det()/cfg.HarrisK
-	}
+	})
 	return res
 }
 
@@ -134,10 +135,16 @@ func siftResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []floa
 	for o := range scales {
 		scales[o] = cfg.Scale * math.Pow(2, float64(o)*0.5)
 	}
-	density := make([]float64, len(scales))
-	for i, p := range c.Points {
-		// One search at the largest scale serves every smaller scale.
-		nbs := s.Radius(p, scales[len(scales)-1])
+	// One scratch density buffer per worker: the worker id is stable
+	// within each parallel sweep, so reuse is race-free without the
+	// per-point allocation a closure-local buffer would cost.
+	scratch := make([][]float64, par.Workers(s.Parallelism()))
+	for w := range scratch {
+		scratch[w] = make([]float64, len(scales))
+	}
+	// One search at the largest scale serves every smaller scale.
+	forRadiusBlocks(s, c.Points, scales[len(scales)-1], func(w, i int, nbs []kdtree.Neighbor) {
+		density := scratch[w]
 		for si, sigma := range scales {
 			var d float64
 			inv := 1 / (2 * sigma * sigma)
@@ -153,7 +160,7 @@ func siftResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []floa
 			}
 		}
 		res[i] = best
-	}
+	})
 	return res
 }
 
@@ -212,10 +219,9 @@ func selectKeypoints(c *cloud.Cloud, s search.Searcher, responses []float64, sup
 // examples.
 func Curvature(c *cloud.Cloud, s search.Searcher, radius float64) []float64 {
 	out := make([]float64, c.Len())
-	for i, p := range c.Points {
-		nbs := s.Radius(p, radius)
+	forRadiusBlocks(s, c.Points, radius, func(_, i int, nbs []kdtree.Neighbor) {
 		if len(nbs) < 4 {
-			continue
+			return
 		}
 		var centroid geom.Vec3
 		for _, nb := range nbs {
@@ -232,6 +238,6 @@ func Curvature(c *cloud.Cloud, s search.Searcher, radius float64) []float64 {
 		if sum > 0 {
 			out[i] = eig.Values[0] / sum
 		}
-	}
+	})
 	return out
 }

@@ -10,7 +10,11 @@
 // All stages take a search.Searcher so neighbor lookups route through
 // whichever KD-tree variant (and instrumentation) the pipeline selects —
 // the property the paper exploits when it attributes >50% of registration
-// time to KD-tree search regardless of the chosen algorithms.
+// time to KD-tree search regardless of the chosen algorithms. The
+// query-dominated stages issue their lookups through the Searcher's
+// batched API and fan the pure per-point math over internal/par, so the
+// stage wall times reflect the query-level parallelism the paper's
+// two-stage tree is designed to expose.
 package features
 
 import (
@@ -20,6 +24,7 @@ import (
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/linalg"
+	"tigris/internal/par"
 	"tigris/internal/search"
 )
 
@@ -79,21 +84,28 @@ func (c *NormalConfig) defaults() {
 // EstimateNormals fills c.Normals for every point using neighborhoods
 // from s (which must index the same points). It returns the number of
 // points that had too few neighbors for a stable fit.
+//
+// The queries stream through the searcher's batch API in bounded blocks
+// (see forBlocks), each consumed by a parallel sweep fitting the
+// per-point normals. Every sweep writes positionally, so the output is
+// bit-identical to the sequential per-point loop.
 func EstimateNormals(c *cloud.Cloud, s search.Searcher, cfg NormalConfig) int {
 	cfg.defaults()
 	c.Normals = make([]geom.Vec3, c.Len())
-	degenerate := 0
-	for i, p := range c.Points {
-		var nbs []kdtree.Neighbor
+	workers := s.Parallelism()
+	batch := func(block []geom.Vec3) [][]kdtree.Neighbor {
 		if cfg.KNeighbors > 0 {
-			nbs = s.KNearest(p, cfg.KNeighbors)
-		} else {
-			nbs = s.Radius(p, cfg.SearchRadius)
+			return s.KNearestBatch(block, cfg.KNeighbors)
 		}
+		return s.RadiusBatch(block, cfg.SearchRadius)
+	}
+	degenerate := make([]int, par.Workers(workers))
+	forBlocks(workers, c.Points, batch, func(w, i int, nbs []kdtree.Neighbor) {
+		p := c.Points[i]
 		if len(nbs) < cfg.MinNeighbors {
 			c.Normals[i] = geom.Vec3{Z: 1}
-			degenerate++
-			continue
+			degenerate[w]++
+			return
 		}
 		var n geom.Vec3
 		switch cfg.Method {
@@ -108,8 +120,12 @@ func EstimateNormals(c *cloud.Cloud, s search.Searcher, cfg NormalConfig) int {
 			n = n.Neg()
 		}
 		c.Normals[i] = n
+	})
+	total := 0
+	for _, d := range degenerate {
+		total += d
 	}
-	return degenerate
+	return total
 }
 
 // planeSVDNormal returns the smallest-eigenvalue eigenvector of the

@@ -1,0 +1,138 @@
+// Package par provides the small worker-pool primitives the batched
+// neighbor-search layer is built on. The paper's central argument is that
+// KD-tree search exposes massive query-level parallelism; par.For is the
+// software analogue of the accelerator's query dispatch: a fixed worker
+// pool pulls index blocks off a shared counter, and every item of work is
+// identified by its index so results can be written positionally, keeping
+// parallel output bit-identical to sequential output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// grain is the number of consecutive indices a worker claims per atomic
+// fetch. Neighbor queries are microseconds each, so claiming single
+// indices would serialize on the counter; blocks of 32 amortize it while
+// still load-balancing across skewed query costs.
+const grain = 32
+
+// Workers resolves a requested parallelism: n > 0 selects n workers,
+// anything else selects runtime.NumCPU(). This is the shared default for
+// every Parallelism knob in the search and registration layers.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// For runs fn(worker, i) for every i in [0, n), distributing indices over
+// at most workers goroutines. worker is in [0, workers) and is stable for
+// the lifetime of one call, so callers can give each worker private state
+// (stats shards, scratch buffers, approximate-search sessions) without
+// locking. Indices are claimed in blocks, so fn must not assume any
+// ordering between indices run by different workers; fn must write results
+// positionally (by i) for the output to be deterministic.
+//
+// workers <= 1 (or n <= 1) degenerates to a plain sequential loop on the
+// calling goroutine with worker == 0, making the sequential path the
+// exact specialization of the parallel one.
+func For(n, workers int, fn func(worker, i int)) {
+	forGrain(n, workers, grain, fn)
+}
+
+// forGrain is For with an explicit claim-block size: each atomic fetch
+// claims g consecutive indices. For uses the default grain; ForChunks
+// claims single indices because each of its indices is already a whole
+// chunk of work.
+func forGrain(n, workers, g int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	// Never spawn more workers than there are claimable blocks: the rest
+	// would start only to lose one atomic claim and exit, and small
+	// batches recur in hot loops (one NearestBatch per ICP iteration).
+	if blocks := (n + g - 1) / g; workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	g64 := int64(g)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(g64)) - g
+				if lo >= n {
+					return
+				}
+				hi := lo + g
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Sharded executes n work items over the worker pool with one shard of
+// per-worker state of type St each, then hands every shard to merge (in
+// worker order). It is the scheduling primitive behind every batched
+// search method: shards carry instrumentation (stats counters) that must
+// stay exact without atomics on the query fast path.
+func Sharded[St any](n, workers int, run func(shard *St, i int), merge func(*St)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]St, workers)
+	For(n, workers, func(w, i int) {
+		run(&shards[w], i)
+	})
+	for w := range shards {
+		merge(&shards[w])
+	}
+}
+
+// ForChunks runs fn(worker, lo, hi) over the half-open chunks
+// [0,c), [c,2c), ... of [0, n) with chunk size c, distributing whole
+// chunks over the worker pool. Chunk boundaries depend only on n and c —
+// never on the worker count — so per-chunk state (e.g. the approximate
+// searcher's leader sessions) yields results that are invariant under the
+// Parallelism knob.
+func ForChunks(n, workers, c int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if c <= 0 {
+		c = n
+	}
+	chunks := (n + c - 1) / c
+	// Claim chunks one at a time: a chunk is already a large unit of work
+	// (e.g. 256 queries), so grain-1 claiming amortizes the counter fine —
+	// and block-claiming would hand a whole small batch to one worker.
+	forGrain(chunks, workers, 1, func(worker, chunk int) {
+		lo := chunk * c
+		hi := lo + c
+		if hi > n {
+			hi = n
+		}
+		fn(worker, lo, hi)
+	})
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		For(n, workers, func(_, i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsAreDisjoint(t *testing.T) {
+	const n, workers = 500, 4
+	// Each index records its worker; per-worker shards written without
+	// synchronization must not race (go test -race guards this).
+	shards := make([][]int, workers)
+	For(n, workers, func(w, i int) {
+		shards[w] = append(shards[w], i)
+	})
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != n {
+		t.Fatalf("shards cover %d indices, want %d", total, n)
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	ran := 0
+	For(0, 8, func(_, _ int) { ran++ })
+	if ran != 0 {
+		t.Error("For(0) ran work")
+	}
+	For(1, 8, func(w, i int) {
+		if w != 0 || i != 0 {
+			t.Errorf("For(1) gave worker=%d i=%d", w, i)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Errorf("For(1) ran %d times", ran)
+	}
+}
+
+func TestForChunksBoundariesIndependentOfWorkers(t *testing.T) {
+	const n, c = 1003, 256
+	var want [][2]int
+	ForChunks(n, 1, c, func(_, lo, hi int) {
+		want = append(want, [2]int{lo, hi})
+	})
+	for _, workers := range []int{2, 5, 16} {
+		seen := make(map[[2]int]bool)
+		var mu atomic.Int64
+		ForChunks(n, workers, c, func(_, lo, hi int) {
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			seen[[2]int{lo, hi}] = true
+			mu.Store(0)
+		})
+		if len(seen) != len(want) {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(seen), len(want))
+		}
+		for _, ch := range want {
+			if !seen[ch] {
+				t.Fatalf("workers=%d: missing chunk %v", workers, ch)
+			}
+		}
+	}
+}
+
+func TestForChunksDistributesAcrossWorkers(t *testing.T) {
+	// Chunks must be claimed one at a time, not in grain-sized blocks: a
+	// typical batch block is only a few dozen chunks, and block-claiming
+	// would hand them all to the first worker, silently serializing the
+	// batch. The sleep forces overlap so multiple workers get to claim
+	// even on a single-CPU machine.
+	const chunks, c, workers = 8, 256, 4
+	var used [workers]atomic.Int64
+	ForChunks(chunks*c, workers, c, func(w, lo, hi int) {
+		used[w].Add(1)
+		time.Sleep(2 * time.Millisecond)
+	})
+	distinct := 0
+	for i := range used {
+		if used[i].Load() > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Errorf("all %d chunks ran on one worker", chunks)
+	}
+}
+
+func TestForChunksZeroChunkSizeIsOneChunk(t *testing.T) {
+	calls := 0
+	ForChunks(10, 4, 0, func(_, lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Errorf("chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+}

@@ -27,6 +27,10 @@ type KPCEConfig struct {
 	// Reciprocal keeps only pairs that are mutually nearest in feature
 	// space.
 	Reciprocal bool
+	// Parallelism is the feature-tree batch worker count (<= 0 selects
+	// NumCPU). The pipeline propagates its searcher parallelism here when
+	// the field is left zero.
+	Parallelism int
 }
 
 // EstimateKeypointCorrespondences matches source key-point descriptors to
@@ -34,29 +38,65 @@ type KPCEConfig struct {
 // Fig. 2, KPCE). Returned indices are positions in the key-point lists,
 // not raw cloud indices.
 func EstimateKeypointCorrespondences(src, dst *features.Descriptors, cfg KPCEConfig) []Correspondence {
+	out, _, _ := kpceMatch(src, dst, cfg)
+	return out
+}
+
+// kpceMatch is the shared KPCE kernel: forward (and optionally backward)
+// feature-space NN matching through batched feature-tree queries. The
+// trees are returned so callers can roll their build/search times into
+// the pipeline's KD-tree accounting. The correspondence list is assembled
+// in source order, bit-identical to per-query sequential matching.
+func kpceMatch(src, dst *features.Descriptors, cfg KPCEConfig) ([]Correspondence, *features.FeatureTree, *features.FeatureTree) {
 	if src.Count() == 0 || dst.Count() == 0 {
-		return nil
+		return nil, nil, nil
 	}
 	dstTree := features.NewFeatureTree(dst)
 	var srcTree *features.FeatureTree
 	if cfg.Reciprocal {
 		srcTree = features.NewFeatureTree(src)
 	}
+	n := src.Count()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = src.Row(i)
+	}
+	matches := dstTree.NearestBatch(rows, cfg.Parallelism)
+
+	var backs []features.FeatureMatch
+	if cfg.Reciprocal {
+		// Back-query only the rows whose forward query matched — the same
+		// queries the sequential loop issued. (A forward miss is possible
+		// despite dst being non-empty, e.g. a NaN descriptor row.)
+		cand := make([]int, 0, n)
+		for i, m := range matches {
+			if m.Row >= 0 {
+				cand = append(cand, i)
+			}
+		}
+		backRows := make([][]float64, len(cand))
+		for ci, i := range cand {
+			backRows[ci] = dst.Row(matches[i].Row)
+		}
+		backs = srcTree.NearestBatch(backRows, cfg.Parallelism)
+	}
+
 	var out []Correspondence
-	for i := 0; i < src.Count(); i++ {
-		m, ok := dstTree.Nearest(src.Row(i))
-		if !ok {
+	ci := 0
+	for i, m := range matches {
+		if m.Row < 0 {
 			continue
 		}
 		if cfg.Reciprocal {
-			back, ok := srcTree.Nearest(dst.Row(m.Row))
-			if !ok || back.Row != i {
+			back := backs[ci]
+			ci++
+			if back.Row != i {
 				continue
 			}
 		}
 		out = append(out, Correspondence{Source: i, Target: m.Row, Dist2: m.Dist2})
 	}
-	return out
+	return out, dstTree, srcTree
 }
 
 // RejectionMethod selects the correspondence rejection algorithm (Tbl. 1).

@@ -5,6 +5,7 @@ import (
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
+	"tigris/internal/kdtree"
 	"tigris/internal/search"
 )
 
@@ -71,43 +72,69 @@ type ICPResult struct {
 
 // ICP runs iterative closest point from the initial guess. target is the
 // searcher indexing the target cloud (it must also expose the target
-// normals when the point-to-plane metric is selected). srcSearcherFactory
-// is only needed for reciprocal RPCE and may be nil otherwise; it is
-// called once with the current source points.
+// normals when the point-to-plane metric is selected). Each iteration's
+// RPCE runs as one NearestBatch against the target (and, for reciprocal
+// RPCE, a second batch of back-queries against a fresh source index), so
+// the dominant per-iteration cost parallelizes across the searcher's
+// worker pool while the correspondence list keeps its sequential order.
 func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, initial geom.Transform, cfg ICPConfig) ICPResult {
 	cfg.defaults()
 	res := ICPResult{Transform: initial}
 	cur := src.Transform(initial)
+	targetPts := target.Points()
+
+	// The strided query index set is fixed across iterations; the query
+	// positions change as cur moves.
+	qIdx := make([]int, 0, (cur.Len()+cfg.SourceStride-1)/cfg.SourceStride)
+	for i := 0; i < cur.Len(); i += cfg.SourceStride {
+		qIdx = append(qIdx, i)
+	}
+	qs := make([]geom.Vec3, len(qIdx))
 
 	prevRMSE := -1.0
-	var srcSearch search.Searcher
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 
 		// RPCE: for every point in the (moved) source cloud, find its
 		// nearest neighbor in the target (paper Fig. 2).
 		start := time.Now()
+		var srcSearch search.Searcher
 		if cfg.Reciprocal {
 			srcSearch = search.NewKDSearcher(cur.Points)
+			srcSearch.SetParallelism(target.Parallelism())
 		}
 		maxD2 := cfg.MaxCorrespondenceDist * cfg.MaxCorrespondenceDist
+		for qi, i := range qIdx {
+			qs[qi] = cur.Points[i]
+		}
+		nbs := target.NearestBatch(qs)
+
+		// Candidates that pass the distance gate, in query order.
+		candQ := make([]int, 0, len(qIdx))
+		for qi := range qIdx {
+			if nbs[qi].Index >= 0 && nbs[qi].Dist2 <= maxD2 {
+				candQ = append(candQ, qi)
+			}
+		}
+		// Reciprocal gate: batch the back-queries for the candidates only
+		// (the same queries the sequential loop would issue).
+		var backs []kdtree.Neighbor
+		if cfg.Reciprocal {
+			backQs := make([]geom.Vec3, len(candQ))
+			for ci, qi := range candQ {
+				backQs[ci] = targetPts[nbs[qi].Index]
+			}
+			backs = srcSearch.NearestBatch(backQs)
+		}
 		var srcPts, dstPts, dstNs []geom.Vec3
-		for i := 0; i < cur.Len(); i += cfg.SourceStride {
-			p := cur.Points[i]
-			nb, ok := target.Nearest(p)
-			if !ok || nb.Dist2 > maxD2 {
+		for ci, qi := range candQ {
+			if cfg.Reciprocal && backs[ci].Index != qIdx[qi] {
 				continue
 			}
-			if cfg.Reciprocal {
-				back, ok := srcSearch.Nearest(target.Points()[nb.Index])
-				if !ok || back.Index != i {
-					continue
-				}
-			}
-			srcPts = append(srcPts, p)
-			dstPts = append(dstPts, target.Points()[nb.Index])
+			srcPts = append(srcPts, qs[qi])
+			dstPts = append(dstPts, targetPts[nbs[qi].Index])
 			if cfg.Metric == PointToPlane && targetNormals != nil {
-				dstNs = append(dstNs, targetNormals[nb.Index])
+				dstNs = append(dstNs, targetNormals[nbs[qi].Index])
 			}
 		}
 		res.RPCETime += time.Since(start)

@@ -53,6 +53,11 @@ type SearcherConfig struct {
 	// as a fraction of the search radius (default
 	// twostage.DefaultRadiusThresholdFrac).
 	RadiusThresholdFrac float64
+	// Parallelism is the batch worker count every query-dominated stage
+	// runs with: 0 (the default) selects runtime.NumCPU(), 1 forces the
+	// sequential path, and any other positive value pins the pool size.
+	// Exact backends return bit-identical results at any setting.
+	Parallelism int
 }
 
 // Injection configures the §4.2 error-injection study; the zero value
@@ -157,7 +162,10 @@ func (r *Result) OtherTime() time.Duration {
 func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
 	switch cfg.Kind {
 	case SearchTwoStage:
-		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{TopHeight: cfg.TopHeight})
+		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{
+			TopHeight:   cfg.TopHeight,
+			Parallelism: cfg.Parallelism,
+		})
 	case SearchTwoStageApprox:
 		thd := cfg.NNThreshold
 		if thd == 0 {
@@ -168,11 +176,14 @@ func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
 			frac = twostage.DefaultRadiusThresholdFrac
 		}
 		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{
-			TopHeight: cfg.TopHeight,
-			Approx:    &twostage.ApproxOptions{Threshold: thd, RadiusThresholdFrac: frac},
+			TopHeight:   cfg.TopHeight,
+			Approx:      &twostage.ApproxOptions{Threshold: thd, RadiusThresholdFrac: frac},
+			Parallelism: cfg.Parallelism,
 		})
 	default:
-		return search.NewKDSearcher(pts)
+		s := search.NewKDSearcher(pts)
+		s.SetParallelism(cfg.Parallelism)
+		return s
 	}
 }
 
@@ -226,7 +237,11 @@ func Register(src, dst *cloud.Cloud, cfg PipelineConfig) Result {
 	if cfg.Inject.KPCEKthNN > 1 {
 		corr = kpceKthNN(srcDesc, dstDesc, cfg.Inject.KPCEKthNN)
 	} else {
-		corr, featSearchTime, featBuildTime = kpceTimed(srcDesc, dstDesc, cfg.KPCE)
+		kpceCfg := cfg.KPCE
+		if kpceCfg.Parallelism == 0 {
+			kpceCfg.Parallelism = cfg.Searcher.Parallelism
+		}
+		corr, featSearchTime, featBuildTime = kpceTimed(srcDesc, dstDesc, kpceCfg)
 	}
 	res.Stage.KPCE = time.Since(t0)
 	res.Correspondences = len(corr)
@@ -304,32 +319,16 @@ func Register(src, dst *cloud.Cloud, cfg PipelineConfig) Result {
 
 // kpceTimed runs KPCE and reports the feature-tree search/build times so
 // they can be attributed to KD-tree time (KPCE is a KD-tree-search stage
-// in the paper's accounting, Fig. 2 shading).
+// in the paper's accounting, Fig. 2 shading). The matching itself runs
+// through the batched feature-tree path, so the reported search time is
+// the wall time of the parallel batches.
 func kpceTimed(src, dst *features.Descriptors, cfg KPCEConfig) ([]Correspondence, time.Duration, time.Duration) {
-	if src.Count() == 0 || dst.Count() == 0 {
-		return nil, 0, 0
+	out, dstTree, srcTree := kpceMatch(src, dst, cfg)
+	var searchT, buildT time.Duration
+	if dstTree != nil {
+		searchT = dstTree.SearchTime
+		buildT = dstTree.BuildTime
 	}
-	dstTree := features.NewFeatureTree(dst)
-	var srcTree *features.FeatureTree
-	if cfg.Reciprocal {
-		srcTree = features.NewFeatureTree(src)
-	}
-	var out []Correspondence
-	for i := 0; i < src.Count(); i++ {
-		m, ok := dstTree.Nearest(src.Row(i))
-		if !ok {
-			continue
-		}
-		if cfg.Reciprocal {
-			back, ok := srcTree.Nearest(dst.Row(m.Row))
-			if !ok || back.Row != i {
-				continue
-			}
-		}
-		out = append(out, Correspondence{Source: i, Target: m.Row, Dist2: m.Dist2})
-	}
-	searchT := dstTree.SearchTime
-	buildT := dstTree.BuildTime
 	if srcTree != nil {
 		searchT += srcTree.SearchTime
 		buildT += srcTree.BuildTime

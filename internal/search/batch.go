@@ -1,0 +1,168 @@
+package search
+
+import (
+	"time"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/par"
+	"tigris/internal/twostage"
+)
+
+// This file implements the batch side of the Searcher interface once, as a
+// thin layer over internal/par: every backend runs its per-query kernel on
+// a worker pool, with one stats shard per worker merged after the batch.
+// Because each query is independent and results are written positionally,
+// the exact backends return bit-identical output to the sequential
+// methods for any worker count.
+
+// ApproxBatchChunk is the number of consecutive batch queries served by
+// one leader/follower session when the approximate backend answers a
+// batch. Chunk boundaries depend only on the batch, never on the worker
+// count, so approximate batch results are invariant under Parallelism.
+// The chunk bounds how much leader state a worker accumulates, mirroring
+// the accelerator's small per-stage Leader Buffers (§5.3).
+const ApproxBatchChunk = 256
+
+// missNeighbor marks a NearestBatch entry with no result (empty tree).
+func missNeighbor() kdtree.Neighbor { return kdtree.Neighbor{Index: -1} }
+
+// --- KDSearcher ---------------------------------------------------------
+
+// NearestBatch implements Searcher.
+func (s *KDSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	start := time.Now()
+	out := make([]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			nb, ok := s.tree.Nearest(qs[i], shard)
+			if !ok {
+				nb = missNeighbor()
+			}
+			out[i] = nb
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// KNearestBatch implements Searcher.
+func (s *KDSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			out[i] = s.tree.KNearest(qs[i], k, shard)
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// RadiusBatch implements Searcher.
+func (s *KDSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			out[i] = s.tree.Radius(qs[i], r, shard)
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// --- TwoStageSearcher ---------------------------------------------------
+
+// NearestBatch implements Searcher. With approximation enabled the batch
+// is served chunk-by-chunk with a fresh per-worker leader/follower session
+// per chunk (the paper's "one session per stage invocation" model), which
+// makes the result a deterministic function of the batch alone.
+func (s *TwoStageSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	start := time.Now()
+	out := make([]kdtree.Neighbor, len(qs))
+	if s.approx != nil {
+		s.approxChunked(len(qs), func(sess *twostage.ApproxSession, shard *twostage.Stats, i int) {
+			nb, ok := sess.Nearest(qs[i], shard)
+			if !ok {
+				nb = missNeighbor()
+			}
+			out[i] = nb
+		})
+	} else {
+		par.Sharded(len(qs), s.parallelism,
+			func(shard *twostage.Stats, i int) {
+				nb, ok := s.tree.Nearest(qs[i], shard)
+				if !ok {
+					nb = missNeighbor()
+				}
+				out[i] = nb
+			},
+			func(shard *twostage.Stats) { s.stats.Merge(*shard) })
+	}
+	s.record(start)
+	return out
+}
+
+// KNearestBatch implements Searcher. k-NN is always exact (see KNearest).
+func (s *TwoStageSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *twostage.Stats, i int) {
+			out[i] = s.kNearest(qs[i], k, shard)
+		},
+		func(shard *twostage.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// RadiusBatch implements Searcher; see NearestBatch for the approximate
+// chunking semantics.
+func (s *TwoStageSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	if s.approx != nil {
+		s.approxChunked(len(qs), func(sess *twostage.ApproxSession, shard *twostage.Stats, i int) {
+			out[i] = sess.Radius(qs[i], r, shard)
+		})
+	} else {
+		par.Sharded(len(qs), s.parallelism,
+			func(shard *twostage.Stats, i int) {
+				out[i] = s.tree.Radius(qs[i], r, shard)
+			},
+			func(shard *twostage.Stats) { s.stats.Merge(*shard) })
+	}
+	s.record(start)
+	return out
+}
+
+// approxChunked runs one approximate query kernel over fixed-size chunks
+// of the batch. Every chunk starts from empty leader state — each worker
+// keeps one session and Resets it between chunks instead of allocating
+// O(leaves) of fresh buffers per chunk — so leader state never crosses
+// chunk (or worker) boundaries and results are independent of which
+// worker executes which chunk. Each worker also owns a stats shard for
+// the chunks it happens to execute.
+func (s *TwoStageSearcher) approxChunked(n int, run func(sess *twostage.ApproxSession, shard *twostage.Stats, i int)) {
+	workers := s.parallelism
+	shards := make([]twostage.Stats, workers)
+	for len(s.workerSessions) < workers {
+		s.workerSessions = append(s.workerSessions, nil)
+	}
+	par.ForChunks(n, workers, ApproxBatchChunk, func(w, lo, hi int) {
+		sess := s.workerSessions[w]
+		if sess == nil {
+			sess = s.tree.NewApproxSession(*s.approx)
+			s.workerSessions[w] = sess
+		} else {
+			sess.Reset()
+		}
+		for i := lo; i < hi; i++ {
+			run(sess, &shards[w], i)
+		}
+	})
+	for w := range shards {
+		s.stats.Merge(shards[w])
+	}
+}

@@ -1,0 +1,245 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/twostage"
+)
+
+// backendCase builds a fresh searcher over pts; fresh instances per call
+// keep per-instance metrics and approximate leader state independent.
+type backendCase struct {
+	name  string
+	exact bool // batch must be bit-identical to per-query calls
+	build func(pts []geom.Vec3) Searcher
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{"canonical", true, func(pts []geom.Vec3) Searcher {
+			return NewKDSearcher(pts)
+		}},
+		{"twostage-exact", true, func(pts []geom.Vec3) Searcher {
+			return NewTwoStageSearcher(pts, TwoStageConfig{TopHeight: 5})
+		}},
+		{"twostage-approx", false, func(pts []geom.Vec3) Searcher {
+			return NewTwoStageSearcher(pts, TwoStageConfig{
+				TopHeight: 5,
+				Approx:    &twostage.ApproxOptions{Threshold: 1.2, RadiusThresholdFrac: 0.4},
+			})
+		}},
+		{"kthnn-inject", true, func(pts []geom.Vec3) Searcher {
+			return &KthNNSearcher{Inner: NewKDSearcher(pts), K: 3}
+		}},
+		{"shell-inject", true, func(pts []geom.Vec3) Searcher {
+			return &ShellSearcher{Inner: NewTwoStageSearcher(pts, TwoStageConfig{TopHeight: 4}), R1: 0.5, R2: 2.5}
+		}},
+	}
+}
+
+func sameNeighbor(a, b kdtree.Neighbor) bool {
+	return a.Index == b.Index && a.Dist2 == b.Dist2
+}
+
+func sameNeighbors(a, b []kdtree.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameNeighbor(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchMatchesSequential is the core equivalence table: for every
+// exact backend and every parallelism, the batch methods must return
+// bit-identical results to per-query calls on a fresh instance.
+func TestBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pts := randPoints(r, 1500)
+	qs := randPoints(r, 400)
+	const radius, k = 2.0, 6
+
+	for _, bc := range backendCases() {
+		if !bc.exact {
+			continue
+		}
+		// Sequential reference on its own instance.
+		ref := bc.build(pts)
+		wantNN := make([]kdtree.Neighbor, len(qs))
+		wantKNN := make([][]kdtree.Neighbor, len(qs))
+		wantRad := make([][]kdtree.Neighbor, len(qs))
+		for i, q := range qs {
+			nb, ok := ref.Nearest(q)
+			if !ok {
+				nb = kdtree.Neighbor{Index: -1}
+			}
+			wantNN[i] = nb
+			wantKNN[i] = ref.KNearest(q, k)
+			wantRad[i] = ref.Radius(q, radius)
+		}
+		for _, parallelism := range []int{1, 2, 8} {
+			s := bc.build(pts)
+			s.SetParallelism(parallelism)
+			gotNN := s.NearestBatch(qs)
+			gotKNN := s.KNearestBatch(qs, k)
+			gotRad := s.RadiusBatch(qs, radius)
+			for i := range qs {
+				if !sameNeighbor(gotNN[i], wantNN[i]) {
+					t.Fatalf("%s/p%d: NearestBatch[%d] = %+v, want %+v",
+						bc.name, parallelism, i, gotNN[i], wantNN[i])
+				}
+				if !sameNeighbors(gotKNN[i], wantKNN[i]) {
+					t.Fatalf("%s/p%d: KNearestBatch[%d] mismatch", bc.name, parallelism, i)
+				}
+				if !sameNeighbors(gotRad[i], wantRad[i]) {
+					t.Fatalf("%s/p%d: RadiusBatch[%d] mismatch", bc.name, parallelism, i)
+				}
+			}
+		}
+	}
+}
+
+// TestApproxBatchDeterministic: the approximate backend's batch results
+// must depend only on the query batch — not on the Parallelism knob or
+// goroutine scheduling — and must equal a serial per-chunk-session replay
+// of the same algorithm.
+func TestApproxBatchDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	pts := randPoints(r, 4000)
+	// Clustered queries so followers actually occur.
+	qs := make([]geom.Vec3, 900)
+	for i := range qs {
+		base := pts[r.Intn(len(pts))]
+		qs[i] = base.Add(geom.Vec3{X: r.Float64()*0.4 - 0.2, Y: r.Float64()*0.4 - 0.2})
+	}
+	opts := twostage.ApproxOptions{Threshold: 1.2, RadiusThresholdFrac: 0.4}
+	build := func() *TwoStageSearcher {
+		return NewTwoStageSearcher(pts, TwoStageConfig{TopHeight: 5, Approx: &opts})
+	}
+	const radius = 1.5
+
+	// Serial reference: one fresh session per ApproxBatchChunk queries,
+	// exactly the contract batch.go documents.
+	refTree := build().Tree()
+	wantNN := make([]kdtree.Neighbor, len(qs))
+	wantRad := make([][]kdtree.Neighbor, len(qs))
+	for lo := 0; lo < len(qs); lo += ApproxBatchChunk {
+		hi := lo + ApproxBatchChunk
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		nnSess := refTree.NewApproxSession(opts)
+		for i := lo; i < hi; i++ {
+			wantNN[i], _ = nnSess.Nearest(qs[i], nil)
+		}
+		radSess := refTree.NewApproxSession(opts)
+		for i := lo; i < hi; i++ {
+			wantRad[i] = radSess.Radius(qs[i], radius, nil)
+		}
+	}
+
+	for _, parallelism := range []int{1, 3, 8} {
+		s := build()
+		s.SetParallelism(parallelism)
+		gotNN := s.NearestBatch(qs)
+		gotRad := s.RadiusBatch(qs, radius)
+		for i := range qs {
+			if !sameNeighbor(gotNN[i], wantNN[i]) {
+				t.Fatalf("p%d: approx NearestBatch[%d] = %+v, want %+v",
+					parallelism, i, gotNN[i], wantNN[i])
+			}
+			if !sameNeighbors(gotRad[i], wantRad[i]) {
+				t.Fatalf("p%d: approx RadiusBatch[%d] mismatch", parallelism, i)
+			}
+		}
+		if s.Stats().FollowerHits == 0 {
+			t.Errorf("p%d: expected follower hits in approximate batch", parallelism)
+		}
+	}
+}
+
+// TestBatchMetricsMerge: the per-worker stats shards must merge into the
+// same totals the sequential path records — queries always, and visit
+// counts exactly for the exact backends.
+func TestBatchMetricsMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := randPoints(r, 1000)
+	qs := randPoints(r, 300)
+
+	for _, bc := range backendCases() {
+		ref := bc.build(pts)
+		for _, q := range qs {
+			ref.Radius(q, 1.5)
+			ref.Nearest(q)
+		}
+		refM := ref.Metrics()
+
+		s := bc.build(pts)
+		s.SetParallelism(8)
+		s.RadiusBatch(qs, 1.5)
+		s.NearestBatch(qs)
+		m := s.Metrics()
+
+		// The error-injection wrappers issue a different number of inner
+		// queries per Nearest (KNearest under the hood); only compare
+		// query counts on the direct backends.
+		if bc.exact && bc.name != "kthnn-inject" && bc.name != "shell-inject" {
+			if m.Queries != refM.Queries {
+				t.Errorf("%s: batch queries %d, sequential %d", bc.name, m.Queries, refM.Queries)
+			}
+			if m.NodesVisited != refM.NodesVisited {
+				t.Errorf("%s: batch visits %d, sequential %d", bc.name, m.NodesVisited, refM.NodesVisited)
+			}
+		}
+		if m.Queries <= 0 || m.NodesVisited <= 0 {
+			t.Errorf("%s: empty merged metrics: %+v", bc.name, m)
+		}
+		if m.SearchTime <= 0 {
+			t.Errorf("%s: batch wall time not recorded", bc.name)
+		}
+	}
+}
+
+// TestBatchEmptyAndTiny covers the degenerate shapes: empty query slices,
+// empty trees, and batches smaller than the worker pool.
+func TestBatchEmptyAndTiny(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	pts := randPoints(r, 50)
+	for _, bc := range backendCases() {
+		s := bc.build(pts)
+		s.SetParallelism(8)
+		if got := s.NearestBatch(nil); len(got) != 0 {
+			t.Errorf("%s: NearestBatch(nil) returned %d results", bc.name, len(got))
+		}
+		if got := s.RadiusBatch([]geom.Vec3{{}}, 1); len(got) != 1 {
+			t.Errorf("%s: single-query batch size %d", bc.name, len(got))
+		}
+	}
+	// Empty tree: every NearestBatch entry is a miss.
+	empty := NewKDSearcher(nil)
+	empty.SetParallelism(4)
+	for _, nb := range empty.NearestBatch(randPoints(r, 5)) {
+		if nb.Index >= 0 {
+			t.Errorf("empty tree returned hit %+v", nb)
+		}
+	}
+}
+
+// TestSetParallelismResolution: the knob resolves like par.Workers.
+func TestSetParallelismResolution(t *testing.T) {
+	s := NewKDSearcher(randPoints(rand.New(rand.NewSource(15)), 10))
+	s.SetParallelism(3)
+	if s.Parallelism() != 3 {
+		t.Errorf("Parallelism() = %d, want 3", s.Parallelism())
+	}
+	s.SetParallelism(0)
+	if s.Parallelism() < 1 {
+		t.Errorf("Parallelism() = %d, want >= 1", s.Parallelism())
+	}
+}

@@ -37,15 +37,51 @@ func (s *KthNNSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
 	return res[len(res)-1], true
 }
 
+// NearestBatch implements Searcher: the whole batch is answered through
+// the inner KNearestBatch and degraded per query, so the distortion is
+// identical to calling Nearest once per query.
+func (s *KthNNSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	knn := s.Inner.KNearestBatch(qs, k)
+	out := make([]kdtree.Neighbor, len(qs))
+	for i, res := range knn {
+		if len(res) == 0 {
+			out[i] = kdtree.Neighbor{Index: -1}
+			continue
+		}
+		out[i] = res[len(res)-1]
+	}
+	return out
+}
+
 // KNearest implements Searcher (undistorted).
 func (s *KthNNSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 	return s.Inner.KNearest(q, k)
+}
+
+// KNearestBatch implements Searcher (undistorted).
+func (s *KthNNSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	return s.Inner.KNearestBatch(qs, k)
 }
 
 // Radius implements Searcher (undistorted).
 func (s *KthNNSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 	return s.Inner.Radius(q, r)
 }
+
+// RadiusBatch implements Searcher (undistorted).
+func (s *KthNNSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	return s.Inner.RadiusBatch(qs, r)
+}
+
+// SetParallelism implements Searcher by delegation.
+func (s *KthNNSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
+
+// Parallelism implements Searcher by delegation.
+func (s *KthNNSearcher) Parallelism() int { return s.Inner.Parallelism() }
 
 // Points implements Searcher.
 func (s *KthNNSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
@@ -61,10 +97,9 @@ type ShellSearcher struct {
 	R1, R2 float64
 }
 
-// Radius implements Searcher with the shell substitution.
-func (s *ShellSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
-	outer := s.Inner.Radius(q, s.R2)
-	r1sq := s.R1 * s.R1
+// shellFilter keeps the neighbors at squared distance >= r1sq, the
+// single definition of the shell's inner bound for both query paths.
+func shellFilter(outer []kdtree.Neighbor, r1sq float64) []kdtree.Neighbor {
 	res := outer[:0:0]
 	for _, nb := range outer {
 		if nb.Dist2 >= r1sq {
@@ -74,15 +109,48 @@ func (s *ShellSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 	return res
 }
 
+// Radius implements Searcher with the shell substitution.
+func (s *ShellSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	return shellFilter(s.Inner.Radius(q, s.R2), s.R1*s.R1)
+}
+
+// RadiusBatch implements Searcher with the shell substitution: the batch
+// runs through the inner RadiusBatch at R2 and each result is re-filtered
+// exactly as Radius does per query.
+func (s *ShellSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	outer := s.Inner.RadiusBatch(qs, s.R2)
+	r1sq := s.R1 * s.R1
+	for i, res := range outer {
+		outer[i] = shellFilter(res, r1sq)
+	}
+	return outer
+}
+
 // Nearest implements Searcher (undistorted).
 func (s *ShellSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
 	return s.Inner.Nearest(q)
+}
+
+// NearestBatch implements Searcher (undistorted).
+func (s *ShellSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	return s.Inner.NearestBatch(qs)
 }
 
 // KNearest implements Searcher (undistorted).
 func (s *ShellSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 	return s.Inner.KNearest(q, k)
 }
+
+// KNearestBatch implements Searcher (undistorted).
+func (s *ShellSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	return s.Inner.KNearestBatch(qs, k)
+}
+
+// SetParallelism implements Searcher by delegation.
+func (s *ShellSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
+
+// Parallelism implements Searcher by delegation.
+func (s *ShellSearcher) Parallelism() int { return s.Inner.Parallelism() }
 
 // Points implements Searcher.
 func (s *ShellSearcher) Points() []geom.Vec3 { return s.Inner.Points() }

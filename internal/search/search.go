@@ -7,6 +7,27 @@
 //   - Error-injection wrappers (errinject.go): the §4.2 study that replaces
 //     NN results with the k-th neighbor and radius results with a shell.
 //
+// # Batched parallel queries
+//
+// Every Searcher answers queries two ways: one at a time (Nearest,
+// KNearest, Radius) or as a batch (NearestBatch, KNearestBatch,
+// RadiusBatch). The batch methods execute the queries of one stage on a
+// shared worker pool (internal/par), the software counterpart of the
+// query-level parallelism the paper's two-stage tree exposes to hardware.
+// Batch results are positionally aligned with the queries and — for every
+// exact backend — bit-identical to issuing the same queries one at a time,
+// regardless of the Parallelism setting: each query is independent, each
+// worker records into its own stats shard, and shards are merged after the
+// batch. The approximate leader/follower backend processes batches in
+// fixed-size query chunks with a fresh per-chunk session (see batch.go),
+// so its results are a deterministic function of the batch alone,
+// invariant under Parallelism.
+//
+// A Searcher is NOT safe for concurrent use by multiple goroutines: the
+// batch methods parallelize internally, but distinct calls on the same
+// instance must be sequential. This keeps the per-instance metrics exact
+// without atomics on the query fast path.
+//
 // Every searcher records per-instance metrics (wall time, query and visit
 // counts) so the pipeline can attribute stage time to KD-tree search the
 // way Fig. 4b does.
@@ -18,13 +39,18 @@ import (
 
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
+	"tigris/internal/par"
 	"tigris/internal/twostage"
 )
 
 // Metrics accumulates instrumentation for one searcher instance. Not safe
-// for concurrent use.
+// for concurrent use; the batch methods shard per worker and merge here.
 type Metrics struct {
-	BuildTime    time.Duration
+	BuildTime time.Duration
+	// SearchTime is wall time spent answering queries. Batch methods add
+	// the wall time of the whole batch, so with Parallelism > 1 this is
+	// less than the sum of per-query times — exactly the Fig. 4-style
+	// speedup the batched API exists to expose.
 	SearchTime   time.Duration
 	Queries      int64
 	NodesVisited int64 // points/nodes whose distance was computed
@@ -39,6 +65,11 @@ func (m *Metrics) Merge(other Metrics) {
 }
 
 // Searcher answers neighbor queries over a fixed point set.
+//
+// The *Batch methods answer many independent queries at once on a worker
+// pool sized by SetParallelism (default: one worker per CPU). Batch
+// results are positionally aligned with the query slice; a NearestBatch
+// entry with Index < 0 means the searcher holds no points.
 type Searcher interface {
 	// Nearest returns the nearest neighbor of q.
 	Nearest(q geom.Vec3) (kdtree.Neighbor, bool)
@@ -46,6 +77,16 @@ type Searcher interface {
 	KNearest(q geom.Vec3, k int) []kdtree.Neighbor
 	// Radius returns all neighbors within r of q in ascending order.
 	Radius(q geom.Vec3, r float64) []kdtree.Neighbor
+	// NearestBatch answers Nearest for every query; misses have Index -1.
+	NearestBatch(qs []geom.Vec3) []kdtree.Neighbor
+	// KNearestBatch answers KNearest for every query.
+	KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor
+	// RadiusBatch answers Radius for every query.
+	RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor
+	// SetParallelism sets the batch worker count (<= 0 selects NumCPU).
+	SetParallelism(n int)
+	// Parallelism reports the resolved batch worker count.
+	Parallelism() int
 	// Points exposes the indexed point slice.
 	Points() []geom.Vec3
 	// Metrics returns the accumulated instrumentation.
@@ -54,19 +95,27 @@ type Searcher interface {
 
 // KDSearcher wraps the canonical KD-tree.
 type KDSearcher struct {
-	tree    *kdtree.Tree
-	stats   kdtree.Stats
-	metrics Metrics
+	tree        *kdtree.Tree
+	stats       kdtree.Stats
+	metrics     Metrics
+	parallelism int
 }
 
 // NewKDSearcher builds a canonical KD-tree over pts, recording build time.
+// Batch parallelism defaults to runtime.NumCPU().
 func NewKDSearcher(pts []geom.Vec3) *KDSearcher {
-	s := &KDSearcher{}
+	s := &KDSearcher{parallelism: par.Workers(0)}
 	start := time.Now()
 	s.tree = kdtree.Build(pts)
 	s.metrics.BuildTime = time.Since(start)
 	return s
 }
+
+// SetParallelism implements Searcher.
+func (s *KDSearcher) SetParallelism(n int) { s.parallelism = par.Workers(n) }
+
+// Parallelism implements Searcher.
+func (s *KDSearcher) Parallelism() int { return s.parallelism }
 
 // Nearest implements Searcher.
 func (s *KDSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
@@ -111,8 +160,14 @@ func (s *KDSearcher) record(start time.Time) {
 type TwoStageSearcher struct {
 	tree    *twostage.Tree
 	session *twostage.ApproxSession // nil when approximation is disabled
-	stats   twostage.Stats
-	metrics Metrics
+	approx  *twostage.ApproxOptions // nil when approximation is disabled
+	// workerSessions caches one approximate session per batch worker,
+	// Reset between chunks (see batch.go); grown lazily so repeated
+	// batch calls reuse the O(leaves) leader buffers.
+	workerSessions []*twostage.ApproxSession
+	stats          twostage.Stats
+	metrics        Metrics
+	parallelism    int
 }
 
 // TwoStageConfig configures a TwoStageSearcher.
@@ -122,11 +177,13 @@ type TwoStageConfig struct {
 	TopHeight int
 	// Approx enables the leader/follower algorithm with these options.
 	Approx *twostage.ApproxOptions
+	// Parallelism is the batch worker count (<= 0 selects NumCPU).
+	Parallelism int
 }
 
 // NewTwoStageSearcher builds a two-stage tree over pts.
 func NewTwoStageSearcher(pts []geom.Vec3, cfg TwoStageConfig) *TwoStageSearcher {
-	s := &TwoStageSearcher{}
+	s := &TwoStageSearcher{parallelism: par.Workers(cfg.Parallelism)}
 	start := time.Now()
 	if cfg.TopHeight < 0 {
 		s.tree = twostage.BuildWithLeafSize(pts, 128)
@@ -135,10 +192,18 @@ func NewTwoStageSearcher(pts []geom.Vec3, cfg TwoStageConfig) *TwoStageSearcher 
 	}
 	s.metrics.BuildTime = time.Since(start)
 	if cfg.Approx != nil {
-		s.session = s.tree.NewApproxSession(*cfg.Approx)
+		opts := *cfg.Approx
+		s.approx = &opts
+		s.session = s.tree.NewApproxSession(opts)
 	}
 	return s
 }
+
+// SetParallelism implements Searcher.
+func (s *TwoStageSearcher) SetParallelism(n int) { s.parallelism = par.Workers(n) }
+
+// Parallelism implements Searcher.
+func (s *TwoStageSearcher) Parallelism() int { return s.parallelism }
 
 // Tree exposes the underlying two-stage structure (used by the accelerator
 // simulator, which replays the same searches cycle by cycle).
@@ -168,21 +233,22 @@ func (s *TwoStageSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 	// complex; the two-stage tree answers k-NN by brute-forcing the whole
 	// set only when the top-tree is absent. For simplicity and exactness we
 	// run a bounded search: collect via expanding radius.
-	res := s.kNearest(q, k)
+	res := s.kNearest(q, k, &s.stats)
 	s.record(start)
 	return res
 }
 
 // kNearest answers k-NN exactly on the two-stage tree by radius doubling:
 // start from the NN distance and expand until k neighbors are inside.
-func (s *TwoStageSearcher) kNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+// stats is a parameter (not s.stats) so batch workers can shard it.
+func (s *TwoStageSearcher) kNearest(q geom.Vec3, k int, stats *twostage.Stats) []kdtree.Neighbor {
 	if k <= 0 || s.tree.Len() == 0 {
 		return nil
 	}
-	nb, _ := s.tree.Nearest(q, &s.stats)
+	nb, _ := s.tree.Nearest(q, stats)
 	r := 2 * (1e-6 + math.Sqrt(nb.Dist2))
 	for i := 0; i < 64; i++ {
-		res := s.tree.Radius(q, r, &s.stats)
+		res := s.tree.Radius(q, r, stats)
 		if len(res) >= k || len(res) == s.tree.Len() {
 			if len(res) > k {
 				res = res[:k]
@@ -191,7 +257,7 @@ func (s *TwoStageSearcher) kNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 		}
 		r *= 2
 	}
-	res := s.tree.Radius(q, r, &s.stats)
+	res := s.tree.Radius(q, r, stats)
 	if len(res) > k {
 		res = res[:k]
 	}

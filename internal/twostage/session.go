@@ -13,6 +13,12 @@ import (
 // stage invocation; the batch helpers in this package are one-shot
 // sessions.
 //
+// A session is not safe for concurrent use — its leader buffers mutate on
+// every query. The batched search layer (internal/search) therefore gives
+// each worker its own session over a fixed-size chunk of the batch, so
+// leader state never crosses goroutines and batch results are a
+// deterministic function of the query batch alone.
+//
 // Radius leaders are only meaningful for a fixed radius; if the radius
 // changes between calls the radius leader state is reset.
 type ApproxSession struct {
@@ -35,6 +41,20 @@ func (t *Tree) NewApproxSession(opts ApproxOptions) *ApproxSession {
 	}
 }
 
+// Reset clears all leader state in place, retaining the allocated
+// per-leaf buffers, so one session can serve successive batch chunks
+// without reallocating O(leaves) storage per chunk. A reset session
+// behaves exactly like a freshly created one.
+func (s *ApproxSession) Reset() {
+	for i := range s.nn {
+		s.nn[i] = s.nn[i][:0]
+	}
+	for i := range s.rad {
+		s.rad[i] = s.rad[i][:0]
+	}
+	s.radR = -1
+}
+
 // Nearest performs one approximate NN query, updating leader state.
 func (s *ApproxSession) Nearest(q geom.Vec3, stats *Stats) (kdtree.Neighbor, bool) {
 	if stats != nil {
@@ -51,7 +71,11 @@ func (s *ApproxSession) Radius(q geom.Vec3, r float64, stats *Stats) []kdtree.Ne
 		stats.Queries++
 	}
 	if r != s.radR {
-		s.rad = make([][]radLeader, len(s.tree.leaves))
+		// Truncate in place rather than reallocate: leader capacity is
+		// reused across radius changes and session resets.
+		for i := range s.rad {
+			s.rad[i] = s.rad[i][:0]
+		}
 		s.radR = r
 	}
 	opts := s.opts

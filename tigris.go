@@ -12,6 +12,14 @@
 //	err := tigris.EvaluatePair(res.Transform, seq.GroundTruthDelta(0))
 //	fmt.Printf("terr %.2f%%  rerr %.4f deg/m\n", err.TranslationalPct, err.RotationalDegPerM)
 //
+// Every query-dominated stage issues its neighbor searches through the
+// batched parallel Searcher API, spreading the millions of per-frame
+// queries over a worker pool — the software counterpart of the
+// query-level parallelism the paper's two-stage tree exposes to hardware.
+// PipelineConfig.Searcher.Parallelism pins the pool size (0 = all CPUs,
+// 1 = the sequential path); exact backends return bit-identical results
+// at any setting.
+//
 // # Layout
 //
 // The implementation lives in internal/ packages; this package re-exports
@@ -40,6 +48,7 @@ import (
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/registration"
+	"tigris/internal/search"
 	"tigris/internal/sim"
 	"tigris/internal/synth"
 	"tigris/internal/twostage"
@@ -112,6 +121,32 @@ func BuildTwoStageTreeWithLeafSize(pts []Vec3, targetLeafSize int) *TwoStageTree
 	return twostage.BuildWithLeafSize(pts, targetLeafSize)
 }
 
+// Batched search backends.
+type (
+	// Searcher is the neighbor-search abstraction every pipeline stage
+	// queries through. Alongside the one-at-a-time methods it answers
+	// NearestBatch/KNearestBatch/RadiusBatch on a worker pool sized by
+	// SetParallelism; exact backends return bit-identical results at any
+	// parallelism.
+	Searcher = search.Searcher
+	// KDSearcher is the canonical KD-tree backend.
+	KDSearcher = search.KDSearcher
+	// TwoStageSearcher is the two-stage backend, optionally approximate.
+	TwoStageSearcher = search.TwoStageSearcher
+	// TwoStageSearcherConfig configures a TwoStageSearcher.
+	TwoStageSearcherConfig = search.TwoStageConfig
+	// SearchMetrics is the per-searcher instrumentation.
+	SearchMetrics = search.Metrics
+)
+
+// NewKDSearcher builds the canonical KD-tree backend over pts.
+func NewKDSearcher(pts []Vec3) *KDSearcher { return search.NewKDSearcher(pts) }
+
+// NewTwoStageSearcher builds the two-stage backend over pts.
+func NewTwoStageSearcher(pts []Vec3, cfg TwoStageSearcherConfig) *TwoStageSearcher {
+	return search.NewTwoStageSearcher(pts, cfg)
+}
+
 // Feature stages.
 type (
 	// NormalConfig parameterizes normal estimation.
@@ -126,6 +161,12 @@ type (
 type (
 	// PipelineConfig is the full Tbl. 1 knob set.
 	PipelineConfig = registration.PipelineConfig
+	// SearcherConfig selects the search backend and its Parallelism (the
+	// batch worker count every query-dominated stage runs with; 0 =
+	// NumCPU, 1 = sequential).
+	SearcherConfig = registration.SearcherConfig
+	// SearcherKind enumerates the search backends.
+	SearcherKind = registration.SearcherKind
 	// Result is the registration outcome with instrumentation.
 	Result = registration.Result
 	// ICPConfig parameterizes fine-tuning.
@@ -134,6 +175,13 @@ type (
 	FrameError = registration.FrameError
 	// SequenceError aggregates frame errors.
 	SequenceError = registration.SequenceError
+)
+
+// Search backend kinds for SearcherConfig.
+const (
+	SearchCanonical      = registration.SearchCanonical
+	SearchTwoStage       = registration.SearchTwoStage
+	SearchTwoStageApprox = registration.SearchTwoStageApprox
 )
 
 // Register estimates the transform mapping src onto dst.
@@ -228,9 +276,22 @@ func ProfileCanonicalSearch(t *KDTree, w SimWorkload) BaselineProfile {
 	return baseline.ProfileCanonical(t, w)
 }
 
+// ProfileCanonicalSearchParallel replays the workload on a canonical
+// KD-tree over a worker pool (<= 0 selects NumCPU); the profile is
+// identical to the sequential replay.
+func ProfileCanonicalSearchParallel(t *KDTree, w SimWorkload, parallelism int) BaselineProfile {
+	return baseline.ProfileCanonicalParallel(t, w, parallelism)
+}
+
 // ProfileTwoStageSearch replays the workload on a two-stage tree.
 func ProfileTwoStageSearch(t *TwoStageTree, w SimWorkload) BaselineProfile {
 	return baseline.ProfileTwoStage(t, w)
+}
+
+// ProfileTwoStageSearchParallel replays the workload on a two-stage tree
+// over a worker pool (<= 0 selects NumCPU).
+func ProfileTwoStageSearchParallel(t *TwoStageTree, w SimWorkload, parallelism int) BaselineProfile {
+	return baseline.ProfileTwoStageParallel(t, w, parallelism)
 }
 
 // Design-space exploration.
