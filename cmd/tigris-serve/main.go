@@ -1,0 +1,185 @@
+// Command tigris-serve runs the streaming registration service: a
+// net/http server hosting concurrent multi-user odometry sessions. Each
+// session owns a long-running engine (internal/stream) that prepares
+// every pushed frame's front-end exactly once and pipelines it against
+// the previous pair's fine-tuning; a server-level limiter caps total
+// concurrency across sessions.
+//
+// Usage:
+//
+//	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
+//	tigris-serve -selftest
+//
+// Session lifecycle (see internal/serve for the endpoint contract):
+//
+//	curl -X POST localhost:8089/v1/sessions -d '{"searcher":"canonical"}'
+//	curl -X POST --data-binary @frame0.cloud localhost:8089/v1/sessions/s1/frames
+//	curl -X POST --data-binary @frame1.cloud localhost:8089/v1/sessions/s1/frames
+//	curl 'localhost:8089/v1/sessions/s1/trajectory?wait=1'
+//	curl -X DELETE localhost:8089/v1/sessions/s1
+//
+// -selftest starts the server on a loopback port, streams two synthetic
+// LiDAR frames through the real HTTP surface, verifies the trajectory,
+// and exits non-zero on any failure (the CI smoke test).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+
+	"tigris/internal/cloud"
+	"tigris/internal/serve"
+	"tigris/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	parallel := flag.Int("parallel", 0, "default per-stage batch worker count for sessions (0 = all CPUs)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent heavy stages across all sessions (0 = CPU count)")
+	selftest := flag.Bool("selftest", false, "start on a loopback port, stream two synthetic frames over HTTP, verify, exit")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{MaxConcurrent: *maxConcurrent, Parallelism: *parallel})
+
+	if *selftest {
+		if err := runSelftest(srv); err != nil {
+			log.Fatalf("selftest FAILED: %v", err)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+
+	log.Printf("tigris-serve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSelftest exercises the service end to end over a real socket.
+func runSelftest(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(ln, srv) }()
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Health.
+	if err := expectStatus(http.Get(base + "/healthz")); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// Create a session.
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		bytes.NewReader([]byte(`{"searcher":"canonical","pipelined":true}`)))
+	if err != nil {
+		return err
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := decodeAndClose(resp, &created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	if created.ID == "" {
+		return fmt.Errorf("create session: empty id")
+	}
+	fmt.Fprintf(os.Stderr, "session %s created\n", created.ID)
+
+	// Push two synthetic frames at the experiment scale (the quick test
+	// scale is too sparse for a meaningful accuracy check).
+	seq := synth.GenerateSequence(synth.EvalSequenceConfig(2, 2019))
+	for i, f := range seq.Frames {
+		var buf bytes.Buffer
+		if err := cloud.Write(&buf, f); err != nil {
+			return err
+		}
+		resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/frames", base, created.ID), "text/plain", &buf)
+		if err != nil {
+			return err
+		}
+		var pushed struct {
+			Frame  int `json:"frame"`
+			Points int `json:"points"`
+		}
+		if err := decodeAndClose(resp, &pushed); err != nil {
+			return fmt.Errorf("push frame %d: %w", i, err)
+		}
+		if pushed.Frame != i || pushed.Points != f.Len() {
+			return fmt.Errorf("push frame %d: got frame=%d points=%d", i, pushed.Frame, pushed.Points)
+		}
+		fmt.Fprintf(os.Stderr, "frame %d pushed (%d points)\n", pushed.Frame, pushed.Points)
+	}
+
+	// Trajectory must hold both frames with a finite, non-degenerate
+	// odometry step close to the ground-truth motion.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/trajectory?wait=1", base, created.ID))
+	if err != nil {
+		return err
+	}
+	var traj struct {
+		Frames     int `json:"frames"`
+		Trajectory []struct {
+			Delta struct {
+				R [9]float64 `json:"r"`
+				T [3]float64 `json:"t"`
+			} `json:"delta"`
+		} `json:"trajectory"`
+	}
+	if err := decodeAndClose(resp, &traj); err != nil {
+		return fmt.Errorf("trajectory: %w", err)
+	}
+	if traj.Frames != 2 || len(traj.Trajectory) != 2 {
+		return fmt.Errorf("trajectory has %d frames, want 2", traj.Frames)
+	}
+	d := traj.Trajectory[1].Delta
+	truth := seq.GroundTruthDelta(0)
+	stepErr := 0.0
+	for k, v := range [3]float64{truth.T.X, truth.T.Y, truth.T.Z} {
+		diff := d.T[k] - v
+		stepErr += diff * diff
+	}
+	if stepErr > 0.5*0.5 {
+		return fmt.Errorf("odometry step %v is >0.5 m from ground truth %v", d.T, truth.T)
+	}
+	fmt.Fprintf(os.Stderr, "odometry step %.3f m (truth %.3f m)\n",
+		vecNorm(d.T), truth.TranslationNorm())
+
+	// Delete the session.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", base, created.ID), nil)
+	if err := expectStatus(http.DefaultClient.Do(req)); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	return nil
+}
+
+func vecNorm(v [3]float64) float64 {
+	return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+}
+
+func expectStatus(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func decodeAndClose(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -33,6 +33,10 @@ func forBlocks(workers int, pts []geom.Vec3, batch func(block []geom.Vec3) [][]k
 		par.For(hi-lo, workers, func(w, j int) {
 			fn(w, lo+j, nbs[j])
 		})
+		// The sweep consumed every neighbor list; hand the slabs back so
+		// the next block (and the next frame of a streaming session)
+		// reuses them instead of re-allocating.
+		search.RecycleBatch(nbs)
 	}
 }
 

@@ -102,7 +102,7 @@ func (d *Descriptors) Row(i int) []float64 {
 func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg DescriptorConfig) *Descriptors {
 	cfg.defaults()
 	dim := cfg.Method.Dim()
-	out := &Descriptors{Dim: dim, Data: make([]float64, dim*len(keypoints))}
+	out := &Descriptors{Dim: dim, Data: newDescriptorData(dim * len(keypoints))}
 	kpPts := make([]geom.Vec3, len(keypoints))
 	for ki, pi := range keypoints {
 		kpPts[ki] = c.Points[pi]
@@ -124,6 +124,9 @@ func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg 
 			fpfhDescriptor(c, keypoints[ki], kpNbs[ki], out.Data[ki*dim:(ki+1)*dim], spfhTable)
 		})
 	}
+	// The support regions are fully consumed; hand their slabs back so
+	// the next frame's radius batches reuse them.
+	search.RecycleBatch(kpNbs)
 	return out
 }
 

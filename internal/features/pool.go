@@ -1,0 +1,46 @@
+package features
+
+import "sync"
+
+// descSlabs pools descriptor data slabs (Descriptors.Data). A streaming
+// session computes one descriptor matrix per frame and frees it a frame
+// later; without pooling that is hundreds of KB of fresh allocation per
+// frame for the lifetime of the session (ROADMAP "pool allocations").
+var descSlabs = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 4096)
+		return &s
+	},
+}
+
+// newDescriptorData returns a zeroed slab of length n, reusing pooled
+// capacity when available. Zeroing is required: the descriptor kernels
+// accumulate into their rows with +=.
+func newDescriptorData(n int) []float64 {
+	p := descSlabs.Get().(*[]float64)
+	s := *p
+	if cap(s) < n {
+		// Keep the pointer box in the pool for its next Get; the backing
+		// array is abandoned for a larger one.
+		*p = s
+		descSlabs.Put(p)
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// RecycleDescriptors hands a descriptor matrix's slab back to the pool.
+// The caller must not use d (or any Row view of it) afterwards. Nil or
+// empty descriptors are ignored.
+func RecycleDescriptors(d *Descriptors) {
+	if d == nil || cap(d.Data) == 0 {
+		return
+	}
+	s := d.Data[:0]
+	descSlabs.Put(&s)
+	d.Data = nil
+}

@@ -16,7 +16,9 @@
 package kdtree
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"tigris/internal/geom"
 )
@@ -64,28 +66,53 @@ type Tree struct {
 	root  int32
 }
 
+// buildSpawnMin is the smallest subtree worth a fresh goroutine during
+// construction: below it the per-level sort is cheaper than scheduling.
+const buildSpawnMin = 4096
+
+// buildSpawnDepth bounds how many recursion levels may fork: 2^depth
+// concurrent subtree builds saturate the machine without goroutine
+// explosion on deep trees.
+func buildSpawnDepth() int {
+	w := runtime.NumCPU()
+	d := 0
+	for 1<<d < w {
+		d++
+	}
+	return d + 1
+}
+
 // Build constructs a balanced KD-tree by recursive median split along the
 // widest-spread axis, the strategy FLANN and PCL use for point clouds.
 // Build is O(n log² n) from the per-level sorts.
+//
+// Construction parallelizes: sibling subtrees sort disjoint index ranges
+// and are built concurrently to a bounded spawn depth. Because a KD
+// subtree over n points holds exactly n nodes, every recursion's slot
+// range in the preorder node array is known up front, so workers write
+// disjoint, deterministic slots — the resulting tree is bit-identical to
+// a sequential build (the Fig. 4b "construction" bar shrinks with cores,
+// nothing else changes).
 func Build(pts []geom.Vec3) *Tree {
-	t := &Tree{
-		pts:   pts,
-		nodes: make([]node, 0, len(pts)),
+	t := &Tree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
 	}
+	t.nodes = make([]node, len(pts))
 	idx := make([]int32, len(pts))
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	t.root = t.build(idx)
+	t.root = 0
+	t.buildAt(idx, 0, buildSpawnDepth())
 	return t
 }
 
-// build recursively constructs the subtree over idx and returns its root
-// node index, or -1 for an empty set.
-func (t *Tree) build(idx []int32) int32 {
-	if len(idx) == 0 {
-		return -1
-	}
+// buildAt constructs the subtree over idx (non-empty) into the preorder
+// slot range [at, at+len(idx)): the median at `at`, the left subtree in
+// the next mid slots, the right subtree after it. spawn > 0 allows
+// forking the left child onto its own goroutine.
+func (t *Tree) buildAt(idx []int32, at int32, spawn int) {
 	axis := widestAxis(t.pts, idx)
 	// Median split: sort by the chosen axis; ties are broken by index so
 	// construction is deterministic.
@@ -105,15 +132,31 @@ func (t *Tree) build(idx []int32) int32 {
 		left:  -1,
 		right: -1,
 	}
-	self := int32(len(t.nodes))
-	t.nodes = append(t.nodes, n)
-	// Children are built after the parent is appended so the parent's slot
-	// index is stable; fix up links afterwards.
-	left := t.build(idx[:mid])
-	right := t.build(idx[mid+1:])
-	t.nodes[self].left = left
-	t.nodes[self].right = right
-	return self
+	if mid > 0 {
+		n.left = at + 1
+	}
+	if len(idx)-mid-1 > 0 {
+		n.right = at + 1 + int32(mid)
+	}
+	t.nodes[at] = n
+	left, right := idx[:mid], idx[mid+1:]
+	if spawn > 0 && len(idx) >= buildSpawnMin && n.left >= 0 && n.right >= 0 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.buildAt(left, n.left, spawn-1)
+		}()
+		t.buildAt(right, n.right, spawn-1)
+		wg.Wait()
+		return
+	}
+	if n.left >= 0 {
+		t.buildAt(left, n.left, spawn)
+	}
+	if n.right >= 0 {
+		t.buildAt(right, n.right, spawn)
+	}
 }
 
 // widestAxis returns the axis with the largest coordinate spread over the
@@ -263,13 +306,21 @@ func (t *Tree) kNearest(ni int32, q geom.Vec3, k int, h *maxHeap, stats *Stats) 
 // Radius returns all points within radius r of q (inclusive), ordered by
 // increasing distance.
 func (t *Tree) Radius(q geom.Vec3, r float64, stats *Stats) []Neighbor {
+	return t.RadiusInto(q, r, nil, stats)
+}
+
+// RadiusInto is Radius appending into buf (reset to length 0), so callers
+// that recycle result slabs avoid a fresh allocation per query. The
+// returned slice may be a regrown replacement for buf; results are
+// identical to Radius.
+func (t *Tree) RadiusInto(q geom.Vec3, r float64, buf []Neighbor, stats *Stats) []Neighbor {
 	if t.root < 0 || r < 0 {
 		return nil
 	}
 	if stats != nil {
 		stats.Queries++
 	}
-	var res []Neighbor
+	res := buf[:0]
 	t.radius(t.root, q, r*r, &res, stats)
 	sort.Slice(res, func(a, b int) bool {
 		if res[a].Dist2 != res[b].Dist2 {

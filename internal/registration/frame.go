@@ -1,0 +1,229 @@
+package registration
+
+import (
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/features"
+	"tigris/internal/geom"
+	"tigris/internal/search"
+)
+
+// PreparedFrame holds every per-cloud product of the registration
+// front-end: the (optionally downsampled) front-end cloud with its
+// normals, the search index over it, the detected key-points and their
+// descriptors, and — built lazily, because only a pair's *target* needs
+// it — the fine-tuning index over the raw cloud.
+//
+// The type exists so callers that register a *stream* of frames can
+// compute this state once per frame and reuse it when the frame flips
+// roles from a pair's source to the next pair's target, instead of
+// re-running the whole front-end the way per-pair Register does. All of
+// the contained computations are deterministic functions of the cloud
+// and the config, so reuse is bit-identical to recomputation for the
+// exact search backends.
+//
+// A PreparedFrame is not safe for concurrent use: its searchers carry
+// per-instance metrics, and FineTarget mutates lazily-built state.
+type PreparedFrame struct {
+	// Raw is the cloud as given to PrepareFrame; fine-tuning RPCE always
+	// refines with these points.
+	Raw *cloud.Cloud
+	// FE is the front-end cloud (== Raw unless VoxelLeaf downsampling is
+	// active). Its Normals are filled by PrepareFrame.
+	FE *cloud.Cloud
+	// FESearch indexes FE.Points; every front-end stage queried it.
+	FESearch search.Searcher
+	// Keypoints are indices into FE.Points, ordered by response.
+	Keypoints []int
+	// KeypointPts are the key-point positions (aligned with Keypoints and
+	// the descriptor rows).
+	KeypointPts []geom.Vec3
+	// Desc are the key-point descriptors.
+	Desc *features.Descriptors
+
+	// NormalTime / KeypointTime / DescriptorTime are this cloud's shares
+	// of the Fig. 4a front-end stages; PrepTotal is the whole front-end
+	// wall time including downsampling and index construction.
+	NormalTime     time.Duration
+	KeypointTime   time.Duration
+	DescriptorTime time.Duration
+	PrepTotal      time.Duration
+
+	// Builds counts search-index constructions for this frame: 1 after
+	// PrepareFrame, 2 once FineTarget has built the raw-cloud index. The
+	// streaming engine asserts through this counter that each frame's
+	// trees are built exactly once per session.
+	Builds int
+
+	fineSearch      search.Searcher
+	fineNormalsDone bool
+}
+
+// PrepareFrame runs the per-cloud half of the registration front-end
+// (downsample → index → normals → key-points → descriptors) and returns
+// the reusable frame state. Register calls it once per cloud; a
+// streaming session calls it once per *frame* and reuses the result for
+// both roles the frame plays.
+func PrepareFrame(c *cloud.Cloud, cfg PipelineConfig) *PreparedFrame {
+	start := time.Now()
+	f := &PreparedFrame{Raw: c, FE: c}
+	if cfg.VoxelLeaf > 0 && !cfg.FrontEndOnRaw {
+		f.FE = cloud.VoxelDownsample(c, cfg.VoxelLeaf)
+	}
+	f.FESearch = newSearcher(f.FE.Points, cfg.Searcher)
+	f.Builds++
+
+	// Normal estimation, optionally with shell error injection (§4.2).
+	ne := f.FESearch
+	if cfg.Inject.NEShell != nil {
+		ne = &search.ShellSearcher{Inner: f.FESearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
+	}
+	t0 := time.Now()
+	features.EstimateNormals(f.FE, ne, cfg.Normal)
+	f.NormalTime = time.Since(t0)
+
+	t0 = time.Now()
+	f.Keypoints = features.DetectKeypoints(f.FE, f.FESearch, cfg.Keypoint)
+	f.KeypointTime = time.Since(t0)
+
+	t0 = time.Now()
+	f.Desc = features.ComputeDescriptors(f.FE, f.FESearch, f.Keypoints, cfg.Descriptor)
+	f.DescriptorTime = time.Since(t0)
+
+	f.KeypointPts = selectPoints(f.FE.Points, f.Keypoints)
+	f.PrepTotal = time.Since(start)
+	return f
+}
+
+// FineTarget returns the searcher and cloud RPCE queries when this frame
+// is a pair's target. When the front-end ran on the raw cloud the
+// front-end index is reused; otherwise a raw-cloud index is built on
+// first use and cached for every later pair that targets this frame.
+// Point-to-plane fine-tuning additionally needs raw-cloud normals, which
+// are likewise estimated once.
+func (f *PreparedFrame) FineTarget(cfg PipelineConfig) (search.Searcher, *cloud.Cloud) {
+	if f.FE == f.Raw {
+		return f.FESearch, f.FE
+	}
+	if f.fineSearch == nil {
+		f.fineSearch = newSearcher(f.Raw.Points, cfg.Searcher)
+		f.Builds++
+	}
+	if cfg.ICP.Metric == PointToPlane && !f.fineNormalsDone {
+		features.EstimateNormals(f.Raw, f.fineSearch, cfg.Normal)
+		f.fineNormalsDone = true
+	}
+	return f.fineSearch, f.Raw
+}
+
+// Searchers returns every search index this frame has built so far (the
+// front-end index, plus the fine-tuning index once FineTarget created
+// it), for metrics roll-up.
+func (f *PreparedFrame) Searchers() []search.Searcher {
+	s := []search.Searcher{f.FESearch}
+	if f.fineSearch != nil {
+		s = append(s, f.fineSearch)
+	}
+	return s
+}
+
+// SearchMetrics sums the accumulated metrics of this frame's searchers.
+func (f *PreparedFrame) SearchMetrics() search.Metrics {
+	var m search.Metrics
+	for _, s := range f.Searchers() {
+		m.Merge(*s.Metrics())
+	}
+	return m
+}
+
+// Release returns the frame's pooled buffers (currently the descriptor
+// slab) for reuse and drops the references that keep the front-end
+// products alive. Call it when the frame has played its last role in a
+// session; the frame must not be used afterwards.
+func (f *PreparedFrame) Release() {
+	features.RecycleDescriptors(f.Desc)
+	f.Desc = nil
+	f.FESearch = nil
+	f.fineSearch = nil
+	f.Keypoints = nil
+	f.KeypointPts = nil
+	f.FE = nil
+	f.Raw = nil
+}
+
+// Align runs the pair-level back half of the pipeline on two prepared
+// frames: KPCE in feature space, correspondence rejection, the initial
+// estimate with its robustness guards, and ICP fine-tuning against the
+// target's raw cloud. It fills every Result field except the per-cloud
+// front-end stage times, which the caller composes from the frames'
+// prep timings (Register does exactly that).
+func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
+	start := time.Now()
+	var res Result
+	res.SrcKeypoints = len(src.Keypoints)
+	res.DstKeypoints = len(dst.Keypoints)
+
+	// (4) KPCE in feature space.
+	t0 := time.Now()
+	var corr []Correspondence
+	var featSearchTime, featBuildTime time.Duration
+	if cfg.Inject.KPCEKthNN > 1 {
+		corr = kpceKthNN(src.Desc, dst.Desc, cfg.Inject.KPCEKthNN)
+	} else {
+		kpceCfg := cfg.KPCE
+		if kpceCfg.Parallelism == 0 {
+			kpceCfg.Parallelism = cfg.Searcher.Parallelism
+		}
+		corr, featSearchTime, featBuildTime = kpceTimed(src.Desc, dst.Desc, kpceCfg)
+	}
+	res.Stage.KPCE = time.Since(t0)
+	res.Correspondences = len(corr)
+
+	// (5) Rejection + initial transform.
+	t0 = time.Now()
+	inliers := RejectCorrespondences(corr, src.KeypointPts, dst.KeypointPts, cfg.Rejection)
+	res.Inliers = len(inliers)
+	initial, ok := estimateFromCorr(inliers, src.KeypointPts, dst.KeypointPts)
+	// Guard against a junk initial estimate: a tiny or low-ratio consensus
+	// means the front-end found no reliable matches (e.g. feature-poor
+	// scenes), and a wrong initialization is worse for ICP than none —
+	// exactly the local-minimum trap the paper's two-phase design exists
+	// to avoid (§3.1).
+	if !ok || len(inliers) < 6 || (len(corr) > 0 && float64(len(inliers)) < 0.2*float64(len(corr))) {
+		initial = geom.IdentityTransform()
+	}
+	maxT, maxR := cfg.MaxInitialTranslation, cfg.MaxInitialRotation
+	if maxT == 0 {
+		maxT = 5
+	}
+	if maxR == 0 {
+		maxR = 0.6
+	}
+	if (maxT > 0 && initial.TranslationNorm() > maxT) || (maxR > 0 && initial.RotationAngle() > maxR) {
+		initial = geom.IdentityTransform()
+	}
+	res.Stage.Rejection = time.Since(t0)
+	res.Initial = initial
+
+	// --- Fine-tuning phase (paper Fig. 2, right) ---
+	icpTarget, icpTargetCloud := dst.FineTarget(cfg)
+	var rpceSearch search.Searcher = icpTarget
+	if cfg.Inject.RPCEKthNN > 1 {
+		rpceSearch = &search.KthNNSearcher{Inner: icpTarget, K: cfg.Inject.RPCEKthNN}
+	}
+	// Fine-tuning always refines with the raw source points.
+	icpRes := ICP(src.Raw, rpceSearch, icpTargetCloud.Normals, initial, cfg.ICP)
+	res.ICP = icpRes
+	res.Stage.RPCE = icpRes.RPCETime
+	res.Stage.ErrorMinimization = icpRes.SolveTime
+	res.Transform = icpRes.Transform
+
+	// KPCE's feature trees count toward KD-tree time (Fig. 2 shading);
+	// the 3D searchers' roll-up is the caller's job because their metrics
+	// span the front-end too.
+	res.KDSearchTime = featSearchTime
+	res.KDBuildTime = featBuildTime
+	res.Total = time.Since(start)
+	return res
+}

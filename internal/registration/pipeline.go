@@ -188,130 +188,36 @@ func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
 }
 
 // Register runs the full two-phase pipeline, estimating the transform that
-// maps src onto dst.
+// maps src onto dst. It is a thin wrapper over the reusable stages: one
+// PrepareFrame per cloud (the front-end) and one Align for the pair (KPCE
+// through fine-tuning). Streaming callers (internal/stream) drive the same
+// stages directly so a frame's front-end runs once even when the frame
+// participates in two consecutive pairs; the outputs are identical either
+// way because every stage is a deterministic function of its cloud(s) and
+// the config.
 func Register(src, dst *cloud.Cloud, cfg PipelineConfig) Result {
 	start := time.Now()
-	var res Result
+	ps := PrepareFrame(src, cfg)
+	pd := PrepareFrame(dst, cfg)
+	res := Align(ps, pd, cfg)
 
-	// Optional downsampling for the front-end.
-	feSrc, feDst := src, dst
-	if cfg.VoxelLeaf > 0 && !cfg.FrontEndOnRaw {
-		feSrc = cloud.VoxelDownsample(src, cfg.VoxelLeaf)
-		feDst = cloud.VoxelDownsample(dst, cfg.VoxelLeaf)
-	}
-
-	srcSearch := newSearcher(feSrc.Points, cfg.Searcher)
-	dstSearch := newSearcher(feDst.Points, cfg.Searcher)
-
-	// --- Initial estimation phase (paper Fig. 2, left) ---
-
-	// (1) Normal estimation, optionally with shell error injection.
-	neSrc, neDst := srcSearch, dstSearch
-	if cfg.Inject.NEShell != nil {
-		neSrc = &search.ShellSearcher{Inner: srcSearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
-		neDst = &search.ShellSearcher{Inner: dstSearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
-	}
-	t0 := time.Now()
-	features.EstimateNormals(feSrc, neSrc, cfg.Normal)
-	features.EstimateNormals(feDst, neDst, cfg.Normal)
-	res.Stage.NormalEstimation = time.Since(t0)
-
-	// (2) Key-point detection.
-	t0 = time.Now()
-	srcKPs := features.DetectKeypoints(feSrc, srcSearch, cfg.Keypoint)
-	dstKPs := features.DetectKeypoints(feDst, dstSearch, cfg.Keypoint)
-	res.Stage.KeypointDetection = time.Since(t0)
-	res.SrcKeypoints = len(srcKPs)
-	res.DstKeypoints = len(dstKPs)
-
-	// (3) Descriptor calculation.
-	t0 = time.Now()
-	srcDesc := features.ComputeDescriptors(feSrc, srcSearch, srcKPs, cfg.Descriptor)
-	dstDesc := features.ComputeDescriptors(feDst, dstSearch, dstKPs, cfg.Descriptor)
-	res.Stage.DescriptorCalculation = time.Since(t0)
-
-	// (4) KPCE in feature space.
-	t0 = time.Now()
-	var corr []Correspondence
-	var featSearchTime, featBuildTime time.Duration
-	if cfg.Inject.KPCEKthNN > 1 {
-		corr = kpceKthNN(srcDesc, dstDesc, cfg.Inject.KPCEKthNN)
-	} else {
-		kpceCfg := cfg.KPCE
-		if kpceCfg.Parallelism == 0 {
-			kpceCfg.Parallelism = cfg.Searcher.Parallelism
-		}
-		corr, featSearchTime, featBuildTime = kpceTimed(srcDesc, dstDesc, kpceCfg)
-	}
-	res.Stage.KPCE = time.Since(t0)
-	res.Correspondences = len(corr)
-
-	// (5) Rejection + initial transform.
-	t0 = time.Now()
-	srcKPPts := selectPoints(feSrc.Points, srcKPs)
-	dstKPPts := selectPoints(feDst.Points, dstKPs)
-	inliers := RejectCorrespondences(corr, srcKPPts, dstKPPts, cfg.Rejection)
-	res.Inliers = len(inliers)
-	initial, ok := estimateFromCorr(inliers, srcKPPts, dstKPPts)
-	// Guard against a junk initial estimate: a tiny or low-ratio consensus
-	// means the front-end found no reliable matches (e.g. feature-poor
-	// scenes), and a wrong initialization is worse for ICP than none —
-	// exactly the local-minimum trap the paper's two-phase design exists
-	// to avoid (§3.1).
-	if !ok || len(inliers) < 6 || (len(corr) > 0 && float64(len(inliers)) < 0.2*float64(len(corr))) {
-		initial = geom.IdentityTransform()
-	}
-	maxT, maxR := cfg.MaxInitialTranslation, cfg.MaxInitialRotation
-	if maxT == 0 {
-		maxT = 5
-	}
-	if maxR == 0 {
-		maxR = 0.6
-	}
-	if (maxT > 0 && initial.TranslationNorm() > maxT) || (maxR > 0 && initial.RotationAngle() > maxR) {
-		initial = geom.IdentityTransform()
-	}
-	res.Stage.Rejection = time.Since(t0)
-	res.Initial = initial
-
-	// --- Fine-tuning phase (paper Fig. 2, right) ---
-
-	// RPCE searches the raw target cloud. When the front-end ran on a
-	// downsampled cloud the fine-tuning phase needs its own target index.
-	icpTarget := dstSearch
-	icpTargetCloud := feDst
-	if feDst != dst {
-		icpTarget = newSearcher(dst.Points, cfg.Searcher)
-		icpTargetCloud = dst
-		if cfg.ICP.Metric == PointToPlane {
-			features.EstimateNormals(icpTargetCloud, icpTarget, cfg.Normal)
-		}
-	}
-	var rpceSearch search.Searcher = icpTarget
-	if cfg.Inject.RPCEKthNN > 1 {
-		rpceSearch = &search.KthNNSearcher{Inner: icpTarget, K: cfg.Inject.RPCEKthNN}
-	}
-	// Fine-tuning always refines with the raw source points.
-	icpRes := ICP(src, rpceSearch, icpTargetCloud.Normals, initial, cfg.ICP)
-	res.ICP = icpRes
-	res.Stage.RPCE = icpRes.RPCETime
-	res.Stage.ErrorMinimization = icpRes.SolveTime
-	res.Transform = icpRes.Transform
+	// Per-cloud front-end stage times (Fig. 4a rows).
+	res.Stage.NormalEstimation = ps.NormalTime + pd.NormalTime
+	res.Stage.KeypointDetection = ps.KeypointTime + pd.KeypointTime
+	res.Stage.DescriptorCalculation = ps.DescriptorTime + pd.DescriptorTime
 
 	// --- Instrumentation roll-up (Fig. 4b split) ---
-	searchers := []search.Searcher{srcSearch, dstSearch}
-	if icpTarget != dstSearch {
-		searchers = append(searchers, icpTarget)
-	}
-	for _, s := range searchers {
+	// Align already contributed the KPCE feature trees' share; the 3D
+	// searchers (front-end indexes plus the lazily-built fine-tuning
+	// index) are fresh per Register call, so their cumulative metrics are
+	// exactly this pair's.
+	for _, s := range append(ps.Searchers(), pd.Searchers()...) {
 		m := s.Metrics()
 		res.KDSearchTime += m.SearchTime
 		res.KDBuildTime += m.BuildTime
 		res.NodesVisited += m.NodesVisited
 		res.SearchQueries += m.Queries
 	}
-	res.KDSearchTime += featSearchTime
-	res.KDBuildTime += featBuildTime
 
 	res.Total = time.Since(start)
 	return res

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"sync"
 	"time"
 
 	"tigris/internal/geom"
@@ -26,6 +27,56 @@ const ApproxBatchChunk = 256
 
 // missNeighbor marks a NearestBatch entry with no result (empty tree).
 func missNeighbor() kdtree.Neighbor { return kdtree.Neighbor{Index: -1} }
+
+// neighborSlabs pools per-query radius result buffers. Radius search is
+// the dominant query kind of the front-end (normal estimation, key-point
+// responses, descriptor support regions), and a streaming session issues
+// millions of such queries per frame forever; drawing result slabs from
+// a pool and letting the stage hand them back via RecycleBatch removes
+// that steady-state churn. Slabs converge to the largest neighborhood
+// size seen, so after warm-up a batch allocates only its header.
+var neighborSlabs = sync.Pool{
+	New: func() any {
+		s := make([]kdtree.Neighbor, 0, 64)
+		return &s
+	},
+}
+
+func getNeighborSlab() []kdtree.Neighbor {
+	return *neighborSlabs.Get().(*[]kdtree.Neighbor)
+}
+
+func putNeighborSlab(s []kdtree.Neighbor) {
+	s = s[:0]
+	neighborSlabs.Put(&s)
+}
+
+// RecycleBatch returns every per-query slice of a batch result to the
+// slab pool and clears the entries. Callers that fully consume a
+// RadiusBatch/KNearestBatch result may hand it back so the next batch
+// reuses the capacity; no reference to any entry may be retained. The
+// entries need not have come from the pool — any slab is welcome.
+func RecycleBatch(res [][]kdtree.Neighbor) {
+	for i, s := range res {
+		if cap(s) > 0 {
+			putNeighborSlab(s)
+		}
+		res[i] = nil
+	}
+}
+
+// radiusPooled answers one radius query into a pooled slab, preserving
+// the sequential nil-result convention (misses return nil, and the
+// untouched slab goes straight back to the pool).
+func radiusPooled(radiusInto func(buf []kdtree.Neighbor) []kdtree.Neighbor) []kdtree.Neighbor {
+	buf := getNeighborSlab()
+	res := radiusInto(buf)
+	if len(res) == 0 {
+		putNeighborSlab(buf)
+		return nil
+	}
+	return res
+}
 
 // --- KDSearcher ---------------------------------------------------------
 
@@ -59,13 +110,17 @@ func (s *KDSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
 	return out
 }
 
-// RadiusBatch implements Searcher.
+// RadiusBatch implements Searcher. Result slices come from the shared
+// slab pool; consumers that drain the batch may return them with
+// RecycleBatch.
 func (s *KDSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
 	start := time.Now()
 	out := make([][]kdtree.Neighbor, len(qs))
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
-			out[i] = s.tree.Radius(qs[i], r, shard)
+			out[i] = radiusPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+				return s.tree.RadiusInto(qs[i], r, buf, shard)
+			})
 		},
 		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
 	s.record(start)
@@ -129,7 +184,9 @@ func (s *TwoStageSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Nei
 	} else {
 		par.Sharded(len(qs), s.parallelism,
 			func(shard *twostage.Stats, i int) {
-				out[i] = s.tree.Radius(qs[i], r, shard)
+				out[i] = radiusPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+					return s.tree.RadiusInto(qs[i], r, buf, shard)
+				})
 			},
 			func(shard *twostage.Stats) { s.stats.Merge(*shard) })
 	}

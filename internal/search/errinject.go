@@ -99,8 +99,11 @@ type ShellSearcher struct {
 
 // shellFilter keeps the neighbors at squared distance >= r1sq, the
 // single definition of the shell's inner bound for both query paths.
+// It filters in place: the inner query's slab is the returned slab, so
+// pooled batch buffers survive the injection wrapper and RecycleBatch
+// downstream keeps working at full capacity.
 func shellFilter(outer []kdtree.Neighbor, r1sq float64) []kdtree.Neighbor {
-	res := outer[:0:0]
+	res := outer[:0]
 	for _, nb := range outer {
 		if nb.Dist2 >= r1sq {
 			res = append(res, nb)

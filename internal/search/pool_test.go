@@ -1,0 +1,48 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// TestRadiusBatchRecycle drives repeated batches through the slab pool
+// and checks every round's results against fresh sequential queries —
+// recycled slabs must never leak stale contents into later batches.
+func TestRadiusBatchRecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Vec3, 3000)
+	for i := range pts {
+		pts[i] = geom.V3(rng.Float64()*20, rng.Float64()*20, rng.Float64()*2)
+	}
+	qs := make([]geom.Vec3, 500)
+	for i := range qs {
+		qs[i] = geom.V3(rng.Float64()*20, rng.Float64()*20, rng.Float64()*2)
+	}
+	s := NewKDSearcher(pts)
+	oracle := NewKDSearcher(pts)
+	for round := 0; round < 3; round++ {
+		res := s.RadiusBatch(qs, 0.8+0.3*float64(round))
+		for i, q := range qs {
+			want := oracle.Radius(q, 0.8+0.3*float64(round))
+			if !reflect.DeepEqual(res[i], want) {
+				t.Fatalf("round %d query %d: pooled batch diverged", round, i)
+			}
+		}
+		RecycleBatch(res)
+		for i := range res {
+			if res[i] != nil {
+				t.Fatal("RecycleBatch must clear entries")
+			}
+		}
+	}
+}
+
+// TestRecycleBatchToleratesForeignSlabs verifies slabs that did not come
+// from the pool (and nil entries) are accepted.
+func TestRecycleBatchToleratesForeignSlabs(t *testing.T) {
+	RecycleBatch([][]kdtree.Neighbor{nil, make([]kdtree.Neighbor, 3), {}})
+}

@@ -1,0 +1,316 @@
+// Package serve implements the multi-user registration service behind
+// cmd/tigris-serve: a stdlib net/http server where each session owns one
+// streaming odometry engine (internal/stream) and every session shares a
+// server-level concurrency limiter, so total CPU fan-out stays bounded
+// no matter how many users stream frames at once — the serving idiom of
+// long-lived sessions with queued requests and per-session state reuse.
+//
+// # Endpoints
+//
+//	GET    /healthz                        liveness probe
+//	POST   /v1/sessions                    create a session (JSON config)
+//	POST   /v1/sessions/{id}/frames        push one TIGRIS-CLOUD frame
+//	GET    /v1/sessions/{id}/trajectory    accumulated trajectory (JSON)
+//	GET    /v1/sessions/{id}/stats         session work counters (JSON)
+//	DELETE /v1/sessions/{id}               close and remove the session
+//
+// Frame pushes return the assigned frame index immediately (the engine
+// pipelines the heavy work); `?wait=1` on a push or trajectory request
+// blocks until every pushed frame is committed.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/dse"
+	"tigris/internal/geom"
+	"tigris/internal/par"
+	"tigris/internal/registration"
+	"tigris/internal/stream"
+)
+
+// maxFrameBytes bounds one uploaded frame (ASCII clouds run ~60 bytes
+// per point, so this admits multi-million-point frames).
+const maxFrameBytes = 256 << 20
+
+// Config parameterizes the server.
+type Config struct {
+	// MaxConcurrent caps concurrent heavy stages (frame preparation and
+	// pair alignment) across all sessions; <= 0 selects runtime CPUs.
+	MaxConcurrent int
+	// Parallelism is the default per-stage batch worker count for
+	// sessions that do not set their own (0 = all CPUs).
+	Parallelism int
+}
+
+// Server hosts the sessions. It implements http.Handler.
+type Server struct {
+	mux     *http.ServeMux
+	limiter stream.Limiter
+	cfg     Config
+
+	mu       sync.Mutex
+	sessions map[string]*stream.Engine
+	nextID   int
+}
+
+// New creates a server with an empty session table.
+func New(cfg Config) *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		limiter:  stream.NewLimiter(par.Workers(cfg.MaxConcurrent)),
+		cfg:      cfg,
+		sessions: make(map[string]*stream.Engine),
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.withSession(s.handlePush))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trajectory", s.withSession(s.handleTrajectory))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts every session down (used by tests and graceful shutdown).
+func (s *Server) Close() {
+	s.mu.Lock()
+	engines := make([]*stream.Engine, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		engines = append(engines, e)
+	}
+	s.sessions = make(map[string]*stream.Engine)
+	s.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
+	}
+}
+
+// sessionRequest is the JSON body of POST /v1/sessions. All fields are
+// optional; the zero value yields the balanced DP5 design point on the
+// canonical KD-tree with pipelining on.
+type sessionRequest struct {
+	// Searcher is "canonical", "twostage", or "approx".
+	Searcher string `json:"searcher"`
+	// DesignPoint picks a base configuration, "DP1".."DP8" (default DP5).
+	DesignPoint string `json:"design_point"`
+	// Parallelism pins the per-stage batch worker count (0 = server
+	// default, 1 = sequential).
+	Parallelism int `json:"parallelism"`
+	// Pipelined overlaps a frame's front-end with the previous pair's
+	// fine-tuning (default true; explicit false disables).
+	Pipelined *bool `json:"pipelined"`
+	// VoxelLeaf overrides the front-end downsampling leaf (< 0 disables
+	// downsampling; 0 keeps the design point's value).
+	VoxelLeaf *float64 `json:"voxel_leaf"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && err.Error() != "EOF" {
+			httpError(w, http.StatusBadRequest, "bad session config: %v", err)
+			return
+		}
+	}
+	cfg, err := s.pipelineConfig(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pipelined := req.Pipelined == nil || *req.Pipelined
+	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Limiter: s.limiter})
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[id] = eng
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "pipelined": pipelined})
+}
+
+// pipelineConfig resolves a session request to a registration config.
+func (s *Server) pipelineConfig(req sessionRequest) (registration.PipelineConfig, error) {
+	name := req.DesignPoint
+	if name == "" {
+		name = "DP5"
+	}
+	var cfg registration.PipelineConfig
+	found := false
+	for _, dp := range dse.NamedDesignPoints() {
+		if dp.Name == name {
+			cfg = dp.Config
+			found = true
+			break
+		}
+	}
+	if !found {
+		return cfg, fmt.Errorf("unknown design point %q (want DP1..DP8)", name)
+	}
+	switch req.Searcher {
+	case "", "canonical":
+		cfg.Searcher.Kind = registration.SearchCanonical
+	case "twostage":
+		cfg.Searcher.Kind = registration.SearchTwoStage
+		cfg.Searcher.TopHeight = -1
+	case "approx":
+		cfg.Searcher.Kind = registration.SearchTwoStageApprox
+		cfg.Searcher.TopHeight = -1
+	default:
+		return cfg, fmt.Errorf("unknown searcher %q (want canonical, twostage, or approx)", req.Searcher)
+	}
+	if req.Parallelism != 0 {
+		cfg.Searcher.Parallelism = req.Parallelism
+	} else if s.cfg.Parallelism != 0 {
+		cfg.Searcher.Parallelism = s.cfg.Parallelism
+	}
+	if req.VoxelLeaf != nil {
+		if *req.VoxelLeaf < 0 {
+			cfg.VoxelLeaf = 0
+		} else if *req.VoxelLeaf > 0 {
+			cfg.VoxelLeaf = *req.VoxelLeaf
+		}
+	}
+	return cfg, nil
+}
+
+// withSession resolves the {id} path segment to its engine.
+func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *stream.Engine)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		eng, ok := s.sessions[r.PathValue("id")]
+		s.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+			return
+		}
+		fn(w, r, eng)
+	}
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+	c, err := cloud.Read(http.MaxBytesReader(w, r.Body, maxFrameBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	start := time.Now()
+	idx, err := eng.Push(c)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	resp := map[string]any{"frame": idx, "points": c.Len()}
+	if wantWait(r) {
+		eng.Drain()
+		if fr, ok := eng.Frame(idx); ok {
+			resp["pose"] = wireTransformOf(fr.Pose)
+			resp["delta"] = wireTransformOf(fr.Delta)
+		}
+		resp["wall_ms"] = float64(time.Since(start).Microseconds()) / 1e3
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+	if wantWait(r) {
+		eng.Drain()
+	}
+	writeJSON(w, http.StatusOK, trajectoryResponse(eng.Trajectory()))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+	st := eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"frames_pushed":     st.FramesPushed,
+		"frames_prepared":   st.FramesPrepared,
+		"pairs_aligned":     st.PairsAligned,
+		"tree_builds":       st.TreeBuilds,
+		"descriptor_builds": st.DescriptorBuilds,
+		"search_queries":    st.Search.Queries,
+		"nodes_visited":     st.Search.NodesVisited,
+		"search_ms":         float64(st.Search.SearchTime.Microseconds()) / 1e3,
+		"build_ms":          float64(st.Search.BuildTime.Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	eng, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	eng.Close()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "frames": eng.Trajectory().Len()})
+}
+
+// --- wire types ---------------------------------------------------------
+
+// wireTransform is the JSON shape of a rigid transform: row-major 3×3
+// rotation plus translation.
+type wireTransform struct {
+	R [9]float64 `json:"r"`
+	T [3]float64 `json:"t"`
+}
+
+func wireTransformOf(tr geom.Transform) wireTransform {
+	return wireTransform{R: [9]float64(tr.R), T: [3]float64{tr.T.X, tr.T.Y, tr.T.Z}}
+}
+
+// wireFrame is one frame's record in the trajectory response.
+type wireFrame struct {
+	Index   int           `json:"index"`
+	Delta   wireTransform `json:"delta"`
+	Pose    wireTransform `json:"pose"`
+	PrepMs  float64       `json:"prep_ms"`
+	AlignMs float64       `json:"align_ms"`
+	// ICP convergence of the pair that produced Delta (frame 0: zeros).
+	Iterations int     `json:"icp_iterations"`
+	RMSE       float64 `json:"icp_rmse"`
+}
+
+func trajectoryResponse(traj stream.Trajectory) map[string]any {
+	frames := make([]wireFrame, len(traj.Frames))
+	for i, fr := range traj.Frames {
+		frames[i] = wireFrame{
+			Index:      fr.Index,
+			Delta:      wireTransformOf(fr.Delta),
+			Pose:       wireTransformOf(fr.Pose),
+			PrepMs:     float64(fr.PrepTime.Microseconds()) / 1e3,
+			AlignMs:    float64(fr.AlignTime.Microseconds()) / 1e3,
+			Iterations: fr.Reg.ICP.Iterations,
+			RMSE:       fr.Reg.ICP.FinalRMSE,
+		}
+	}
+	return map[string]any{"frames": len(frames), "trajectory": frames}
+}
+
+func wantWait(r *http.Request) bool {
+	v, _ := strconv.ParseBool(r.URL.Query().Get("wait"))
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tigris/internal/cloud"
+	"tigris/internal/registration"
+	"tigris/internal/synth"
+)
+
+// postJSON posts v as JSON and decodes the response into out.
+func postJSON(t *testing.T, client *http.Client, url string, v, out any) int {
+	t.Helper()
+	body, _ := json.Marshal(v)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pushFrame(t *testing.T, client *http.Client, base, id string, c *cloud.Cloud, wait bool) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cloud.Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("%s/v1/sessions/%s/frames", base, id)
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := client.Post(url, "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("push: status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getTrajectory(t *testing.T, client *http.Client, base, id string) map[string]any {
+	t.Helper()
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/trajectory?wait=1", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerEndToEnd drives the full session lifecycle over real HTTP
+// and checks the served deltas are bit-identical to per-pair Register on
+// the same (wire round-tripped) clouds.
+func TestServerEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Create a session.
+	var created map[string]any
+	if code := postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{"searcher": "canonical"}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("create: no id in %v", created)
+	}
+
+	// Push three frames (the wire format is %.9g ASCII, so the reference
+	// registration must run on the round-tripped clouds).
+	const frames = 3
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(frames, 41))
+	wire := make([]*cloud.Cloud, frames)
+	for i, f := range seq.Frames {
+		var buf bytes.Buffer
+		if err := cloud.Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		back, err := cloud.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire[i] = back
+		out := pushFrame(t, client, ts.URL, id, f, i == frames-1)
+		if int(out["frame"].(float64)) != i {
+			t.Fatalf("frame %d assigned index %v", i, out["frame"])
+		}
+	}
+
+	traj := getTrajectory(t, client, ts.URL, id)
+	if int(traj["frames"].(float64)) != frames {
+		t.Fatalf("trajectory has %v frames, want %d", traj["frames"], frames)
+	}
+	records := traj["trajectory"].([]any)
+
+	// Reference: per-pair Register over the wire clouds, bit-compared
+	// against the served deltas.
+	var dpCfg registration.PipelineConfig
+	srvCfg, err := srv.pipelineConfig(sessionRequest{Searcher: "canonical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpCfg = srvCfg
+	for i := 1; i < frames; i++ {
+		want := registration.Register(wire[i].Clone(), wire[i-1].Clone(), dpCfg).Transform
+		rec := records[i].(map[string]any)
+		delta := rec["delta"].(map[string]any)
+		rj := delta["r"].([]any)
+		tj := delta["t"].([]any)
+		for k := 0; k < 9; k++ {
+			if rj[k].(float64) != want.R[k] {
+				t.Fatalf("frame %d: served rotation[%d] %v != %v", i, k, rj[k], want.R[k])
+			}
+		}
+		wantT := [3]float64{want.T.X, want.T.Y, want.T.Z}
+		for k := 0; k < 3; k++ {
+			if tj[k].(float64) != wantT[k] {
+				t.Fatalf("frame %d: served translation[%d] %v != %v", i, k, tj[k], wantT[k])
+			}
+		}
+	}
+
+	// Stats: one front-end preparation per frame.
+	resp, err = client.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if int(stats["frames_prepared"].(float64)) != frames {
+		t.Fatalf("frames_prepared = %v, want %d", stats["frames_prepared"], frames)
+	}
+
+	// Delete the session; further pushes 404.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", ts.URL, id), nil)
+	resp, err = client.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(fmt.Sprintf("%s/v1/sessions/%s/trajectory", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session still reachable: %d", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentSessions runs several sessions at once — the
+// multi-user shape the shared limiter exists for.
+func TestServerConcurrentSessions(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for u := 0; u < 3; u++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client := ts.Client()
+			var created map[string]any
+			postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{}, &created)
+			id := created["id"].(string)
+			seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, seed))
+			for _, f := range seq.Frames {
+				pushFrame(t, client, ts.URL, id, f, false)
+			}
+			traj := getTrajectory(t, client, ts.URL, id)
+			if int(traj["frames"].(float64)) != 2 {
+				t.Errorf("session %s: %v frames", id, traj["frames"])
+			}
+		}(int64(50 + u))
+	}
+	wg.Wait()
+}
+
+// TestServerRejectsBadInput covers the error paths.
+func TestServerRejectsBadInput(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	if code := postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{"searcher": "quantum"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad searcher accepted: %d", code)
+	}
+	if code := postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{"design_point": "DP99"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad design point accepted: %d", code)
+	}
+	resp, err := client.Post(ts.URL+"/v1/sessions/nope/frames", "text/plain", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("push to missing session: %d", resp.StatusCode)
+	}
+	var created map[string]any
+	postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{}, &created)
+	resp, err = client.Post(fmt.Sprintf("%s/v1/sessions/%s/frames", ts.URL, created["id"]), "text/plain", bytes.NewReader([]byte("not a cloud")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk frame accepted: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,387 @@
+// Package stream implements the streaming odometry engine: a
+// long-running registration session that consumes LiDAR frames one at a
+// time and accumulates a trajectory, the paper's §2.2 continuous-perception
+// use case run as a service instead of per-pair batch calls.
+//
+// The engine's two wins over calling registration.Register per pair:
+//
+//   - Front-end reuse. Register re-runs the whole front-end (downsample,
+//     normals, key-points, descriptors, search-index construction) for
+//     BOTH clouds of every pair, so a frame in the middle of a stream is
+//     processed twice — once as a pair's source and once as the next
+//     pair's target. The engine prepares each frame exactly once
+//     (registration.PrepareFrame) and reuses the state for both roles,
+//     halving steady-state front-end work.
+//
+//   - Frame-level pipelining. With Config.Pipelined, frame N's front-end
+//     overlaps frame N−1's pair alignment (KPCE, rejection, ICP
+//     fine-tuning) on a two-stage channel pipeline — the ROADMAP's
+//     "overlap frame N's front-end with frame N−1's fine-tuning". Both
+//     stages internally fan out over the internal/par worker pools.
+//
+// For the exact search backends the resulting trajectory is bit-identical
+// to the sequential per-pair Register loop at any pipelining or
+// parallelism setting, because every stage is a deterministic function of
+// its input clouds and the config; the approximate backend is
+// deterministic (two identical sessions produce identical trajectories).
+package stream
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/geom"
+	"tigris/internal/registration"
+	"tigris/internal/search"
+)
+
+// Limiter caps concurrent heavy stages (frame preparation and pair
+// alignment) across any number of engines. A server hosting many
+// sessions shares one Limiter so total CPU fan-out stays bounded no
+// matter how many users stream at once; a nil Limiter imposes no cap.
+type Limiter chan struct{}
+
+// NewLimiter returns a Limiter admitting up to n concurrent stages
+// (n <= 0 returns nil: unlimited).
+func NewLimiter(n int) Limiter {
+	if n <= 0 {
+		return nil
+	}
+	return make(Limiter, n)
+}
+
+func (l Limiter) acquire() {
+	if l != nil {
+		l <- struct{}{}
+	}
+}
+
+func (l Limiter) release() {
+	if l != nil {
+		<-l
+	}
+}
+
+// Config parameterizes a streaming session.
+type Config struct {
+	// Pipeline is the registration configuration every pair runs with.
+	Pipeline registration.PipelineConfig
+	// Pipelined overlaps frame N's front-end with frame N−1's alignment.
+	// Off, each Push runs both stages synchronously before returning —
+	// same trajectory, no overlap.
+	Pipelined bool
+	// QueueDepth bounds how many pushed frames may wait for the front-end
+	// in pipelined mode before Push blocks (default 1). Bounding the
+	// queue bounds session memory: at most QueueDepth raw frames plus
+	// three prepared frames are alive at once.
+	QueueDepth int
+	// Origin is the pose assigned to the first frame (zero value:
+	// identity).
+	Origin *geom.Transform
+	// Limiter, when non-nil, gates every prepare/align stage (shared
+	// across engines by the registration server).
+	Limiter Limiter
+}
+
+// FrameResult records one frame's outcome in the trajectory.
+type FrameResult struct {
+	// Index is the frame's position in the session (0-based).
+	Index int
+	// Delta registers this frame onto the previous one (identity for
+	// frame 0) — the odometry step, Register's Transform.
+	Delta geom.Transform
+	// Pose is the accumulated absolute pose: Pose[N] = Pose[N−1]∘Delta.
+	Pose geom.Transform
+	// PrepTime is the frame's front-end wall time (once per frame —
+	// compare with Register, which pays it twice per pair).
+	PrepTime time.Duration
+	// AlignTime is the pair-level back-end wall time (zero for frame 0).
+	AlignTime time.Duration
+	// Reg is the pair's registration result (zero value for frame 0).
+	// Its front-end stage times cover only this frame's preparation,
+	// since the target's front-end ran a frame earlier.
+	Reg registration.Result
+}
+
+// Trajectory is a snapshot of the session's accumulated output.
+type Trajectory struct {
+	// Poses are the absolute per-frame poses (Poses[0] = Origin).
+	Poses []geom.Transform
+	// Frames are the per-frame records, aligned with Poses.
+	Frames []FrameResult
+}
+
+// Len returns the number of frames in the trajectory.
+func (t Trajectory) Len() int { return len(t.Poses) }
+
+// Stats counts the work a session has performed. The front-end counters
+// are the reuse proof: after N frames, FramesPrepared and
+// DescriptorBuilds are N (a per-pair loop would have prepared 2(N−1)
+// clouds), and TreeBuilds is N plus one fine-tuning index per target
+// frame when downsampling is active.
+type Stats struct {
+	FramesPushed     int64
+	FramesPrepared   int64
+	PairsAligned     int64
+	TreeBuilds       int64
+	DescriptorBuilds int64
+	// Search aggregates the released frames' searcher metrics (query
+	// counts, node visits, build/search wall time).
+	Search search.Metrics
+}
+
+// Engine is a streaming odometry session. Frames enter through Push;
+// the accumulated trajectory is read with Trajectory. An Engine's
+// methods are safe for concurrent use, but frames are processed in Push
+// order regardless of caller interleaving.
+type Engine struct {
+	cfg Config
+
+	// pushMu serializes Push so frame indices match arrival order even
+	// with concurrent callers (the HTTP server pushes from handler
+	// goroutines).
+	pushMu sync.Mutex
+
+	// mu guards everything below.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	traj   Trajectory
+	stats  Stats
+	pushed int
+	done   int
+	closed bool
+
+	// Pipelined mode.
+	in chan *cloud.Cloud
+	wg sync.WaitGroup
+
+	// Sequential mode: the previous frame's prepared state.
+	prev *registration.PreparedFrame
+}
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("stream: engine closed")
+
+// New creates an engine and, in pipelined mode, starts its two stage
+// workers. Callers must Close the engine to stop them.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg}
+	e.cond = sync.NewCond(&e.mu)
+	if cfg.Pipelined {
+		depth := cfg.QueueDepth
+		if depth < 1 {
+			depth = 1
+		}
+		e.in = make(chan *cloud.Cloud, depth)
+		// Capacity 1 is the pipeline register between the two stages:
+		// the front-end worker may run one frame ahead of alignment.
+		preparedCh := make(chan *registration.PreparedFrame, 1)
+		e.wg.Add(2)
+		go e.prepWorker(preparedCh)
+		go e.alignWorker(preparedCh)
+	}
+	return e
+}
+
+// Push submits the next frame of the stream and returns its index. The
+// engine takes ownership of c (its Normals are filled in place, exactly
+// as Register does to its arguments). In pipelined mode Push returns as
+// soon as the frame is queued; otherwise it returns after the frame's
+// pose is committed. Use Drain to wait for all pushed frames.
+func (e *Engine) Push(c *cloud.Cloud) (int, error) {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	idx := e.pushed
+	e.pushed++
+	e.stats.FramesPushed++
+	e.mu.Unlock()
+
+	if e.cfg.Pipelined {
+		e.in <- c
+		return idx, nil
+	}
+	e.process(c)
+	return idx, nil
+}
+
+// process runs both stages synchronously (sequential mode).
+func (e *Engine) process(c *cloud.Cloud) {
+	pf := e.prepare(c)
+	prev := e.prev
+	e.prev = pf
+	e.commit(pf, prev)
+}
+
+// prepare runs the front-end stage under the limiter. The build-once
+// counters are bumped here — at the site that actually builds — so the
+// stats assert real work, not commits.
+func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
+	e.cfg.Limiter.acquire()
+	defer e.cfg.Limiter.release()
+	pf := registration.PrepareFrame(c, e.cfg.Pipeline)
+	e.mu.Lock()
+	e.stats.FramesPrepared++
+	e.stats.DescriptorBuilds++
+	e.mu.Unlock()
+	return pf
+}
+
+// commit aligns pf against prev (nil for the first frame), appends the
+// frame's trajectory record, releases prev, and wakes Drain waiters.
+func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
+	fr := FrameResult{PrepTime: pf.PrepTotal, Delta: geom.IdentityTransform()}
+	if prev != nil {
+		e.cfg.Limiter.acquire()
+		start := time.Now()
+		fr.Reg = registration.Align(pf, prev, e.cfg.Pipeline)
+		fr.AlignTime = time.Since(start)
+		e.cfg.Limiter.release()
+		fr.Delta = fr.Reg.Transform
+		// Surface this frame's front-end shares in the pair result so
+		// per-frame records read like Register's (the target's shares
+		// belong to the previous frame's record).
+		fr.Reg.Stage.NormalEstimation = pf.NormalTime
+		fr.Reg.Stage.KeypointDetection = pf.KeypointTime
+		fr.Reg.Stage.DescriptorCalculation = pf.DescriptorTime
+	}
+
+	e.mu.Lock()
+	fr.Index = len(e.traj.Poses)
+	if fr.Index == 0 {
+		if e.cfg.Origin != nil {
+			fr.Pose = *e.cfg.Origin
+		} else {
+			fr.Pose = geom.IdentityTransform()
+		}
+	} else {
+		fr.Pose = e.traj.Poses[fr.Index-1].Compose(fr.Delta)
+	}
+	e.traj.Poses = append(e.traj.Poses, fr.Pose)
+	e.traj.Frames = append(e.traj.Frames, fr)
+	if prev != nil {
+		e.stats.PairsAligned++
+	}
+	e.mu.Unlock()
+
+	if prev != nil {
+		e.release(prev)
+	}
+
+	e.mu.Lock()
+	e.done++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// release retires a frame that has played both of its roles: its search
+// metrics fold into the session stats and its pooled buffers go back for
+// the frames still to come.
+func (e *Engine) release(f *registration.PreparedFrame) {
+	m := f.SearchMetrics()
+	e.mu.Lock()
+	e.stats.Search.Merge(m)
+	e.stats.TreeBuilds += int64(f.Builds)
+	e.mu.Unlock()
+	f.Release()
+}
+
+// prepWorker is pipeline stage 1: the per-frame front-end.
+func (e *Engine) prepWorker(out chan<- *registration.PreparedFrame) {
+	defer e.wg.Done()
+	defer close(out)
+	for c := range e.in {
+		out <- e.prepare(c)
+	}
+}
+
+// alignWorker is pipeline stage 2: pair alignment and trajectory
+// accumulation. While it aligns frame N against N−1, prepWorker is
+// already deep in frame N+1 — the two-stage overlap.
+func (e *Engine) alignWorker(in <-chan *registration.PreparedFrame) {
+	defer e.wg.Done()
+	var prev *registration.PreparedFrame
+	for pf := range in {
+		e.commit(pf, prev)
+		prev = pf
+	}
+	if prev != nil {
+		e.release(prev)
+	}
+}
+
+// Drain blocks until every frame pushed so far has been committed to the
+// trajectory.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	target := e.pushed
+	for e.done < target {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Close drains the session, stops the pipeline workers, and releases the
+// last frame's state. Push returns ErrClosed afterwards; Trajectory and
+// Stats remain readable.
+func (e *Engine) Close() {
+	// Serialize with Push: a frame mid-submission finishes (or its send
+	// lands) before the input channel closes.
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	if e.cfg.Pipelined {
+		close(e.in)
+		e.wg.Wait()
+	} else if e.prev != nil {
+		e.release(e.prev)
+		e.prev = nil
+	}
+}
+
+// Frame returns one committed frame's record, or ok=false when frame i
+// has not been committed yet. Unlike Trajectory it copies a single
+// record, so per-push polling stays O(1) over the session's life.
+func (e *Engine) Frame(i int) (FrameResult, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.traj.Frames) {
+		return FrameResult{}, false
+	}
+	return e.traj.Frames[i], true
+}
+
+// Trajectory returns a snapshot of the trajectory accumulated so far
+// (copied headers; safe to use while the session keeps running).
+func (e *Engine) Trajectory() Trajectory {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Trajectory{
+		Poses:  append([]geom.Transform(nil), e.traj.Poses...),
+		Frames: append([]FrameResult(nil), e.traj.Frames...),
+	}
+}
+
+// Stats returns a snapshot of the session counters. Searcher metrics and
+// tree-build counts are folded in when frames retire, so they trail the
+// trajectory by up to two in-flight frames until Close.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

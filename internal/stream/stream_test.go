@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"tigris/internal/cloud"
+	"tigris/internal/geom"
+	"tigris/internal/registration"
+	"tigris/internal/synth"
+)
+
+// testSeq generates a small synthetic drive shared by the tests.
+func testSeq(t testing.TB, frames int, seed int64) *synth.Sequence {
+	t.Helper()
+	return synth.GenerateSequence(synth.QuickSequenceConfig(frames, seed))
+}
+
+// testConfig is a front-end-on-raw configuration (no voxel leaf) so each
+// frame needs exactly one search index.
+func testConfig(kind registration.SearcherKind) registration.PipelineConfig {
+	cfg := registration.PipelineConfig{}
+	cfg.Searcher.Kind = kind
+	if kind != registration.SearchCanonical {
+		cfg.Searcher.TopHeight = -1
+	}
+	cfg.Rejection.Method = registration.RejectRANSAC
+	cfg.Rejection.Seed = 7
+	cfg.ICP.MaxIterations = 12
+	return cfg
+}
+
+// cloneFrames deep-copies a sequence's clouds: both the engine and
+// Register write Normals into their inputs, so equivalence runs must not
+// share backing arrays.
+func cloneFrames(seq *synth.Sequence) []*cloud.Cloud {
+	out := make([]*cloud.Cloud, len(seq.Frames))
+	for i, f := range seq.Frames {
+		out[i] = f.Clone()
+	}
+	return out
+}
+
+// runStream pushes every frame through a fresh engine and returns the
+// final trajectory and stats.
+func runStream(frames []*cloud.Cloud, cfg Config) (Trajectory, Stats) {
+	eng := New(cfg)
+	for _, f := range frames {
+		if _, err := eng.Push(f); err != nil {
+			panic(err)
+		}
+	}
+	eng.Close()
+	return eng.Trajectory(), eng.Stats()
+}
+
+// TestStreamMatchesPerPairExact is the tentpole acceptance test: for the
+// exact backends, a streamed session's deltas and poses are bit-identical
+// to the sequential per-pair Register loop, pipelined or not.
+func TestStreamMatchesPerPairExact(t *testing.T) {
+	const frames = 4
+	seq := testSeq(t, frames, 21)
+	for _, kind := range []registration.SearcherKind{registration.SearchCanonical, registration.SearchTwoStage} {
+		cfg := testConfig(kind)
+
+		// Reference: the classic per-pair loop.
+		ref := cloneFrames(seq)
+		wantDeltas := make([]geom.Transform, 0, frames-1)
+		for i := 0; i+1 < frames; i++ {
+			res := registration.Register(ref[i+1], ref[i], cfg)
+			wantDeltas = append(wantDeltas, res.Transform)
+		}
+
+		for _, pipelined := range []bool{false, true} {
+			traj, _ := runStream(cloneFrames(seq), Config{Pipeline: cfg, Pipelined: pipelined})
+			if traj.Len() != frames {
+				t.Fatalf("%v pipelined=%v: trajectory has %d frames, want %d", kind, pipelined, traj.Len(), frames)
+			}
+			pose := geom.IdentityTransform()
+			for i, fr := range traj.Frames {
+				if i == 0 {
+					if fr.Delta != geom.IdentityTransform() {
+						t.Fatalf("%v: frame 0 delta not identity", kind)
+					}
+				} else if fr.Delta != wantDeltas[i-1] {
+					t.Fatalf("%v pipelined=%v: frame %d delta differs from per-pair Register", kind, pipelined, i)
+				}
+				pose = poseOrCompose(pose, fr, i)
+				if traj.Poses[i] != pose {
+					t.Fatalf("%v pipelined=%v: frame %d pose not the composed deltas", kind, pipelined, i)
+				}
+			}
+		}
+	}
+}
+
+func poseOrCompose(prev geom.Transform, fr FrameResult, i int) geom.Transform {
+	if i == 0 {
+		return geom.IdentityTransform()
+	}
+	return prev.Compose(fr.Delta)
+}
+
+// TestStreamBuildOnceStats asserts the reuse contract: N pushed frames
+// cost exactly N front-end preparations, N descriptor builds, and N tree
+// builds (no voxel leaf ⇒ one index per frame) — where the per-pair loop
+// prepares 2(N−1) clouds.
+func TestStreamBuildOnceStats(t *testing.T) {
+	const frames = 5
+	seq := testSeq(t, frames, 22)
+	_, stats := runStream(cloneFrames(seq), Config{Pipeline: testConfig(registration.SearchCanonical), Pipelined: true})
+	if stats.FramesPushed != frames || stats.FramesPrepared != frames {
+		t.Fatalf("pushed/prepared = %d/%d, want %d/%d", stats.FramesPushed, stats.FramesPrepared, frames, frames)
+	}
+	if stats.DescriptorBuilds != frames {
+		t.Fatalf("descriptor builds = %d, want %d (per-pair would be %d)", stats.DescriptorBuilds, frames, 2*(frames-1))
+	}
+	if stats.TreeBuilds != frames {
+		t.Fatalf("tree builds = %d, want %d", stats.TreeBuilds, frames)
+	}
+	if stats.PairsAligned != frames-1 {
+		t.Fatalf("pairs aligned = %d, want %d", stats.PairsAligned, frames-1)
+	}
+	if stats.Search.Queries == 0 || stats.Search.BuildTime <= 0 {
+		t.Fatal("released-frame search metrics not folded into session stats")
+	}
+}
+
+// TestStreamDownsampledFineIndex covers the voxel-leaf path: each target
+// frame lazily builds one extra raw-cloud index, and the trajectory still
+// matches the per-pair loop bit for bit.
+func TestStreamDownsampledFineIndex(t *testing.T) {
+	const frames = 3
+	seq := testSeq(t, frames, 23)
+	cfg := testConfig(registration.SearchCanonical)
+	cfg.VoxelLeaf = 0.4
+
+	ref := cloneFrames(seq)
+	var wantDeltas []geom.Transform
+	for i := 0; i+1 < frames; i++ {
+		wantDeltas = append(wantDeltas, registration.Register(ref[i+1], ref[i], cfg).Transform)
+	}
+
+	traj, stats := runStream(cloneFrames(seq), Config{Pipeline: cfg, Pipelined: true})
+	for i := 1; i < frames; i++ {
+		if traj.Frames[i].Delta != wantDeltas[i-1] {
+			t.Fatalf("frame %d delta differs under downsampling", i)
+		}
+	}
+	// One front-end index per frame + one fine index per *target* frame
+	// (the last frame is never a target).
+	want := int64(frames + frames - 1)
+	if stats.TreeBuilds != want {
+		t.Fatalf("tree builds = %d, want %d", stats.TreeBuilds, want)
+	}
+}
+
+// TestStreamApproxDeterministic runs the approximate backend twice and
+// expects identical trajectories (chunk-determinism carries over to the
+// session), pipelined and not.
+func TestStreamApproxDeterministic(t *testing.T) {
+	const frames = 3
+	seq := testSeq(t, frames, 24)
+	cfg := testConfig(registration.SearchTwoStageApprox)
+	a, _ := runStream(cloneFrames(seq), Config{Pipeline: cfg, Pipelined: true})
+	b, _ := runStream(cloneFrames(seq), Config{Pipeline: cfg, Pipelined: false})
+	for i := range a.Poses {
+		if a.Poses[i] != b.Poses[i] {
+			t.Fatalf("approximate backend diverged at frame %d", i)
+		}
+	}
+}
+
+// TestStreamConcurrentSessions exercises the server shape under the race
+// detector: several engines share one Limiter, each fed from its own
+// goroutine, with trajectory snapshots read mid-flight.
+func TestStreamConcurrentSessions(t *testing.T) {
+	const sessions = 3
+	const frames = 3
+	lim := NewLimiter(2)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			seq := testSeq(t, frames, seed)
+			eng := New(Config{Pipeline: testConfig(registration.SearchCanonical), Pipelined: true, Limiter: lim})
+			for _, f := range cloneFrames(seq) {
+				if _, err := eng.Push(f); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = eng.Trajectory() // snapshot while streaming
+			}
+			eng.Drain()
+			if got := eng.Trajectory().Len(); got != frames {
+				t.Errorf("session drained with %d frames, want %d", got, frames)
+			}
+			eng.Close()
+			if _, err := eng.Push(cloud.New(0)); err != ErrClosed {
+				t.Errorf("push after close: err = %v, want ErrClosed", err)
+			}
+		}(int64(30 + s))
+	}
+	wg.Wait()
+}
+
+// TestStreamOrigin anchors the first frame at a non-identity origin.
+func TestStreamOrigin(t *testing.T) {
+	seq := testSeq(t, 2, 25)
+	origin := geom.Transform{R: geom.RotZ(0.3), T: geom.V3(4, 5, 6)}
+	traj, _ := runStream(cloneFrames(seq), Config{Pipeline: testConfig(registration.SearchCanonical), Origin: &origin})
+	if traj.Poses[0] != origin {
+		t.Fatalf("pose 0 = %+v, want origin", traj.Poses[0])
+	}
+	if traj.Poses[1] != origin.Compose(traj.Frames[1].Delta) {
+		t.Fatal("pose 1 not composed from origin")
+	}
+}

@@ -21,7 +21,9 @@ package twostage
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
@@ -71,17 +73,143 @@ type Tree struct {
 // Build constructs a two-stage tree with the given top-tree height. Height
 // 0 degenerates to a single unordered set (pure brute force, paper §4.1);
 // larger heights approach the canonical tree.
+//
+// Construction parallelizes like the canonical tree's: median splits only
+// depend on the subset size, so every subtree's node-slot and leaf-slot
+// ranges in the preorder layout are computed up front (subtreeSize) and
+// sibling subtrees build concurrently into disjoint ranges to a bounded
+// spawn depth. The resulting tree is bit-identical to a sequential build.
 func Build(pts []geom.Vec3, topHeight int) *Tree {
 	if topHeight < 0 {
 		topHeight = 0
 	}
-	t := &Tree{pts: pts, height: topHeight}
+	t := &Tree{pts: pts, height: topHeight, root: ChildNone}
+	if len(pts) == 0 {
+		return t
+	}
+	sizes := make(map[sizeKey][2]int32)
+	nNodes, nLeaves := subtreeSize(len(pts), topHeight, sizes)
+	if nNodes > 0 {
+		t.nodes = make([]Node, nNodes)
+	}
+	if nLeaves > 0 {
+		t.leaves = make([][]int32, nLeaves)
+	}
 	idx := make([]int32, len(pts))
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	t.root = t.build(idx, 0)
+	if topHeight == 0 {
+		t.root = encodeLeaf(0)
+	} else {
+		t.root = Child(0)
+	}
+	t.buildAt(idx, 0, 0, 0, sizes, buildSpawnDepth())
 	return t
+}
+
+// sizeKey memoizes subtreeSize on (points, remaining height).
+type sizeKey struct{ n, h int }
+
+// subtreeSize returns the top-tree node count and leaf-set count of the
+// subtree over n points with h top-tree levels remaining. Median splits
+// depend only on the subset size, so the recursion is exact; memo keeps
+// it cheap (each level contributes only a handful of distinct sizes).
+// The memo is filled before the parallel build phase and read-only after.
+func subtreeSize(n, h int, memo map[sizeKey][2]int32) (nodes, leaves int32) {
+	if n == 0 {
+		return 0, 0
+	}
+	if h == 0 {
+		return 0, 1
+	}
+	k := sizeKey{n, h}
+	if v, ok := memo[k]; ok {
+		return v[0], v[1]
+	}
+	mid := n / 2
+	ln, ll := subtreeSize(mid, h-1, memo)
+	rn, rl := subtreeSize(n-mid-1, h-1, memo)
+	nodes, leaves = 1+ln+rn, ll+rl
+	memo[k] = [2]int32{nodes, leaves}
+	return nodes, leaves
+}
+
+// buildSpawnMin / buildSpawnDepth mirror the canonical tree's bounded
+// construction fan-out.
+const buildSpawnMin = 4096
+
+func buildSpawnDepth() int {
+	w := runtime.NumCPU()
+	d := 0
+	for 1<<d < w {
+		d++
+	}
+	return d + 1
+}
+
+// buildAt constructs the subtree over idx (non-empty) at depth, writing
+// the top-tree nodes into the preorder slot range starting at nodeAt and
+// the leaf sets into consecutive slots starting at leafAt.
+func (t *Tree) buildAt(idx []int32, depth int, nodeAt, leafAt int32, sizes map[sizeKey][2]int32, spawn int) {
+	if depth >= t.height {
+		set := make([]int32, len(idx))
+		copy(set, idx)
+		t.leaves[leafAt] = set
+		return
+	}
+	axis := widestAxis(t.pts, idx)
+	sort.Slice(idx, func(a, b int) bool {
+		pa := t.pts[idx[a]].Component(axis)
+		pb := t.pts[idx[b]].Component(axis)
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	nd := Node{
+		Point: idx[mid],
+		Axis:  int8(axis),
+		Split: t.pts[idx[mid]].Component(axis),
+		Left:  ChildNone,
+		Right: ChildNone,
+	}
+	rem := t.height - depth - 1 // top levels remaining below this node
+	leftN, leftL := subtreeSize(mid, rem, sizes)
+	if mid > 0 {
+		if rem == 0 {
+			nd.Left = encodeLeaf(int(leafAt))
+		} else {
+			nd.Left = Child(nodeAt + 1)
+		}
+	}
+	if len(idx)-mid-1 > 0 {
+		if rem == 0 {
+			nd.Right = encodeLeaf(int(leafAt + leftL))
+		} else {
+			nd.Right = Child(nodeAt + 1 + leftN)
+		}
+	}
+	t.nodes[nodeAt] = nd
+	left, right := idx[:mid], idx[mid+1:]
+	if spawn > 0 && len(idx) >= buildSpawnMin && nd.Left != ChildNone && nd.Right != ChildNone {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.buildAt(left, depth+1, nodeAt+1, leafAt, sizes, spawn-1)
+		}()
+		t.buildAt(right, depth+1, nodeAt+1+leftN, leafAt+leftL, sizes, spawn-1)
+		wg.Wait()
+		return
+	}
+	if nd.Left != ChildNone {
+		t.buildAt(left, depth+1, nodeAt+1, leafAt, sizes, spawn)
+	}
+	if nd.Right != ChildNone {
+		t.buildAt(right, depth+1, nodeAt+1+leftN, leafAt+leftL, sizes, spawn)
+	}
 }
 
 // BuildWithLeafSize constructs a two-stage tree whose leaf sets hold
@@ -97,42 +225,6 @@ func BuildWithLeafSize(pts []geom.Vec3, targetLeafSize int) *Tree {
 		h++
 	}
 	return Build(pts, h)
-}
-
-func (t *Tree) build(idx []int32, depth int) Child {
-	if len(idx) == 0 {
-		return ChildNone
-	}
-	if depth >= t.height {
-		id := len(t.leaves)
-		set := make([]int32, len(idx))
-		copy(set, idx)
-		t.leaves = append(t.leaves, set)
-		return encodeLeaf(id)
-	}
-	axis := widestAxis(t.pts, idx)
-	sort.Slice(idx, func(a, b int) bool {
-		pa := t.pts[idx[a]].Component(axis)
-		pb := t.pts[idx[b]].Component(axis)
-		if pa != pb {
-			return pa < pb
-		}
-		return idx[a] < idx[b]
-	})
-	mid := len(idx) / 2
-	self := len(t.nodes)
-	t.nodes = append(t.nodes, Node{
-		Point: idx[mid],
-		Axis:  int8(axis),
-		Split: t.pts[idx[mid]].Component(axis),
-		Left:  ChildNone,
-		Right: ChildNone,
-	})
-	left := t.build(idx[:mid], depth+1)
-	right := t.build(idx[mid+1:], depth+1)
-	t.nodes[self].Left = left
-	t.nodes[self].Right = right
-	return Child(self)
 }
 
 // widestAxis mirrors the canonical tree's split-axis policy so that the
@@ -282,10 +374,18 @@ func (t *Tree) nearestChild(c Child, q geom.Vec3, best *kdtree.Neighbor, stats *
 // Radius performs an exact radius search on the two-stage structure,
 // returning neighbors in ascending distance order.
 func (t *Tree) Radius(q geom.Vec3, r float64, stats *Stats) []kdtree.Neighbor {
+	return t.RadiusInto(q, r, nil, stats)
+}
+
+// RadiusInto is Radius appending into buf (reset to length 0), so callers
+// that recycle result slabs avoid a fresh allocation per query. The
+// returned slice may be a regrown replacement for buf; results are
+// identical to Radius.
+func (t *Tree) RadiusInto(q geom.Vec3, r float64, buf []kdtree.Neighbor, stats *Stats) []kdtree.Neighbor {
 	if stats != nil {
 		stats.Queries++
 	}
-	var res []kdtree.Neighbor
+	res := buf[:0]
 	t.radiusChild(t.root, q, r*r, &res, stats)
 	sortNeighbors(res)
 	return res

@@ -30,8 +30,11 @@
 //   - containers: Cloud (internal/cloud)
 //   - search: KDTree, TwoStageTree, approximate sessions (internal/kdtree,
 //     internal/twostage, internal/search)
-//   - registration: PipelineConfig, Register, ICP, metrics
+//   - registration: PipelineConfig, Register, the reusable
+//     PrepareFrame/AlignFrames stages, ICP, metrics
 //     (internal/registration)
+//   - streaming: Stream, StreamConfig, Trajectory — the long-running
+//     odometry engine behind cmd/tigris-serve (internal/stream)
 //   - accelerator: AccelConfig, SimWorkload, Simulate (internal/sim)
 //   - baselines: GPUModel/CPUModel (internal/baseline)
 //   - dataset: GenerateSequence (internal/synth)
@@ -50,6 +53,7 @@ import (
 	"tigris/internal/registration"
 	"tigris/internal/search"
 	"tigris/internal/sim"
+	"tigris/internal/stream"
 	"tigris/internal/synth"
 	"tigris/internal/twostage"
 )
@@ -188,6 +192,55 @@ const (
 func Register(src, dst *Cloud, cfg PipelineConfig) Result {
 	return registration.Register(src, dst, cfg)
 }
+
+// Reusable registration stages. Register is PrepareFrame×2 + AlignFrames;
+// streaming callers prepare each cloud once and reuse the state across
+// consecutive pairs.
+type (
+	// PreparedFrame is one cloud's reusable front-end state (normals,
+	// key-points, descriptors, search indexes).
+	PreparedFrame = registration.PreparedFrame
+)
+
+// PrepareFrame runs the per-cloud front-end once, for reuse across pairs.
+func PrepareFrame(c *Cloud, cfg PipelineConfig) *PreparedFrame {
+	return registration.PrepareFrame(c, cfg)
+}
+
+// AlignFrames runs the pair-level back end (KPCE → rejection → ICP) on
+// two prepared frames, estimating the transform mapping src onto dst.
+func AlignFrames(src, dst *PreparedFrame, cfg PipelineConfig) Result {
+	return registration.Align(src, dst, cfg)
+}
+
+// Streaming odometry engine.
+type (
+	// Stream is a long-running odometry session: frames are pushed one at
+	// a time, each frame's front-end is computed once and reused when the
+	// frame becomes the next pair's target, and (when pipelined) frame
+	// N's front-end overlaps frame N−1's fine-tuning. For exact search
+	// backends the trajectory is bit-identical to a per-pair Register
+	// loop.
+	Stream = stream.Engine
+	// StreamConfig parameterizes a streaming session.
+	StreamConfig = stream.Config
+	// Trajectory is a session's accumulated poses and per-frame records.
+	Trajectory = stream.Trajectory
+	// StreamFrameResult is one frame's trajectory record.
+	StreamFrameResult = stream.FrameResult
+	// StreamStats counts a session's work (the build-once counters).
+	StreamStats = stream.Stats
+	// StreamLimiter caps concurrent heavy stages across sessions.
+	StreamLimiter = stream.Limiter
+)
+
+// NewStream starts a streaming odometry session. Close it to stop the
+// pipeline workers and release the last frame's state.
+func NewStream(cfg StreamConfig) *Stream { return stream.New(cfg) }
+
+// NewStreamLimiter returns a limiter admitting n concurrent heavy stages
+// (n <= 0: unlimited), shared across sessions via StreamConfig.Limiter.
+func NewStreamLimiter(n int) StreamLimiter { return stream.NewLimiter(n) }
 
 // EvaluatePair scores an estimated transform against ground truth.
 func EvaluatePair(estimated, truth Transform) FrameError {

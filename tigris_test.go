@@ -92,6 +92,54 @@ func TestPublicAPIDesignPoints(t *testing.T) {
 	}
 }
 
+// TestPublicAPIStream drives the streaming engine surface: push a short
+// synthetic sequence, drain, and check the trajectory matches both the
+// per-pair Register loop (bit-identical for the exact backend) and the
+// split PrepareFrame/AlignFrames stages.
+func TestPublicAPIStream(t *testing.T) {
+	const frames = 3
+	seq := tigris.GenerateSequence(tigris.QuickSequenceConfig(frames, 12))
+	cfg := tigris.DefaultPipelineConfig()
+
+	ref := make([]*tigris.Cloud, frames)
+	for i, f := range seq.Frames {
+		ref[i] = f.Clone()
+	}
+
+	eng := tigris.NewStream(tigris.StreamConfig{
+		Pipeline:  cfg,
+		Pipelined: true,
+		Limiter:   tigris.NewStreamLimiter(2),
+	})
+	for _, f := range seq.Frames {
+		if _, err := eng.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	eng.Close()
+	traj := eng.Trajectory()
+	if traj.Len() != frames {
+		t.Fatalf("trajectory has %d frames, want %d", traj.Len(), frames)
+	}
+	for i := 1; i < frames; i++ {
+		want := tigris.Register(ref[i].Clone(), ref[i-1].Clone(), cfg).Transform
+		if traj.Frames[i].Delta != want {
+			t.Fatalf("frame %d: streamed delta differs from per-pair Register", i)
+		}
+	}
+	if st := eng.Stats(); st.FramesPrepared != frames || st.DescriptorBuilds != frames {
+		t.Fatalf("front-end not build-once: %+v", st)
+	}
+
+	// The split stages compose to the same pair result.
+	ps := tigris.PrepareFrame(ref[1].Clone(), cfg)
+	pd := tigris.PrepareFrame(ref[0].Clone(), cfg)
+	if got := tigris.AlignFrames(ps, pd, cfg).Transform; got != traj.Frames[1].Delta {
+		t.Fatal("PrepareFrame+AlignFrames differs from the streamed pair")
+	}
+}
+
 func TestPublicAPITransforms(t *testing.T) {
 	tr := tigris.IdentityTransform()
 	if !tr.NearlyEqual(tr.Compose(tr), 1e-12) {
