@@ -13,7 +13,16 @@
 //
 // Usage:
 //
-//	tigris-accel [-fig N | -area | -all] [-seed S] [-quick]
+//	tigris-accel [-fig N | -area | -all] [-seed S] [-quick] [-trace]
+//
+// By default the figures run on synthesized stage workloads
+// (dse.StageWorkloads re-derives the NE radius batch and the first RPCE
+// NN batch). With -trace they instead replay the *real* pipeline query
+// stream: a full end-to-end registration runs with the "trace" search
+// backend (front-end on the raw clouds, the experiments' full-density
+// regime), every stage's batches (both frames' front-ends, every ICP
+// iteration) are captured into sim.Workloads, and the simulator and
+// baseline models time them against the target-frame trees.
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"tigris/internal/baseline"
 	"tigris/internal/dse"
 	"tigris/internal/kdtree"
+	"tigris/internal/registration"
+	"tigris/internal/search"
 	"tigris/internal/sim"
 	"tigris/internal/synth"
 	"tigris/internal/twostage"
@@ -123,6 +134,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use small test-scale frames")
 	full := flag.Bool("full", false, "use KITTI-scale ~130k-point frames (the paper's regime; slower)")
 	topHeight := flag.Int("height", -1, "two-stage top-tree height; <0 targets 128-point leaf sets (the paper: height 10 on 130k-point frames = 128-point leaves)")
+	trace := flag.Bool("trace", false, "capture workloads from a real end-to-end registration (trace backend) instead of re-deriving stage workloads")
 	flag.Parse()
 
 	if !*area && *fig == 0 && !*all {
@@ -149,9 +161,13 @@ func main() {
 		} else {
 			two = twostage.Build(target, *topHeight)
 		}
+		workloads := dse.StageWorkloads(seq, dp)
+		if *trace {
+			workloads = traceWorkloads(seq, dp)
+		}
 		return &experiment{
 			name:      dp.Name,
-			workloads: dse.StageWorkloads(seq, dp),
+			workloads: workloads,
 			canonical: kdtree.Build(target),
 			twoStage:  two,
 			approxNN:  twostage.DefaultNNThreshold,
@@ -181,6 +197,39 @@ func main() {
 	if *fig == 15 || *all {
 		fig15(seq, dp7)
 	}
+}
+
+// traceWorkloads captures the design point's real query stream: one
+// end-to-end registration of the sequence's first pair runs with the
+// trace backend (wrapping the canonical tree — exact backends issue
+// identical queries, so the capture is backend-independent), and every
+// recorded stage batch becomes one accelerator workload. The front-end
+// runs on the raw clouds (FrontEndOnRaw) so the captured queries match
+// the full-density regime the experiment trees are built in — the same
+// convention dse.StageWorkloads uses. Replay then follows the figures'
+// isolation-mode rule: every batch (both frames' front-ends, every ICP
+// iteration) is timed as a query stream against the target-frame trees.
+// Clouds are cloned because the pipeline writes normals into its inputs.
+func traceWorkloads(seq *synth.Sequence, dp dse.DesignPoint) []sim.Workload {
+	sink := &search.TraceLog{}
+	cfg := dp.Config
+	cfg.FrontEndOnRaw = true
+	cfg.Searcher = registration.SearcherConfig{
+		Backend: search.BackendTrace,
+		Options: search.Options{
+			search.OptTraceInner: search.BackendCanonical,
+			search.OptTraceSink:  sink,
+		},
+	}
+	registration.Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), cfg)
+	workloads := sim.WorkloadsFromTrace(sink.Batches())
+	var queries int64
+	for _, w := range workloads {
+		queries += int64(len(w.Queries))
+	}
+	fmt.Printf("%s trace: %d stage batches, %d queries captured from the live pipeline\n",
+		dp.Name, len(workloads), queries)
+	return workloads
 }
 
 // runBaseline sums the baseline model's time/energy over the workloads.

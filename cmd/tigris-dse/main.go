@@ -6,20 +6,25 @@
 //
 // Usage:
 //
-//	tigris-dse [-frames N] [-seed S] [-parallel N] [-grid] [-stages] [-quick]
+//	tigris-dse [-frames N] [-seed S] [-parallel N] [-backend NAME] [-grid] [-stages] [-quick]
 //
 // With -grid the full Tbl. 1 knob grid (48 points) is evaluated; with
 // -stages the named DP1–DP8 breakdowns are printed. Default runs both.
+// -backend swaps every design point's search backend for the named
+// registry backend (e.g. twostage-approx), exploring how the structure
+// choice shifts the whole frontier.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"time"
 
 	"tigris/internal/dse"
+	"tigris/internal/registration"
 	"tigris/internal/synth"
 )
 
@@ -27,10 +32,18 @@ func main() {
 	frames := flag.Int("frames", 3, "frames in the synthetic sequence (pairs = frames-1)")
 	seed := flag.Int64("seed", 2019, "dataset seed")
 	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
+	backend := flag.String("backend", "", "search backend registry name for every design point (\"\" keeps each point's own)")
 	gridOnly := flag.Bool("grid", false, "run only the Fig. 3 grid DSE")
 	stagesOnly := flag.Bool("stages", false, "run only the Fig. 4 stage breakdowns")
 	quick := flag.Bool("quick", false, "use small test-scale frames")
 	flag.Parse()
+
+	if *backend != "" {
+		probe := registration.SearcherConfig{Backend: *backend, TopHeight: -1}
+		if err := probe.Validate(); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
 
 	var cfg synth.SequenceConfig
 	if *quick {
@@ -43,23 +56,32 @@ func main() {
 	fmt.Printf("frame size: %d points\n\n", seq.Frames[0].Len())
 
 	if !*stagesOnly {
-		runGrid(seq, *parallel)
+		runGrid(seq, *parallel, *backend)
 	}
 	if !*gridOnly {
-		runStages(seq, *parallel)
+		runStages(seq, *parallel, *backend)
 	}
 	_ = os.Stdout
 }
 
+// applySearcher overlays the CLI searcher knobs on a design point.
+func applySearcher(cfg *registration.PipelineConfig, parallel int, backend string) {
+	cfg.Searcher.Parallelism = parallel
+	if backend != "" {
+		cfg.Searcher.Backend = backend
+		cfg.Searcher.TopHeight = -1
+	}
+}
+
 // runGrid evaluates the Tbl. 1 grid and prints the Fig. 3 scatter plus
 // Pareto fronts.
-func runGrid(seq *synth.Sequence, parallel int) {
+func runGrid(seq *synth.Sequence, parallel int, backend string) {
 	fmt.Println("=== Fig. 3: design-space exploration (error vs time) ===")
 	grid := dse.Grid()
 	evals := make([]dse.Evaluated, 0, len(grid))
 	start := time.Now()
 	for i, dp := range grid {
-		dp.Config.Searcher.Parallelism = parallel
+		applySearcher(&dp.Config, parallel, backend)
 		ev := dse.Evaluate(seq, dp)
 		evals = append(evals, ev)
 		fmt.Printf("  [%2d/%d] %-42s terr %6.2f%%  rerr %7.4f°/m  time %8.1fms\n",
@@ -90,7 +112,7 @@ func runGrid(seq *synth.Sequence, parallel int) {
 }
 
 // runStages prints the Fig. 4a/4b breakdowns for DP1–DP8.
-func runStages(seq *synth.Sequence, parallel int) {
+func runStages(seq *synth.Sequence, parallel int, backend string) {
 	fmt.Println("=== Fig. 4a: per-stage time distribution of DP1-DP8 (%) ===")
 	fmt.Printf("%-5s %7s %7s %7s %7s %7s %7s %7s\n",
 		"DP", "NE", "KeyPt", "Desc", "KPCE", "Reject", "RPCE", "ErrMin")
@@ -99,7 +121,7 @@ func runStages(seq *synth.Sequence, parallel int) {
 	}
 	var rows []row
 	for _, dp := range dse.NamedDesignPoints() {
-		dp.Config.Searcher.Parallelism = parallel
+		applySearcher(&dp.Config, parallel, backend)
 		ev := dse.Evaluate(seq, dp)
 		rows = append(rows, row{ev: ev})
 		total := float64(ev.Stage.Total())

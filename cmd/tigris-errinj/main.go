@@ -9,12 +9,13 @@
 //
 // Usage:
 //
-//	tigris-errinj [-mode knn|shell|all] [-frames N] [-seed S] [-quick]
+//	tigris-errinj [-mode knn|shell|all] [-frames N] [-seed S] [-backend NAME] [-quick]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"tigris/internal/dse"
 	"tigris/internal/registration"
@@ -25,6 +26,7 @@ func main() {
 	mode := flag.String("mode", "all", "knn (Fig. 7a), shell (Fig. 7b), or all")
 	frames := flag.Int("frames", 3, "frames in the synthetic sequence")
 	seed := flag.Int64("seed", 2019, "dataset seed")
+	backend := flag.String("backend", "", "search backend registry name the errors are injected around (\"\" = the design point's own)")
 	quick := flag.Bool("quick", false, "use small test-scale frames")
 	flag.Parse()
 
@@ -37,6 +39,13 @@ func main() {
 
 	base := dse.DP7().Config // accuracy-oriented point, as in §4.2's study
 	base.ICP.MaxIterations = 25
+	if *backend != "" {
+		base.Searcher.Backend = *backend
+		base.Searcher.TopHeight = -1
+		if err := base.Searcher.Validate(); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
 
 	evaluate := func(inject registration.Injection, trustFrontEnd bool) registration.SequenceError {
 		var errs []registration.FrameError

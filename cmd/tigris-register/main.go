@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	tigris-register [-searcher canonical|twostage|approx] [-parallel N] [-profile] source.cloud target.cloud
+//	tigris-register [-backend NAME] [-opt key=value]... [-parallel N] [-profile] source.cloud target.cloud
 //
-// Generate sample inputs with `go run ./examples/mapping` or via
+// -backend selects any registered search backend by name (canonical,
+// twostage, twostage-approx, bruteforce, ...); -opt passes
+// backend-specific options, e.g. `-backend twostage -opt top_height=8`.
+// The deprecated -searcher flag (canonical|twostage|approx) keeps
+// working. Generate sample inputs with `go run ./examples/mapping` or via
 // tigris.WriteCloud.
 package main
 
@@ -17,14 +21,50 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"tigris/internal/cloud"
 	"tigris/internal/dse"
 	"tigris/internal/registration"
+	"tigris/internal/search"
 )
 
+// optFlag collects repeated -opt key=value pairs into a backend option
+// bag, parsing values as bool, int, or float before falling back to
+// string.
+type optFlag struct{ opts search.Options }
+
+func (f *optFlag) String() string { return fmt.Sprintf("%v", f.opts) }
+
+func (f *optFlag) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	if f.opts == nil {
+		f.opts = search.Options{}
+	}
+	switch {
+	case val == "true" || val == "false":
+		f.opts[key] = val == "true"
+	default:
+		if n, err := strconv.Atoi(val); err == nil {
+			f.opts[key] = n
+		} else if x, err := strconv.ParseFloat(val, 64); err == nil {
+			f.opts[key] = x
+		} else {
+			f.opts[key] = val
+		}
+	}
+	return nil
+}
+
 func main() {
-	searcher := flag.String("searcher", "canonical", "search backend: canonical, twostage, or approx")
+	backend := flag.String("backend", "", "search backend registry name (overrides -searcher; see internal/search)")
+	var opts optFlag
+	flag.Var(&opts, "opt", "backend option as key=value (repeatable)")
+	searcher := flag.String("searcher", "canonical", "deprecated alias: canonical, twostage, or approx")
 	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
 	profile := flag.Bool("profile", false, "print stage timing and KD-tree search breakdown")
 	designPoint := flag.String("dp", "DP5", "design point to run (DP1..DP8)")
@@ -42,19 +82,21 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown design point %q (want DP1..DP8)", *designPoint)
 	}
-	switch *searcher {
-	case "canonical":
-		cfg.Searcher.Kind = registration.SearchCanonical
-	case "twostage":
-		cfg.Searcher.Kind = registration.SearchTwoStage
-		cfg.Searcher.TopHeight = -1
-	case "approx":
-		cfg.Searcher.Kind = registration.SearchTwoStageApprox
-		cfg.Searcher.TopHeight = -1
-	default:
-		log.Fatalf("unknown searcher %q", *searcher)
+	name := *backend
+	if name == "" {
+		var ok bool
+		if name, ok = registration.LegacySearcherName(*searcher); !ok {
+			log.Fatalf("unknown searcher %q (use -backend for registry names: %s)",
+				*searcher, strings.Join(search.Backends(), ", "))
+		}
 	}
+	cfg.Searcher.Backend = name
+	cfg.Searcher.TopHeight = -1 // full frames: size two-stage leaves to ~128 points
+	cfg.Searcher.Options = opts.opts
 	cfg.Searcher.Parallelism = *parallel
+	if err := cfg.Searcher.Validate(); err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	res := registration.Register(src, dst, cfg)
 
@@ -65,7 +107,8 @@ func main() {
 	}
 
 	if *profile {
-		fmt.Fprintf(os.Stderr, "\ntotal: %v (ICP iterations %d, converged %v)\n",
+		fmt.Fprintf(os.Stderr, "\nbackend: %s\n", cfg.Searcher.BackendName())
+		fmt.Fprintf(os.Stderr, "total: %v (ICP iterations %d, converged %v)\n",
 			res.Total.Round(1e6), res.ICP.Iterations, res.ICP.Converged)
 		fmt.Fprintf(os.Stderr, "stages: NE %v | keypt %v | desc %v | KPCE %v | reject %v | RPCE %v | solve %v\n",
 			res.Stage.NormalEstimation.Round(1e6), res.Stage.KeypointDetection.Round(1e6),

@@ -8,19 +8,28 @@
 // Usage:
 //
 //	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
-//	tigris-serve -selftest
+//	             [-backend NAME] [-session-ttl D]
+//	tigris-serve -selftest [-backend NAME]
+//
+// -backend sets the default search backend (a registry name, see GET
+// /v1/backends) for sessions that do not pick their own; -session-ttl
+// evicts sessions idle longer than the given duration (e.g. 30m; 0 keeps
+// sessions forever).
 //
 // Session lifecycle (see internal/serve for the endpoint contract):
 //
-//	curl -X POST localhost:8089/v1/sessions -d '{"searcher":"canonical"}'
+//	curl localhost:8089/v1/backends
+//	curl -X POST localhost:8089/v1/sessions -d '{"backend":"twostage-approx"}'
 //	curl -X POST --data-binary @frame0.cloud localhost:8089/v1/sessions/s1/frames
 //	curl -X POST --data-binary @frame1.cloud localhost:8089/v1/sessions/s1/frames
 //	curl 'localhost:8089/v1/sessions/s1/trajectory?wait=1'
 //	curl -X DELETE localhost:8089/v1/sessions/s1
 //
 // -selftest starts the server on a loopback port, streams two synthetic
-// LiDAR frames through the real HTTP surface, verifies the trajectory,
-// and exits non-zero on any failure (the CI smoke test).
+// LiDAR frames through the real HTTP surface — through the configured
+// -backend (default: the non-default "twostage", so the registry path is
+// always smoked) — verifies the trajectory and the legacy searcher
+// aliases, and exits non-zero on any failure (the CI smoke test).
 package main
 
 import (
@@ -43,13 +52,24 @@ func main() {
 	addr := flag.String("addr", ":8089", "listen address")
 	parallel := flag.Int("parallel", 0, "default per-stage batch worker count for sessions (0 = all CPUs)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent heavy stages across all sessions (0 = CPU count)")
+	backend := flag.String("backend", "", "default search backend for sessions (registry name; \"\" = canonical)")
+	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, stream two synthetic frames over HTTP, verify, exit")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{MaxConcurrent: *maxConcurrent, Parallelism: *parallel})
+	srv := serve.New(serve.Config{
+		MaxConcurrent:  *maxConcurrent,
+		Parallelism:    *parallel,
+		DefaultBackend: *backend,
+		SessionTTL:     *sessionTTL,
+	})
 
 	if *selftest {
-		if err := runSelftest(srv); err != nil {
+		name := *backend
+		if name == "" {
+			name = "twostage" // smoke a non-default backend through the registry
+		}
+		if err := runSelftest(srv, name); err != nil {
 			log.Fatalf("selftest FAILED: %v", err)
 		}
 		fmt.Println("selftest ok")
@@ -62,8 +82,9 @@ func main() {
 	}
 }
 
-// runSelftest exercises the service end to end over a real socket.
-func runSelftest(srv *serve.Server) error {
+// runSelftest exercises the service end to end over a real socket,
+// streaming through the named search backend.
+func runSelftest(srv *serve.Server, backend string) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -77,14 +98,40 @@ func runSelftest(srv *serve.Server) error {
 		return fmt.Errorf("healthz: %w", err)
 	}
 
-	// Create a session.
-	resp, err := http.Post(base+"/v1/sessions", "application/json",
-		bytes.NewReader([]byte(`{"searcher":"canonical","pipelined":true}`)))
+	// The registry must advertise the requested backend.
+	resp, err := http.Get(base + "/v1/backends")
+	if err != nil {
+		return err
+	}
+	var reg struct {
+		Backends []string `json:"backends"`
+	}
+	if err := decodeAndClose(resp, &reg); err != nil {
+		return fmt.Errorf("backends: %w", err)
+	}
+	found := false
+	for _, b := range reg.Backends {
+		found = found || b == backend
+	}
+	if !found {
+		return fmt.Errorf("backend %q not in registry %v", backend, reg.Backends)
+	}
+	fmt.Fprintf(os.Stderr, "backends: %v\n", reg.Backends)
+
+	// The deprecated searcher aliases must still resolve.
+	if err := createAndDelete(base, `{"searcher":"approx"}`); err != nil {
+		return fmt.Errorf("legacy searcher alias: %w", err)
+	}
+
+	// Create the streaming session on the requested backend.
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"backend":%q,"pipelined":true}`, backend))))
 	if err != nil {
 		return err
 	}
 	var created struct {
-		ID string `json:"id"`
+		ID      string `json:"id"`
+		Backend string `json:"backend"`
 	}
 	if err := decodeAndClose(resp, &created); err != nil {
 		return fmt.Errorf("create session: %w", err)
@@ -92,7 +139,10 @@ func runSelftest(srv *serve.Server) error {
 	if created.ID == "" {
 		return fmt.Errorf("create session: empty id")
 	}
-	fmt.Fprintf(os.Stderr, "session %s created\n", created.ID)
+	if created.Backend != backend {
+		return fmt.Errorf("session backend = %q, want %q", created.Backend, backend)
+	}
+	fmt.Fprintf(os.Stderr, "session %s created (backend %s)\n", created.ID, created.Backend)
 
 	// Push two synthetic frames at the experiment scale (the quick test
 	// scale is too sparse for a meaningful accuracy check).
@@ -159,6 +209,23 @@ func runSelftest(srv *serve.Server) error {
 		return fmt.Errorf("delete: %w", err)
 	}
 	return nil
+}
+
+// createAndDelete creates a session from the given JSON body and
+// immediately deletes it, verifying both round trips succeed.
+func createAndDelete(base, body string) error {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := decodeAndClose(resp, &created); err != nil {
+		return err
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", base, created.ID), nil)
+	return expectStatus(http.DefaultClient.Do(req))
 }
 
 func vecNorm(v [3]float64) float64 {

@@ -4,15 +4,19 @@ import (
 	"tigris/internal/features"
 	"tigris/internal/geom"
 	"tigris/internal/registration"
+	"tigris/internal/search"
 	"tigris/internal/sim"
 	"tigris/internal/synth"
 )
 
 // baseConfig is the pipeline skeleton all design points share; the knobs
-// of Tbl. 1 are varied on top of it.
+// of Tbl. 1 are varied on top of it. The search backend is named
+// explicitly (registry selection, not the legacy enum) so design points
+// carry their backend choice visibly and cmds can swap it by name.
 func baseConfig() registration.PipelineConfig {
 	return registration.PipelineConfig{
 		VoxelLeaf: 0.3,
+		Searcher:  registration.SearcherConfig{Backend: search.BackendCanonical},
 		Normal:    features.NormalConfig{Method: features.PlaneSVD, SearchRadius: 0.5},
 		Keypoint: features.KeypointConfig{
 			Method:           features.Harris3D,

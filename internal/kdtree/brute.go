@@ -25,10 +25,21 @@ func BruteNearest(pts []geom.Vec3, q geom.Vec3) (Neighbor, bool) {
 // BruteKNearest scans pts linearly for the k nearest neighbors of q,
 // returned in ascending distance order.
 func BruteKNearest(pts []geom.Vec3, q geom.Vec3, k int) []Neighbor {
+	return BruteKNearestInto(pts, q, k, nil)
+}
+
+// BruteKNearestInto is BruteKNearest answering into buf (reset to length
+// 0), so callers that recycle result slabs avoid a fresh allocation per
+// query. The returned slice may be a regrown replacement for buf; results
+// are identical to BruteKNearest.
+func BruteKNearestInto(pts []geom.Vec3, q geom.Vec3, k int, buf []Neighbor) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	h := make(maxHeap, 0, k)
+	h := maxHeap(buf[:0])
+	if cap(h) < k && k <= len(pts) {
+		h = make(maxHeap, 0, k)
+	}
 	for i, p := range pts {
 		d2 := q.Dist2(p)
 		if len(h) < k {
@@ -37,9 +48,17 @@ func BruteKNearest(pts []geom.Vec3, q geom.Vec3, k int) []Neighbor {
 			h.replaceTop(Neighbor{Index: i, Dist2: d2})
 		}
 	}
-	res := make([]Neighbor, len(h))
+	return drainHeapAscending(h)
+}
+
+// drainHeapAscending empties a max-heap into ascending order in place:
+// each pop shrinks the heap to length i, freeing slot i of the shared
+// backing array for the popped (i-th largest) element.
+func drainHeapAscending(h maxHeap) []Neighbor {
+	res := []Neighbor(h)
 	for i := len(h) - 1; i >= 0; i-- {
-		res[i] = h.pop()
+		nb := h.pop()
+		res[i] = nb
 	}
 	return res
 }
@@ -47,8 +66,17 @@ func BruteKNearest(pts []geom.Vec3, q geom.Vec3, k int) []Neighbor {
 // BruteRadius scans pts linearly for all points within r of q, returned in
 // ascending distance order.
 func BruteRadius(pts []geom.Vec3, q geom.Vec3, r float64) []Neighbor {
+	return BruteRadiusInto(pts, q, r, nil)
+}
+
+// BruteRadiusInto is BruteRadius appending into buf (reset to length 0);
+// see RadiusInto for the slab-recycling contract.
+func BruteRadiusInto(pts []geom.Vec3, q geom.Vec3, r float64, buf []Neighbor) []Neighbor {
+	if r < 0 {
+		return nil
+	}
 	r2 := r * r
-	var res []Neighbor
+	res := buf[:0]
 	for i, p := range pts {
 		if d2 := q.Dist2(p); d2 <= r2 {
 			res = append(res, Neighbor{Index: i, Dist2: d2})

@@ -259,20 +259,27 @@ func (t *Tree) nearest(ni int32, q geom.Vec3, best *Neighbor, stats *Stats) {
 // KNearest returns the k nearest neighbors to q ordered by increasing
 // distance. Fewer than k are returned when the tree is smaller than k.
 func (t *Tree) KNearest(q geom.Vec3, k int, stats *Stats) []Neighbor {
+	return t.KNearestInto(q, k, nil, stats)
+}
+
+// KNearestInto is KNearest answering into buf (reset to length 0), so
+// callers that recycle result slabs avoid a fresh allocation per query.
+// The slab doubles as the candidate heap and is drained in place into
+// ascending order, so the returned slice (possibly a regrown replacement
+// for buf) carries results identical to KNearest.
+func (t *Tree) KNearestInto(q geom.Vec3, k int, buf []Neighbor, stats *Stats) []Neighbor {
 	if t.root < 0 || k <= 0 {
 		return nil
 	}
 	if stats != nil {
 		stats.Queries++
 	}
-	h := make(maxHeap, 0, k)
-	t.kNearest(t.root, q, k, &h, stats)
-	// Heap order is max-first; produce ascending.
-	res := make([]Neighbor, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		res[i] = h.pop()
+	h := maxHeap(buf[:0])
+	if cap(h) < k && k <= len(t.pts) {
+		h = make(maxHeap, 0, k)
 	}
-	return res
+	t.kNearest(t.root, q, k, &h, stats)
+	return drainHeapAscending(h)
 }
 
 func (t *Tree) kNearest(ni int32, q geom.Vec3, k int, h *maxHeap, stats *Stats) {

@@ -1,0 +1,132 @@
+package registration
+
+import (
+	"strings"
+	"testing"
+
+	"tigris/internal/search"
+	"tigris/internal/synth"
+)
+
+// TestLegacyKindMapsToBackendName pins the deprecated enum → registry
+// name mapping.
+func TestLegacyKindMapsToBackendName(t *testing.T) {
+	for kind, want := range map[SearcherKind]string{
+		SearchCanonical:      search.BackendCanonical,
+		SearchTwoStage:       search.BackendTwoStage,
+		SearchTwoStageApprox: search.BackendTwoStageApprox,
+	} {
+		if got := (SearcherConfig{Kind: kind}).BackendName(); got != want {
+			t.Errorf("Kind %v → %q, want %q", kind, got, want)
+		}
+	}
+	// An explicit name wins over the enum.
+	c := SearcherConfig{Backend: search.BackendBruteForce, Kind: SearchTwoStage}
+	if got := c.BackendName(); got != search.BackendBruteForce {
+		t.Errorf("explicit Backend lost to Kind: %q", got)
+	}
+}
+
+// TestLegacyKindBitIdentical is the compatibility acceptance test: a
+// pipeline selected through the deprecated enum must produce the same
+// registration result, bit for bit, as the same backend selected by
+// registry name.
+func TestLegacyKindBitIdentical(t *testing.T) {
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 46))
+	for kind, name := range map[SearcherKind]string{
+		SearchCanonical:      search.BackendCanonical,
+		SearchTwoStage:       search.BackendTwoStage,
+		SearchTwoStageApprox: search.BackendTwoStageApprox,
+	} {
+		legacy := pipelineTestConfig()
+		legacy.Searcher = SearcherConfig{Kind: kind, TopHeight: -1}
+		named := pipelineTestConfig()
+		named.Searcher = SearcherConfig{Backend: name, TopHeight: -1}
+
+		a := Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), legacy)
+		b := Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), named)
+		if a.Transform != b.Transform {
+			t.Errorf("%s: enum-selected transform %v != name-selected %v", name, a.Transform, b.Transform)
+		}
+		if a.SearchQueries != b.SearchQueries || a.NodesVisited != b.NodesVisited {
+			t.Errorf("%s: search metrics diverged: %d/%d queries, %d/%d visits",
+				name, a.SearchQueries, b.SearchQueries, a.NodesVisited, b.NodesVisited)
+		}
+	}
+}
+
+// TestRegisterWithBruteForceBackend: the oracle backend must run the full
+// pipeline and agree with the canonical tree exactly (both are exact
+// structures over the same points).
+func TestRegisterWithBruteForceBackend(t *testing.T) {
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 47))
+	canonical := pipelineTestConfig()
+	canonical.Searcher = SearcherConfig{Backend: search.BackendCanonical}
+	brute := pipelineTestConfig()
+	brute.Searcher = SearcherConfig{Backend: search.BackendBruteForce}
+
+	a := Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), canonical)
+	b := Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), brute)
+	if a.Transform != b.Transform {
+		t.Errorf("bruteforce transform %v != canonical %v", b.Transform, a.Transform)
+	}
+}
+
+// TestSearcherConfigValidate covers the boundary checks.
+func TestSearcherConfigValidate(t *testing.T) {
+	if err := (SearcherConfig{Backend: "no-such"}).Validate(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend Validate = %v", err)
+	}
+	if err := (SearcherConfig{Backend: search.BackendTrace}).Validate(); err == nil {
+		t.Error("trace without a sink must fail validation")
+	}
+	if err := (SearcherConfig{
+		Backend: search.BackendTrace,
+		Options: search.Options{search.OptTraceSink: &search.TraceLog{}, search.OptTraceInner: search.BackendTwoStage},
+	}).Validate(); err != nil {
+		t.Errorf("valid trace config rejected: %v", err)
+	}
+	if err := (SearcherConfig{Kind: SearchTwoStageApprox, TopHeight: -1}).Validate(); err != nil {
+		t.Errorf("legacy config rejected: %v", err)
+	}
+	// Options overlay: a typed knob must lose to the free-form bag — and
+	// a bad overlay value must fail.
+	bad := SearcherConfig{Backend: search.BackendTwoStage, TopHeight: -1,
+		Options: search.Options{search.OptTopHeight: "tall"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad option type must fail validation")
+	}
+	overlay := SearcherConfig{Backend: search.BackendTwoStage, TopHeight: -1,
+		Options: search.Options{search.OptTopHeight: 3}}
+	if got, err := overlay.BackendOptions().Int(search.OptTopHeight, 0); err != nil || got != 3 {
+		t.Errorf("Options overlay lost: top_height = %d, %v", got, err)
+	}
+}
+
+// TestEffectiveParallelism: the Options bag's parallelism must govern
+// the KPCE feature-tree stage exactly as it governs the searcher (an
+// Options entry wins over the typed field; JSON numbers coerce).
+func TestEffectiveParallelism(t *testing.T) {
+	if got := (SearcherConfig{Parallelism: 3}).EffectiveParallelism(); got != 3 {
+		t.Errorf("typed field: %d, want 3", got)
+	}
+	c := SearcherConfig{Parallelism: 3, Options: search.Options{search.OptParallelism: float64(1)}}
+	if got := c.EffectiveParallelism(); got != 1 {
+		t.Errorf("Options overlay: %d, want 1", got)
+	}
+	bad := SearcherConfig{Parallelism: 2, Options: search.Options{search.OptParallelism: "x"}}
+	if got := bad.EffectiveParallelism(); got != 2 {
+		t.Errorf("uncoercible option should fall back to typed field: %d", got)
+	}
+}
+
+// TestNewSearcherPanicsOnBadConfig: deep in the pipeline a bad config is
+// a panic (boundaries are expected to Validate).
+func TestNewSearcherPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newSearcher with an unknown backend must panic")
+		}
+	}()
+	newSearcher(nil, SearcherConfig{Backend: "no-such"})
+}

@@ -173,7 +173,7 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	} else {
 		kpceCfg := cfg.KPCE
 		if kpceCfg.Parallelism == 0 {
-			kpceCfg.Parallelism = cfg.Searcher.Parallelism
+			kpceCfg.Parallelism = cfg.Searcher.EffectiveParallelism()
 		}
 		corr, featSearchTime, featBuildTime = kpceTimed(src.Desc, dst.Desc, kpceCfg)
 	}

@@ -1,17 +1,21 @@
 package registration
 
 import (
+	"fmt"
 	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/features"
 	"tigris/internal/geom"
 	"tigris/internal/search"
-	"tigris/internal/twostage"
 )
 
 // SearcherKind selects the KD-tree variant the pipeline routes every
 // neighbor search through.
+//
+// Deprecated: backends are selected by registry name now
+// (SearcherConfig.Backend); the enum is kept as an alias that maps onto
+// the names and is consulted only when Backend is empty.
 type SearcherKind int
 
 const (
@@ -40,8 +44,42 @@ func (k SearcherKind) String() string {
 	}
 }
 
-// SearcherConfig bundles the search-backend knobs.
+// LegacySearcherName maps the deprecated user-facing searcher aliases
+// ("canonical", "twostage", "approx") onto registry backend names — the
+// single definition shared by the CLI -searcher flags and the service's
+// "searcher" JSON field, so the deprecated surfaces cannot drift apart.
+func LegacySearcherName(alias string) (string, bool) {
+	switch alias {
+	case "canonical":
+		return search.BackendCanonical, true
+	case "twostage":
+		return search.BackendTwoStage, true
+	case "approx":
+		return search.BackendTwoStageApprox, true
+	}
+	return "", false
+}
+
+// SearcherConfig bundles the search-backend selection. Backends are
+// chosen by registry name (search.RegisterBackend / search.Backends), so
+// the pipeline, the streaming engine, the HTTP service, and the DSE
+// harness all grow new structures without code changes here; the legacy
+// Kind enum remains as a deprecated alias onto the names and produces
+// bit-identical results.
 type SearcherConfig struct {
+	// Backend is the registry name of the search backend ("canonical",
+	// "twostage", "twostage-approx", "bruteforce", "trace", or any name
+	// registered through search.RegisterBackend). Empty falls back to the
+	// deprecated Kind enum (whose zero value selects "canonical").
+	Backend string
+	// Options is the backend-specific option bag (see the search.Opt*
+	// keys), overlaid on the typed knobs below — an Options entry wins
+	// over the corresponding typed field. Values may come from JSON, CLI
+	// flags, or Go code (e.g. the trace backend's *search.TraceLog sink).
+	Options search.Options
+	// Kind is the deprecated enum selector, consulted only when Backend
+	// is empty: SearchCanonical → "canonical", SearchTwoStage →
+	// "twostage", SearchTwoStageApprox → "twostage-approx".
 	Kind SearcherKind
 	// TopHeight for the two-stage variants (paper default 10; <0 sizes
 	// leaf sets to ~128 points).
@@ -58,6 +96,69 @@ type SearcherConfig struct {
 	// sequential path, and any other positive value pins the pool size.
 	// Exact backends return bit-identical results at any setting.
 	Parallelism int
+}
+
+// BackendName resolves the effective registry name: Backend when set,
+// otherwise the legacy Kind mapping.
+func (c SearcherConfig) BackendName() string {
+	if c.Backend != "" {
+		return c.Backend
+	}
+	switch c.Kind {
+	case SearchTwoStage:
+		return search.BackendTwoStage
+	case SearchTwoStageApprox:
+		return search.BackendTwoStageApprox
+	default:
+		return search.BackendCanonical
+	}
+}
+
+// EffectiveParallelism resolves the batch worker count the pipeline's
+// non-searcher batch consumers (the KPCE feature trees) should match: an
+// Options entry under search.OptParallelism wins over the typed field,
+// exactly as it does for the searcher itself via BackendOptions.
+func (c SearcherConfig) EffectiveParallelism() int {
+	if p, err := c.Options.Int(search.OptParallelism, c.Parallelism); err == nil {
+		return p
+	}
+	return c.Parallelism
+}
+
+// BackendOptions resolves the effective option bag: the typed knobs
+// serialized under their search.Opt* keys (only the keys the selected
+// backend understands; for the trace decorator that is its inner
+// backend), overlaid with the free-form Options.
+func (c SearcherConfig) BackendOptions() search.Options {
+	opts := search.Options{search.OptParallelism: c.Parallelism}
+	structural := c.BackendName()
+	if structural == search.BackendTrace {
+		if inner, err := c.Options.String(search.OptTraceInner, search.BackendCanonical); err == nil {
+			structural = inner
+		}
+	}
+	switch structural {
+	case search.BackendTwoStage:
+		opts[search.OptTopHeight] = c.TopHeight
+	case search.BackendTwoStageApprox:
+		opts[search.OptTopHeight] = c.TopHeight
+		opts[search.OptNNThreshold] = c.NNThreshold
+		opts[search.OptRadiusThresholdFrac] = c.RadiusThresholdFrac
+	}
+	for k, v := range c.Options {
+		opts[k] = v
+	}
+	return opts
+}
+
+// Validate reports whether the configured backend exists and accepts the
+// resolved options, by constructing it over an empty point set (cheap for
+// every built-in). Boundary code (CLI flags, HTTP session creation) calls
+// this so a bad name or option fails fast with an actionable error
+// instead of panicking mid-pipeline.
+func (c SearcherConfig) Validate() error {
+	_, err := search.NewByName(c.BackendName(), nil, c.BackendOptions())
+	return err
 }
 
 // Injection configures the §4.2 error-injection study; the zero value
@@ -158,33 +259,17 @@ func (r *Result) OtherTime() time.Duration {
 	return o
 }
 
-// newSearcher builds the configured search backend over pts.
+// newSearcher builds the configured search backend over pts through the
+// registry. Construction errors (unknown name, bad option) are
+// programming/config errors at this depth — boundary code is expected to
+// have run SearcherConfig.Validate — so they panic with the underlying
+// message.
 func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
-	switch cfg.Kind {
-	case SearchTwoStage:
-		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{
-			TopHeight:   cfg.TopHeight,
-			Parallelism: cfg.Parallelism,
-		})
-	case SearchTwoStageApprox:
-		thd := cfg.NNThreshold
-		if thd == 0 {
-			thd = twostage.DefaultNNThreshold
-		}
-		frac := cfg.RadiusThresholdFrac
-		if frac == 0 {
-			frac = twostage.DefaultRadiusThresholdFrac
-		}
-		return search.NewTwoStageSearcher(pts, search.TwoStageConfig{
-			TopHeight:   cfg.TopHeight,
-			Approx:      &twostage.ApproxOptions{Threshold: thd, RadiusThresholdFrac: frac},
-			Parallelism: cfg.Parallelism,
-		})
-	default:
-		s := search.NewKDSearcher(pts)
-		s.SetParallelism(cfg.Parallelism)
-		return s
+	s, err := search.NewByName(cfg.BackendName(), pts, cfg.BackendOptions())
+	if err != nil {
+		panic(fmt.Sprintf("registration: %v (check configs at the boundary with SearcherConfig.Validate)", err))
 	}
+	return s
 }
 
 // Register runs the full two-phase pipeline, estimating the transform that

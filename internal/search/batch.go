@@ -78,6 +78,18 @@ func radiusPooled(radiusInto func(buf []kdtree.Neighbor) []kdtree.Neighbor) []kd
 	return res
 }
 
+// knnPooled is radiusPooled's k-NN twin: one k-NN query answered into a
+// pooled slab, with empty results handing the slab straight back.
+func knnPooled(knnInto func(buf []kdtree.Neighbor) []kdtree.Neighbor) []kdtree.Neighbor {
+	buf := getNeighborSlab()
+	res := knnInto(buf)
+	if len(res) == 0 {
+		putNeighborSlab(buf)
+		return nil
+	}
+	return res
+}
+
 // --- KDSearcher ---------------------------------------------------------
 
 // NearestBatch implements Searcher.
@@ -97,13 +109,17 @@ func (s *KDSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
 	return out
 }
 
-// KNearestBatch implements Searcher.
+// KNearestBatch implements Searcher. Result slices come from the shared
+// slab pool (each slab doubles as the query's candidate heap); consumers
+// that drain the batch may return them with RecycleBatch.
 func (s *KDSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
 	start := time.Now()
 	out := make([][]kdtree.Neighbor, len(qs))
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
-			out[i] = s.tree.KNearest(qs[i], k, shard)
+			out[i] = knnPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+				return s.tree.KNearestInto(qs[i], k, buf, shard)
+			})
 		},
 		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
 	s.record(start)

@@ -1,0 +1,139 @@
+package search
+
+import (
+	"time"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+	"tigris/internal/par"
+)
+
+// BruteSearcher answers every query by linear scan. It is the degenerate
+// structure the paper's §4.1 taxonomy starts from (a two-stage tree with
+// top height 0 is exactly one brute-forced leaf), the correctness oracle
+// the tree backends are tested against, and — because it builds in O(1) —
+// the fastest end-to-end choice for tiny clouds where tree construction
+// dominates query time. It registers as the "bruteforce" backend.
+type BruteSearcher struct {
+	pts         []geom.Vec3
+	stats       kdtree.Stats
+	metrics     Metrics
+	parallelism int
+}
+
+// NewBruteSearcher wraps pts without copying or indexing; BuildTime is
+// recorded (and is effectively zero).
+func NewBruteSearcher(pts []geom.Vec3) *BruteSearcher {
+	s := &BruteSearcher{parallelism: par.Workers(0)}
+	start := time.Now()
+	s.pts = pts
+	s.metrics.BuildTime = time.Since(start)
+	return s
+}
+
+// SetParallelism implements Searcher.
+func (s *BruteSearcher) SetParallelism(n int) { s.parallelism = par.Workers(n) }
+
+// Parallelism implements Searcher.
+func (s *BruteSearcher) Parallelism() int { return s.parallelism }
+
+// Nearest implements Searcher.
+func (s *BruteSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	start := time.Now()
+	nb, ok := kdtree.BruteNearest(s.pts, q)
+	s.count(&s.stats)
+	s.record(start)
+	return nb, ok
+}
+
+// KNearest implements Searcher.
+func (s *BruteSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	start := time.Now()
+	res := kdtree.BruteKNearest(s.pts, q, k)
+	s.count(&s.stats)
+	s.record(start)
+	return res
+}
+
+// Radius implements Searcher.
+func (s *BruteSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	start := time.Now()
+	res := kdtree.BruteRadius(s.pts, q, r)
+	s.count(&s.stats)
+	s.record(start)
+	return res
+}
+
+// NearestBatch implements Searcher.
+func (s *BruteSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	start := time.Now()
+	out := make([]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			nb, ok := kdtree.BruteNearest(s.pts, qs[i])
+			if !ok {
+				nb = missNeighbor()
+			}
+			out[i] = nb
+			s.count(shard)
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// KNearestBatch implements Searcher. Result slices come from the shared
+// slab pool; consumers that drain the batch may return them with
+// RecycleBatch.
+func (s *BruteSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			out[i] = knnPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+				return kdtree.BruteKNearestInto(s.pts, qs[i], k, buf)
+			})
+			s.count(shard)
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// RadiusBatch implements Searcher; see KNearestBatch for the slab
+// contract.
+func (s *BruteSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	start := time.Now()
+	out := make([][]kdtree.Neighbor, len(qs))
+	par.Sharded(len(qs), s.parallelism,
+		func(shard *kdtree.Stats, i int) {
+			out[i] = radiusPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+				return kdtree.BruteRadiusInto(s.pts, qs[i], r, buf)
+			})
+			s.count(shard)
+		},
+		func(shard *kdtree.Stats) { s.stats.Merge(*shard) })
+	s.record(start)
+	return out
+}
+
+// count charges one query's work to a stats shard: a linear scan computes
+// every point's distance.
+func (s *BruteSearcher) count(stats *kdtree.Stats) {
+	stats.Queries++
+	stats.NodesVisited += int64(len(s.pts))
+}
+
+// Points implements Searcher.
+func (s *BruteSearcher) Points() []geom.Vec3 { return s.pts }
+
+// Metrics implements Searcher.
+func (s *BruteSearcher) Metrics() *Metrics {
+	s.metrics.Queries = s.stats.Queries
+	s.metrics.NodesVisited = s.stats.NodesVisited
+	return &s.metrics
+}
+
+func (s *BruteSearcher) record(start time.Time) {
+	s.metrics.SearchTime += time.Since(start)
+}

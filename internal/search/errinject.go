@@ -39,7 +39,9 @@ func (s *KthNNSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
 
 // NearestBatch implements Searcher: the whole batch is answered through
 // the inner KNearestBatch and degraded per query, so the distortion is
-// identical to calling Nearest once per query.
+// identical to calling Nearest once per query. The k-NN slabs are fully
+// consumed here (only the last value survives, by copy), so they go
+// straight back to the slab pool.
 func (s *KthNNSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
 	k := s.K
 	if k < 1 {
@@ -54,6 +56,7 @@ func (s *KthNNSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
 		}
 		out[i] = res[len(res)-1]
 	}
+	RecycleBatch(knn)
 	return out
 }
 

@@ -1,9 +1,17 @@
 // Package search defines the neighbor-search abstraction the registration
-// pipeline is written against, with interchangeable backends:
+// pipeline is written against, with interchangeable backends selected by
+// name through an open registry (registry.go: RegisterBackend /
+// Backends / NewByName):
 //
-//   - KDSearcher: the canonical KD-tree (the pipeline's default, §3).
-//   - TwoStageSearcher: the two-stage tree, optionally with the
-//     approximate leader/follower algorithm (§4).
+//   - KDSearcher ("canonical"): the canonical KD-tree (the pipeline's
+//     default, §3).
+//   - TwoStageSearcher ("twostage", "twostage-approx"): the two-stage
+//     tree, optionally with the approximate leader/follower algorithm
+//     (§4).
+//   - BruteSearcher ("bruteforce"): the linear scan — correctness oracle
+//     and zero-build-cost choice for tiny clouds.
+//   - TraceSearcher ("trace"): a decorator recording every stage batch
+//     into a TraceLog for accelerator co-simulation replay.
 //   - Error-injection wrappers (errinject.go): the §4.2 study that replaces
 //     NN results with the k-th neighbor and radius results with a shell.
 //
@@ -70,6 +78,14 @@ func (m *Metrics) Merge(other Metrics) {
 // pool sized by SetParallelism (default: one worker per CPU). Batch
 // results are positionally aligned with the query slice; a NearestBatch
 // entry with Index < 0 means the searcher holds no points.
+//
+// Ownership contract: every per-query slice a KNearestBatch or
+// RadiusBatch returns passes to the caller, which may consume it and
+// hand it to RecycleBatch for reuse by the shared slab pool — pipeline
+// stages do exactly that. Implementations (including backends registered
+// through RegisterBackend) must therefore return slices they do not
+// retain or alias: memory a backend keeps referencing would be recycled
+// under it and overwritten by later pooled queries.
 type Searcher interface {
 	// Nearest returns the nearest neighbor of q.
 	Nearest(q geom.Vec3) (kdtree.Neighbor, bool)
@@ -240,28 +256,30 @@ func (s *TwoStageSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 
 // kNearest answers k-NN exactly on the two-stage tree by radius doubling:
 // start from the NN distance and expand until k neighbors are inside.
-// stats is a parameter (not s.stats) so batch workers can shard it.
+// stats is a parameter (not s.stats) so batch workers can shard it. The
+// result lives in a pooled slab (the expanding radius passes reuse it),
+// so fully-consumed batches may hand results back via RecycleBatch.
 func (s *TwoStageSearcher) kNearest(q geom.Vec3, k int, stats *twostage.Stats) []kdtree.Neighbor {
 	if k <= 0 || s.tree.Len() == 0 {
 		return nil
 	}
 	nb, _ := s.tree.Nearest(q, stats)
 	r := 2 * (1e-6 + math.Sqrt(nb.Dist2))
-	for i := 0; i < 64; i++ {
-		res := s.tree.Radius(q, r, stats)
-		if len(res) >= k || len(res) == s.tree.Len() {
-			if len(res) > k {
-				res = res[:k]
+	return knnPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
+		var res []kdtree.Neighbor
+		for i := 0; i < 64; i++ {
+			res = s.tree.RadiusInto(q, r, buf[:0], stats)
+			buf = res // keep any regrown capacity for the next pass
+			if len(res) >= k || len(res) == s.tree.Len() {
+				break
 			}
-			return res
+			r *= 2
 		}
-		r *= 2
-	}
-	res := s.tree.Radius(q, r, stats)
-	if len(res) > k {
-		res = res[:k]
-	}
-	return res
+		if len(res) > k {
+			res = res[:k]
+		}
+		return res
+	})
 }
 
 // Radius implements Searcher.

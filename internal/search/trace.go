@@ -1,0 +1,163 @@
+package search
+
+import (
+	"sync"
+
+	"tigris/internal/geom"
+	"tigris/internal/kdtree"
+)
+
+// The trace backend closes the loop between the software pipeline and the
+// accelerator co-simulation: it decorates any other backend and records
+// every query batch a stage issues into a TraceLog, so the accelerator
+// model (internal/sim) and the CPU/GPU baselines (internal/baseline) can
+// replay the *real* pipeline query stream instead of re-walking the
+// pipeline to synthesize workloads. Results pass through the inner
+// backend untouched, so tracing never perturbs the registration output.
+
+// TraceKind classifies one recorded batch by query type.
+type TraceKind int
+
+const (
+	// TraceNearest is a nearest-neighbor batch (RPCE-shaped).
+	TraceNearest TraceKind = iota
+	// TraceKNearest is an exact k-NN batch (sparse stages).
+	TraceKNearest
+	// TraceRadius is a radius batch (NE/descriptor-shaped).
+	TraceRadius
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceKNearest:
+		return "KNearest"
+	case TraceRadius:
+		return "Radius"
+	default:
+		return "Nearest"
+	}
+}
+
+// TraceBatch is one recorded stage batch: the query points (a private
+// copy) plus the per-kind parameters. A batch of one records a
+// single-query call.
+type TraceBatch struct {
+	Kind TraceKind
+	// K is the neighbor count of a TraceKNearest batch.
+	K int
+	// Radius is the search radius of a TraceRadius batch.
+	Radius float64
+	// Queries are the batch's query points, in issue order.
+	Queries []geom.Vec3
+}
+
+// TraceLog accumulates recorded batches. It is safe for concurrent use:
+// a pipelined streaming session records from two frames' searchers at
+// once. The zero value is ready to use.
+type TraceLog struct {
+	mu      sync.Mutex
+	batches []TraceBatch
+}
+
+// add records a batch, copying the queries (callers own and may reuse the
+// input slice). Empty batches are dropped.
+func (l *TraceLog) add(kind TraceKind, k int, radius float64, qs []geom.Vec3) {
+	if len(qs) == 0 {
+		return
+	}
+	cp := make([]geom.Vec3, len(qs))
+	copy(cp, qs)
+	l.mu.Lock()
+	l.batches = append(l.batches, TraceBatch{Kind: kind, K: k, Radius: radius, Queries: cp})
+	l.mu.Unlock()
+}
+
+// Batches snapshots the recorded batches in issue order. The headers are
+// copied; the query slices are shared and must be treated as read-only.
+func (l *TraceLog) Batches() []TraceBatch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TraceBatch(nil), l.batches...)
+}
+
+// Len reports the number of recorded batches.
+func (l *TraceLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.batches)
+}
+
+// QueryCount sums the queries across all recorded batches.
+func (l *TraceLog) QueryCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, b := range l.batches {
+		n += int64(len(b.Queries))
+	}
+	return n
+}
+
+// Reset discards the recorded batches (the log stays usable).
+func (l *TraceLog) Reset() {
+	l.mu.Lock()
+	l.batches = nil
+	l.mu.Unlock()
+}
+
+// TraceSearcher decorates Inner, recording every query into Log before
+// delegating. Construct it directly or via the "trace" registry backend
+// (options: "inner" backend name, "sink" *TraceLog, rest forwarded).
+type TraceSearcher struct {
+	Inner Searcher
+	Log   *TraceLog
+}
+
+// Nearest implements Searcher, recording a batch of one.
+func (s *TraceSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
+	s.Log.add(TraceNearest, 0, 0, []geom.Vec3{q})
+	return s.Inner.Nearest(q)
+}
+
+// KNearest implements Searcher, recording a batch of one.
+func (s *TraceSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
+	s.Log.add(TraceKNearest, k, 0, []geom.Vec3{q})
+	return s.Inner.KNearest(q, k)
+}
+
+// Radius implements Searcher, recording a batch of one.
+func (s *TraceSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
+	s.Log.add(TraceRadius, 0, r, []geom.Vec3{q})
+	return s.Inner.Radius(q, r)
+}
+
+// NearestBatch implements Searcher, recording the whole stage batch.
+func (s *TraceSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	s.Log.add(TraceNearest, 0, 0, qs)
+	return s.Inner.NearestBatch(qs)
+}
+
+// KNearestBatch implements Searcher, recording the whole stage batch.
+func (s *TraceSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
+	s.Log.add(TraceKNearest, k, 0, qs)
+	return s.Inner.KNearestBatch(qs, k)
+}
+
+// RadiusBatch implements Searcher, recording the whole stage batch.
+func (s *TraceSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
+	s.Log.add(TraceRadius, 0, r, qs)
+	return s.Inner.RadiusBatch(qs, r)
+}
+
+// SetParallelism implements Searcher by delegation.
+func (s *TraceSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
+
+// Parallelism implements Searcher by delegation.
+func (s *TraceSearcher) Parallelism() int { return s.Inner.Parallelism() }
+
+// Points implements Searcher.
+func (s *TraceSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+
+// Metrics implements Searcher.
+func (s *TraceSearcher) Metrics() *Metrics { return s.Inner.Metrics() }

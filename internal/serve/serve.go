@@ -8,6 +8,7 @@
 // # Endpoints
 //
 //	GET    /healthz                        liveness probe
+//	GET    /v1/backends                    registered search-backend names
 //	POST   /v1/sessions                    create a session (JSON config)
 //	POST   /v1/sessions/{id}/frames        push one TIGRIS-CLOUD frame
 //	GET    /v1/sessions/{id}/trajectory    accumulated trajectory (JSON)
@@ -17,6 +18,11 @@
 // Frame pushes return the assigned frame index immediately (the engine
 // pipelines the heavy work); `?wait=1` on a push or trajectory request
 // blocks until every pushed frame is committed.
+//
+// Sessions hold prepared-frame state and a pair of pipeline goroutines
+// for their whole life, so a real deployment must bound abandoned ones:
+// with Config.SessionTTL set, a janitor evicts (closes and removes) any
+// session that has not served a request for that long.
 package serve
 
 import (
@@ -32,6 +38,7 @@ import (
 	"tigris/internal/geom"
 	"tigris/internal/par"
 	"tigris/internal/registration"
+	"tigris/internal/search"
 	"tigris/internal/stream"
 )
 
@@ -47,6 +54,22 @@ type Config struct {
 	// Parallelism is the default per-stage batch worker count for
 	// sessions that do not set their own (0 = all CPUs).
 	Parallelism int
+	// DefaultBackend is the registry search-backend name for sessions
+	// whose request names neither a backend nor a legacy searcher ("" =
+	// canonical).
+	DefaultBackend string
+	// SessionTTL evicts sessions that have served no request for this
+	// long (0 disables eviction). Sessions still processing queued
+	// frames are never evicted, however long ago their last request was.
+	SessionTTL time.Duration
+}
+
+// session pairs an engine with its idle-eviction bookkeeping. lastUsed is
+// guarded by the server mutex and bumped at the start of every request
+// that touches the session.
+type session struct {
+	eng      *stream.Engine
+	lastUsed time.Time
 }
 
 // Server hosts the sessions. It implements http.Handler.
@@ -56,51 +79,121 @@ type Server struct {
 	cfg     Config
 
 	mu       sync.Mutex
-	sessions map[string]*stream.Engine
+	sessions map[string]*session
 	nextID   int
+
+	stopJanitor chan struct{} // nil when SessionTTL is 0 or after Close
 }
 
-// New creates a server with an empty session table.
+// New creates a server with an empty session table and, when
+// Config.SessionTTL is set, starts the idle-eviction janitor (stopped by
+// Close).
 func New(cfg Config) *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
 		limiter:  stream.NewLimiter(par.Workers(cfg.MaxConcurrent)),
 		cfg:      cfg,
-		sessions: make(map[string]*stream.Engine),
+		sessions: make(map[string]*session),
 	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"backends": search.Backends()})
 	})
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.withSession(s.handlePush))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trajectory", s.withSession(s.handleTrajectory))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	if cfg.SessionTTL > 0 {
+		s.stopJanitor = make(chan struct{})
+		go s.janitor(s.stopJanitor)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close shuts every session down (used by tests and graceful shutdown).
+// Close stops the janitor and shuts every session down (used by tests and
+// graceful shutdown).
 func (s *Server) Close() {
 	s.mu.Lock()
-	engines := make([]*stream.Engine, 0, len(s.sessions))
-	for _, e := range s.sessions {
-		engines = append(engines, e)
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		s.stopJanitor = nil
 	}
-	s.sessions = make(map[string]*stream.Engine)
+	engines := make([]*stream.Engine, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		engines = append(engines, ses.eng)
+	}
+	s.sessions = make(map[string]*session)
 	s.mu.Unlock()
 	for _, e := range engines {
 		e.Close()
 	}
 }
 
+// janitor periodically evicts idle sessions until Close.
+func (s *Server) janitor(stop <-chan struct{}) {
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			s.EvictIdle(now)
+		}
+	}
+}
+
+// EvictIdle closes and removes every session whose last request predates
+// now − SessionTTL, returning the evicted ids. A session still working
+// through queued frames is busy on the client's behalf, not idle —
+// pipelined pushes return before the work is done — so sessions with
+// uncommitted frames are skipped (this also keeps the sweep from
+// blocking on a mid-drain Close). A no-op when SessionTTL is 0. Exposed
+// so deployments (and tests) can force a sweep.
+func (s *Server) EvictIdle(now time.Time) []string {
+	if s.cfg.SessionTTL <= 0 {
+		return nil
+	}
+	cutoff := now.Add(-s.cfg.SessionTTL)
+	s.mu.Lock()
+	var ids []string
+	var engines []*stream.Engine
+	for id, ses := range s.sessions {
+		if ses.lastUsed.Before(cutoff) && ses.eng.Pending() == 0 {
+			ids = append(ids, id)
+			engines = append(engines, ses.eng)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
+	}
+	return ids
+}
+
 // sessionRequest is the JSON body of POST /v1/sessions. All fields are
 // optional; the zero value yields the balanced DP5 design point on the
-// canonical KD-tree with pipelining on.
+// server's default backend with pipelining on.
 type sessionRequest struct {
-	// Searcher is "canonical", "twostage", or "approx".
+	// Backend is a registry search-backend name (GET /v1/backends lists
+	// them). Wins over the legacy Searcher field.
+	Backend string `json:"backend"`
+	// BackendOptions carries backend-specific options (e.g.
+	// {"top_height": 8, "nn_threshold": 1.0}); unknown keys are a 400.
+	BackendOptions map[string]any `json:"backend_options"`
+	// Searcher is the deprecated alias: "canonical", "twostage", or
+	// "approx" (→ "twostage-approx").
 	Searcher string `json:"searcher"`
 	// DesignPoint picks a base configuration, "DP1".."DP8" (default DP5).
 	DesignPoint string `json:"design_point"`
@@ -134,10 +227,33 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = eng
+	s.sessions[id] = &session{eng: eng, lastUsed: time.Now()}
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "pipelined": pipelined})
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":        id,
+		"pipelined": pipelined,
+		"backend":   cfg.Searcher.BackendName(),
+	})
+}
+
+// backendName resolves the request's backend selection to a registry
+// name: explicit Backend first, then the deprecated searcher aliases,
+// then the server default.
+func (s *Server) backendName(req sessionRequest) (string, error) {
+	if req.Backend != "" {
+		return req.Backend, nil
+	}
+	if req.Searcher == "" {
+		if s.cfg.DefaultBackend != "" {
+			return s.cfg.DefaultBackend, nil
+		}
+		return search.BackendCanonical, nil
+	}
+	if name, ok := registration.LegacySearcherName(req.Searcher); ok {
+		return name, nil
+	}
+	return "", fmt.Errorf("unknown searcher %q (want canonical, twostage, or approx; or select by name with \"backend\")", req.Searcher)
 }
 
 // pipelineConfig resolves a session request to a registration config.
@@ -158,22 +274,24 @@ func (s *Server) pipelineConfig(req sessionRequest) (registration.PipelineConfig
 	if !found {
 		return cfg, fmt.Errorf("unknown design point %q (want DP1..DP8)", name)
 	}
-	switch req.Searcher {
-	case "", "canonical":
-		cfg.Searcher.Kind = registration.SearchCanonical
-	case "twostage":
-		cfg.Searcher.Kind = registration.SearchTwoStage
-		cfg.Searcher.TopHeight = -1
-	case "approx":
-		cfg.Searcher.Kind = registration.SearchTwoStageApprox
-		cfg.Searcher.TopHeight = -1
-	default:
-		return cfg, fmt.Errorf("unknown searcher %q (want canonical, twostage, or approx)", req.Searcher)
+	backend, err := s.backendName(req)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Searcher.Backend = backend
+	// Sessions index full frames: size two-stage leaf sets to ~128 points
+	// unless the request pins a height through backend_options.
+	cfg.Searcher.TopHeight = -1
+	if req.BackendOptions != nil {
+		cfg.Searcher.Options = search.Options(req.BackendOptions)
 	}
 	if req.Parallelism != 0 {
 		cfg.Searcher.Parallelism = req.Parallelism
 	} else if s.cfg.Parallelism != 0 {
 		cfg.Searcher.Parallelism = s.cfg.Parallelism
+	}
+	if err := cfg.Searcher.Validate(); err != nil {
+		return cfg, err
 	}
 	if req.VoxelLeaf != nil {
 		if *req.VoxelLeaf < 0 {
@@ -185,11 +303,17 @@ func (s *Server) pipelineConfig(req sessionRequest) (registration.PipelineConfig
 	return cfg, nil
 }
 
-// withSession resolves the {id} path segment to its engine.
+// withSession resolves the {id} path segment to its engine, bumping the
+// session's idle-eviction clock.
 func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *stream.Engine)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
-		eng, ok := s.sessions[r.PathValue("id")]
+		ses, ok := s.sessions[r.PathValue("id")]
+		var eng *stream.Engine
+		if ok {
+			ses.lastUsed = time.Now()
+			eng = ses.eng
+		}
 		s.mu.Unlock()
 		if !ok {
 			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
@@ -248,15 +372,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	eng, ok := s.sessions[id]
+	ses, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
-	eng.Close()
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "frames": eng.Trajectory().Len()})
+	ses.eng.Close()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "frames": ses.eng.Trajectory().Len()})
 }
 
 // --- wire types ---------------------------------------------------------

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/registration"
@@ -243,5 +244,198 @@ func TestServerRejectsBadInput(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("junk frame accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestBackendsEndpointAndNamedSessions covers the registry surface: the
+// backend listing, creating sessions by registry name (with options), and
+// the error paths for unknown names and bad options.
+func TestBackendsEndpointAndNamedSessions(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		Backends []string `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{"bruteforce", "canonical", "twostage", "twostage-approx"} {
+		found := false
+		for _, b := range reg.Backends {
+			found = found || b == want
+		}
+		if !found {
+			t.Errorf("/v1/backends = %v, missing %q", reg.Backends, want)
+		}
+	}
+
+	// Named session with backend options, streamed end to end.
+	var created map[string]any
+	code := postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{
+		"backend":         "twostage",
+		"backend_options": map[string]any{"top_height": 3},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("named create: status %d (%v)", code, created)
+	}
+	if created["backend"] != "twostage" {
+		t.Fatalf("create response backend = %v", created["backend"])
+	}
+	id := created["id"].(string)
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 60))
+	for _, f := range seq.Frames {
+		pushFrame(t, client, ts.URL, id, f, false)
+	}
+	if traj := getTrajectory(t, client, ts.URL, id); int(traj["frames"].(float64)) != 2 {
+		t.Fatalf("named session trajectory: %v", traj["frames"])
+	}
+
+	// Error paths: unknown name, unknown option key, trace without sink.
+	for _, body := range []map[string]any{
+		{"backend": "no-such-structure"},
+		{"backend": "canonical", "backend_options": map[string]any{"tophight": 3}},
+		{"backend": "trace"},
+	} {
+		var out map[string]any
+		if code := postJSON(t, client, ts.URL+"/v1/sessions", body, &out); code != http.StatusBadRequest {
+			t.Errorf("%v accepted with status %d (%v)", body, code, out)
+		}
+	}
+}
+
+// TestDefaultBackendConfig: the server-level default backend applies to
+// sessions that pick nothing, and explicit requests still win.
+func TestDefaultBackendConfig(t *testing.T) {
+	srv := New(Config{DefaultBackend: "twostage"})
+	defer srv.Close()
+
+	cfg, err := srv.pipelineConfig(sessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Searcher.BackendName(); got != "twostage" {
+		t.Errorf("default session backend = %q, want twostage", got)
+	}
+	cfg, err = srv.pipelineConfig(sessionRequest{Searcher: "canonical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Searcher.BackendName(); got != "canonical" {
+		t.Errorf("legacy searcher lost to server default: %q", got)
+	}
+	cfg, err = srv.pipelineConfig(sessionRequest{Backend: "bruteforce"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Searcher.BackendName(); got != "bruteforce" {
+		t.Errorf("explicit backend lost to server default: %q", got)
+	}
+}
+
+// TestSessionTTLEviction drives the idle janitor deterministically
+// through EvictIdle, then checks the janitor goroutine sweeps on its own.
+func TestSessionTTLEviction(t *testing.T) {
+	const ttl = 50 * time.Millisecond
+	srv := New(Config{SessionTTL: ttl})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	var created map[string]any
+	postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{}, &created)
+	id := created["id"].(string)
+
+	// Within the TTL nothing is evicted.
+	if ids := srv.EvictIdle(time.Now()); len(ids) != 0 {
+		t.Fatalf("fresh session evicted: %v", ids)
+	}
+	// A request bumps the idle clock: sweeping at now+TTL (measured from
+	// before the request) must keep the session.
+	before := time.Now()
+	if resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", ts.URL, id)); err == nil {
+		resp.Body.Close()
+	}
+	if ids := srv.EvictIdle(before.Add(ttl)); len(ids) != 0 {
+		t.Fatalf("recently-used session evicted: %v", ids)
+	}
+	// Far beyond the TTL the session goes.
+	ids := srv.EvictIdle(time.Now().Add(10 * ttl))
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("EvictIdle = %v, want [%s]", ids, id)
+	}
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session still reachable: %d", resp.StatusCode)
+	}
+
+	// The background janitor evicts without manual sweeps. Polling would
+	// bump the idle clock (every request does), so go fully idle past the
+	// TTL, then check once; retry with longer idles in case the scheduler
+	// starved the janitor.
+	postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{}, &created)
+	id2 := created["id"].(string)
+	evicted := false
+	for wait := 4 * ttl; wait <= 64*ttl && !evicted; wait *= 2 {
+		time.Sleep(wait)
+		resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", ts.URL, id2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		evicted = resp.StatusCode == http.StatusNotFound
+	}
+	if !evicted {
+		t.Fatal("janitor did not evict the idle session")
+	}
+}
+
+// TestEvictIdleSkipsBusySessions: a session still chewing through queued
+// frames is busy on the client's behalf — the janitor must not destroy
+// its uncommitted work no matter how stale its last request is. The
+// server-level limiter is saturated so the pushed frame deterministically
+// stays pending.
+func TestEvictIdleSkipsBusySessions(t *testing.T) {
+	// A long TTL keeps the background janitor out of the way; the test
+	// drives EvictIdle with manual sweep times.
+	const ttl = time.Hour
+	srv := New(Config{MaxConcurrent: 1, SessionTTL: ttl})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	var created map[string]any
+	postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{}, &created)
+	id := created["id"].(string)
+
+	srv.limiter <- struct{}{} // hold the only heavy-stage slot
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(1, 71))
+	pushFrame(t, client, ts.URL, id, seq.Frames[0], false)
+
+	if ids := srv.EvictIdle(time.Now().Add(100 * ttl)); len(ids) != 0 {
+		t.Fatalf("busy session evicted: %v", ids)
+	}
+
+	<-srv.limiter // release; the frame commits
+	if resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/trajectory?wait=1", ts.URL, id)); err == nil {
+		resp.Body.Close()
+	}
+	ids := srv.EvictIdle(time.Now().Add(100 * ttl))
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("drained idle session not evicted: %v", ids)
 	}
 }

@@ -317,6 +317,15 @@ func (e *Engine) alignWorker(in <-chan *registration.PreparedFrame) {
 	}
 }
 
+// Pending reports how many pushed frames have not been committed to the
+// trajectory yet. A server uses this to tell an idle session apart from
+// one still chewing through queued frames (which must not be evicted).
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pushed - e.done
+}
+
 // Drain blocks until every frame pushed so far has been committed to the
 // trajectory.
 func (e *Engine) Drain() {

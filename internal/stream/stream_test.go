@@ -217,3 +217,28 @@ func TestStreamOrigin(t *testing.T) {
 		t.Fatal("pose 1 not composed from origin")
 	}
 }
+
+// TestPending: the uncommitted-frame counter servers use to tell idle
+// sessions from busy ones. A saturated limiter holds the front-end
+// before it starts, so the pushed frame stays pending deterministically.
+func TestPending(t *testing.T) {
+	lim := NewLimiter(1)
+	lim <- struct{}{} // occupy the only slot: prepare cannot start
+	eng := New(Config{Pipeline: testConfig(registration.SearchCanonical), Pipelined: true, Limiter: lim})
+	seq := testSeq(t, 1, 70)
+	if eng.Pending() != 0 {
+		t.Fatalf("fresh engine Pending = %d", eng.Pending())
+	}
+	if _, err := eng.Push(seq.Frames[0].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d with a queued frame", eng.Pending())
+	}
+	<-lim // release the stage slot
+	eng.Drain()
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d after Drain", eng.Pending())
+	}
+	eng.Close()
+}

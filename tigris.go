@@ -139,6 +139,12 @@ type (
 	TwoStageSearcher = search.TwoStageSearcher
 	// TwoStageSearcherConfig configures a TwoStageSearcher.
 	TwoStageSearcherConfig = search.TwoStageConfig
+	// BruteSearcher is the linear-scan backend: zero build cost, the
+	// correctness oracle, registered as "bruteforce".
+	BruteSearcher = search.BruteSearcher
+	// TraceSearcher decorates any backend, recording every query batch
+	// into a TraceLog; registered as "trace".
+	TraceSearcher = search.TraceSearcher
 	// SearchMetrics is the per-searcher instrumentation.
 	SearchMetrics = search.Metrics
 )
@@ -149,6 +155,63 @@ func NewKDSearcher(pts []Vec3) *KDSearcher { return search.NewKDSearcher(pts) }
 // NewTwoStageSearcher builds the two-stage backend over pts.
 func NewTwoStageSearcher(pts []Vec3, cfg TwoStageSearcherConfig) *TwoStageSearcher {
 	return search.NewTwoStageSearcher(pts, cfg)
+}
+
+// NewBruteSearcher builds the linear-scan backend over pts.
+func NewBruteSearcher(pts []Vec3) *BruteSearcher { return search.NewBruteSearcher(pts) }
+
+// Search-backend registry. Backends are selected by name everywhere a
+// SearcherConfig travels — the pipeline, the streaming engine, the HTTP
+// service session JSON, the DSE harness, and every cmd's -backend flag —
+// and extensions registered here are immediately selectable in all of
+// them.
+type (
+	// SearchBackend is a named searcher factory, the registry's unit of
+	// registration.
+	SearchBackend = search.Backend
+	// SearchOptions is the generic backend option bag (see the
+	// search.Opt* keys); values may come from JSON, CLI flags, or Go
+	// code.
+	SearchOptions = search.Options
+	// TraceLog accumulates the query batches a TraceSearcher records;
+	// feed it to WorkloadsFromTrace for accelerator replay.
+	TraceLog = search.TraceLog
+	// TraceBatch is one recorded stage batch.
+	TraceBatch = search.TraceBatch
+)
+
+// Registered backend names (see also SearchBackends for the live set).
+const (
+	BackendCanonical      = search.BackendCanonical
+	BackendTwoStage       = search.BackendTwoStage
+	BackendTwoStageApprox = search.BackendTwoStageApprox
+	BackendBruteForce     = search.BackendBruteForce
+	BackendTrace          = search.BackendTrace
+)
+
+// RegisterSearchBackend adds a backend to the registry; duplicate names
+// are an error.
+func RegisterSearchBackend(b SearchBackend) error { return search.RegisterBackend(b) }
+
+// NewSearchBackend wraps a factory function as a registrable backend.
+func NewSearchBackend(name string, fn func(pts []Vec3, opts SearchOptions) (Searcher, error)) SearchBackend {
+	return search.NewBackend(name, fn)
+}
+
+// SearchBackends returns the registered backend names, sorted.
+func SearchBackends() []string { return search.Backends() }
+
+// NewSearcherByName builds a searcher through the registry; unknown
+// names report the registered set.
+func NewSearcherByName(name string, pts []Vec3, opts SearchOptions) (Searcher, error) {
+	return search.NewByName(name, pts, opts)
+}
+
+// WorkloadsFromTrace converts a trace-backend capture into accelerator
+// workloads, one per recorded stage batch (exact k-NN batches are
+// skipped: the modeled datapath serves NN and radius search).
+func WorkloadsFromTrace(batches []TraceBatch) []SimWorkload {
+	return sim.WorkloadsFromTrace(batches)
 }
 
 // Feature stages.
@@ -165,11 +228,16 @@ type (
 type (
 	// PipelineConfig is the full Tbl. 1 knob set.
 	PipelineConfig = registration.PipelineConfig
-	// SearcherConfig selects the search backend and its Parallelism (the
-	// batch worker count every query-dominated stage runs with; 0 =
-	// NumCPU, 1 = sequential).
+	// SearcherConfig selects the search backend — by registry name
+	// (Backend + Options) — and its Parallelism (the batch worker count
+	// every query-dominated stage runs with; 0 = NumCPU, 1 = sequential).
+	// Validate checks a boundary-supplied config before it reaches the
+	// pipeline.
 	SearcherConfig = registration.SearcherConfig
-	// SearcherKind enumerates the search backends.
+	// SearcherKind enumerates the built-in search backends.
+	//
+	// Deprecated: select backends by registry name via
+	// SearcherConfig.Backend; the enum remains as a bit-identical alias.
 	SearcherKind = registration.SearcherKind
 	// Result is the registration outcome with instrumentation.
 	Result = registration.Result
@@ -182,6 +250,10 @@ type (
 )
 
 // Search backend kinds for SearcherConfig.
+//
+// Deprecated: use the Backend* name constants (or any registered name)
+// with SearcherConfig.Backend; these enum values map onto the same
+// backends and produce bit-identical results.
 const (
 	SearchCanonical      = registration.SearchCanonical
 	SearchTwoStage       = registration.SearchTwoStage
