@@ -1,0 +1,270 @@
+// Command tigris-bench runs the synthetic registration pipeline end to
+// end and emits a machine-readable JSON report (pairs/sec, per-stage
+// milliseconds, allocations per pair), so every PR's hot-path claims are
+// measured against the same yardstick. Commit the output as
+// BENCH_<tag>.json to extend the measured performance trajectory; CI runs
+// a tiny configuration and validates the JSON shape.
+//
+// Usage:
+//
+//	tigris-bench [-frames N] [-beams N] [-azimuth N] [-dp DPn]
+//	             [-backend NAME] [-parallel N] [-mode all|perpair|unpipelined|pipelined]
+//	             [-out FILE] [-tag NAME] [-cpuprofile FILE] [-memprofile FILE]
+//
+// Modes:
+//
+//	perpair     the classic loop: full Register (both front-ends) per pair
+//	unpipelined streaming engine, front-end reuse, stages run back to back
+//	pipelined   streaming engine with the two-stage overlap and the
+//	            adaptive worker-pool split between the stages
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"tigris/internal/cloud"
+	"tigris/internal/dse"
+	"tigris/internal/registration"
+	"tigris/internal/stream"
+	"tigris/internal/synth"
+)
+
+// RunReport is one mode's measured outcome.
+type RunReport struct {
+	Mode          string  `json:"mode"`
+	Frames        int     `json:"frames"`
+	Pairs         int     `json:"pairs"`
+	PairsPerSec   float64 `json:"pairs_per_sec"`
+	MsPerFrame    float64 `json:"ms_per_frame"`
+	AllocsPerPair float64 `json:"allocs_per_pair"`
+	BytesPerPair  float64 `json:"bytes_per_pair"`
+	// StageMs is the average per-pair stage breakdown in milliseconds
+	// (the Fig. 4a rows plus the streaming engine's prep/align shares).
+	StageMs map[string]float64 `json:"stage_ms"`
+}
+
+// Report is the full benchmark output.
+type Report struct {
+	Name        string      `json:"name"`
+	Tag         string      `json:"tag"`
+	GoVersion   string      `json:"go_version"`
+	NumCPU      int         `json:"num_cpu"`
+	DesignPoint string      `json:"design_point"`
+	Backend     string      `json:"backend"`
+	Parallelism int         `json:"parallelism"`
+	Frames      int         `json:"frames"`
+	Beams       int         `json:"beams"`
+	Azimuth     int         `json:"azimuth_steps"`
+	Runs        []RunReport `json:"runs"`
+}
+
+func main() {
+	frames := flag.Int("frames", 6, "synthetic sequence length")
+	beams := flag.Int("beams", 24, "LiDAR beams per frame")
+	azimuth := flag.Int("azimuth", 450, "LiDAR azimuth steps per revolution")
+	seed := flag.Int64("seed", 2019, "scene/sensor seed")
+	designPoint := flag.String("dp", "DP4", "design point to run (DP1..DP8)")
+	backend := flag.String("backend", "", "search backend registry name (empty keeps the design point's)")
+	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
+	mode := flag.String("mode", "all", "perpair, unpipelined, pipelined, or all")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	tag := flag.String("tag", "local", "report tag (e.g. pr4) recorded in the JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	flag.Parse()
+
+	cfg, ok := findDesignPoint(*designPoint)
+	if !ok {
+		log.Fatalf("unknown design point %q (want DP1..DP8)", *designPoint)
+	}
+	if *backend != "" {
+		cfg.Searcher.Backend = *backend
+		cfg.Searcher.TopHeight = -1
+	}
+	cfg.Searcher.Parallelism = *parallel
+	if err := cfg.Searcher.Validate(); err != nil {
+		log.Fatalf("%v", err)
+	}
+
+	seq := synth.GenerateSequence(synth.SequenceConfig{
+		Scene:     synth.SceneConfig{Seed: *seed, Length: 120},
+		Lidar:     synth.LidarConfig{Beams: *beams, AzimuthSteps: *azimuth, Seed: *seed},
+		NumFrames: *frames,
+	})
+	if seq.Len() < 2 {
+		log.Fatal("need at least 2 frames")
+	}
+
+	// Open every profile file before profiling starts: a late create
+	// failure would log.Fatal past the deferred CPU-profile flush and
+	// truncate it.
+	var memFile *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		memFile = f
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := Report{
+		Name:        "tigris-bench",
+		Tag:         *tag,
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		DesignPoint: *designPoint,
+		Backend:     cfg.Searcher.BackendName(),
+		Parallelism: *parallel,
+		Frames:      seq.Len(),
+		Beams:       *beams,
+		Azimuth:     *azimuth,
+	}
+	modes := []string{"perpair", "unpipelined", "pipelined"}
+	if *mode != "all" {
+		modes = []string{*mode}
+	}
+	for _, m := range modes {
+		r, err := runMode(m, seq, cfg)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Fprintf(os.Stderr, "%-12s %6.2f pairs/sec  %7.1f ms/frame  %8.0f allocs/pair\n",
+			m, r.PairsPerSec, r.MsPerFrame, r.AllocsPerPair)
+	}
+
+	if memFile != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			log.Printf("memprofile: %v", err)
+		}
+		memFile.Close()
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runMode executes one execution mode over the sequence, measuring wall
+// time, allocation deltas, and the per-stage breakdown. Each mode clones
+// the frames (the pipeline writes normals into its inputs) and warms up
+// with one pair so steady-state pools are populated before measuring.
+func runMode(mode string, seq *synth.Sequence, cfg registration.PipelineConfig) (RunReport, error) {
+	warm := cloneFrames(seq)
+	registration.Register(warm[1], warm[0], cfg)
+
+	frames := cloneFrames(seq)
+	pairs := len(frames) - 1
+	r := RunReport{Mode: mode, Frames: len(frames), Pairs: pairs, StageMs: map[string]float64{}}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var stage registration.StageTimes
+	var prepTotal, alignTotal time.Duration
+	switch mode {
+	case "perpair":
+		for i := 0; i+1 < len(frames); i++ {
+			res := registration.Register(frames[i+1], frames[i], cfg)
+			stage = addStages(stage, res.Stage)
+			prepTotal += res.Stage.NormalEstimation + res.Stage.KeypointDetection + res.Stage.DescriptorCalculation
+			alignTotal += res.Stage.KPCE + res.Stage.Rejection + res.Stage.RPCE + res.Stage.ErrorMinimization
+		}
+	case "unpipelined", "pipelined":
+		eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: mode == "pipelined"})
+		for _, f := range frames {
+			if _, err := eng.Push(f); err != nil {
+				return r, err
+			}
+		}
+		eng.Close()
+		traj := eng.Trajectory()
+		if traj.Len() != len(frames) {
+			return r, fmt.Errorf("%s: trajectory has %d of %d frames", mode, traj.Len(), len(frames))
+		}
+		for _, fr := range traj.Frames {
+			stage = addStages(stage, fr.Reg.Stage)
+			prepTotal += fr.PrepTime
+			alignTotal += fr.AlignTime
+		}
+	default:
+		return r, fmt.Errorf("unknown mode %q", mode)
+	}
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	r.PairsPerSec = float64(pairs) / elapsed.Seconds()
+	r.MsPerFrame = elapsed.Seconds() * 1e3 / float64(len(frames))
+	r.AllocsPerPair = float64(after.Mallocs-before.Mallocs) / float64(pairs)
+	r.BytesPerPair = float64(after.TotalAlloc-before.TotalAlloc) / float64(pairs)
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 / float64(pairs) }
+	r.StageMs["prep"] = ms(prepTotal)
+	r.StageMs["align"] = ms(alignTotal)
+	r.StageMs["normal_estimation"] = ms(stage.NormalEstimation)
+	r.StageMs["keypoint_detection"] = ms(stage.KeypointDetection)
+	r.StageMs["descriptor_calculation"] = ms(stage.DescriptorCalculation)
+	r.StageMs["kpce"] = ms(stage.KPCE)
+	r.StageMs["rejection"] = ms(stage.Rejection)
+	r.StageMs["rpce"] = ms(stage.RPCE)
+	r.StageMs["error_minimization"] = ms(stage.ErrorMinimization)
+	return r, nil
+}
+
+func addStages(a, b registration.StageTimes) registration.StageTimes {
+	a.NormalEstimation += b.NormalEstimation
+	a.KeypointDetection += b.KeypointDetection
+	a.DescriptorCalculation += b.DescriptorCalculation
+	a.KPCE += b.KPCE
+	a.Rejection += b.Rejection
+	a.RPCE += b.RPCE
+	a.ErrorMinimization += b.ErrorMinimization
+	return a
+}
+
+func cloneFrames(seq *synth.Sequence) []*cloud.Cloud {
+	out := make([]*cloud.Cloud, seq.Len())
+	for i, f := range seq.Frames {
+		out[i] = f.Clone()
+	}
+	return out
+}
+
+func findDesignPoint(name string) (registration.PipelineConfig, bool) {
+	for _, dp := range dse.NamedDesignPoints() {
+		if dp.Name == name {
+			return dp.Config, true
+		}
+	}
+	return registration.PipelineConfig{}, false
+}

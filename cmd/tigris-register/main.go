@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	tigris-register [-backend NAME] [-opt key=value]... [-parallel N] [-profile] source.cloud target.cloud
+//	tigris-register [-backend NAME] [-opt key=value]... [-parallel N] [-profile]
+//	                [-cpuprofile FILE] [-memprofile FILE] source.cloud target.cloud
 //
 // -backend selects any registered search backend by name (canonical,
 // twostage, twostage-approx, bruteforce, ...); -opt passes
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -68,6 +71,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
 	profile := flag.Bool("profile", false, "print stage timing and KD-tree search breakdown")
 	designPoint := flag.String("dp", "DP5", "design point to run (DP1..DP8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: tigris-register [flags] source.cloud target.cloud")
@@ -98,7 +103,40 @@ func main() {
 		log.Fatalf("%v", err)
 	}
 
+	// Profiling brackets only the registration itself, and every fatal
+	// exit path (bad flags, unreadable clouds, profile-file creation) is
+	// behind us or handled before StartCPUProfile, so a written profile
+	// is always complete — log.Fatal's os.Exit would otherwise skip the
+	// deferred flushes and leave a truncated file.
+	var memFile *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		memFile = f
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res := registration.Register(src, dst, cfg)
+
+	if memFile != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			log.Printf("memprofile: %v", err)
+		}
+		memFile.Close()
+	}
 
 	// The 4×4 homogeneous matrix, row per line (paper Eq. 1).
 	m := res.Transform.Mat4()

@@ -1,8 +1,6 @@
 package kdtree
 
 import (
-	"sort"
-
 	"tigris/internal/geom"
 )
 
@@ -82,11 +80,6 @@ func BruteRadiusInto(pts []geom.Vec3, q geom.Vec3, r float64, buf []Neighbor) []
 			res = append(res, Neighbor{Index: i, Dist2: d2})
 		}
 	}
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist2 != res[b].Dist2 {
-			return res[a].Dist2 < res[b].Dist2
-		}
-		return res[a].Index < res[b].Index
-	})
+	SortNeighbors(res)
 	return res
 }

@@ -329,12 +329,7 @@ func (t *Tree) RadiusInto(q geom.Vec3, r float64, buf []Neighbor, stats *Stats) 
 	}
 	res := buf[:0]
 	t.radius(t.root, q, r*r, &res, stats)
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist2 != res[b].Dist2 {
-			return res[a].Dist2 < res[b].Dist2
-		}
-		return res[a].Index < res[b].Index
-	})
+	SortNeighbors(res)
 	return res
 }
 
@@ -362,6 +357,69 @@ func (t *Tree) radius(ni int32, q geom.Vec3, r2 float64, res *[]Neighbor, stats 
 			stats.NodesPruned++
 		}
 	}
+}
+
+// SortNeighbors orders neighbors by ascending (Dist2, Index) — the result
+// order every radius search promises. It replaces sort.Slice on the query
+// hot path: sort.Slice allocates (an interface header and a closure) on
+// every call, and radius search issues millions of calls per streaming
+// frame, so an allocation-free dedicated sort is what keeps steady-state
+// traversal at zero allocations. The (Dist2, Index) key is a strict total
+// order over a result set (each tree point appears at most once), so any
+// correct sort yields the identical, deterministic order sort.Slice did.
+func SortNeighbors(res []Neighbor) {
+	// Quicksort with median-of-three pivoting, recursing into the smaller
+	// partition and looping on the larger so stack depth stays O(log n).
+	for len(res) > 12 {
+		p := partitionNeighbors(res)
+		if p < len(res)-p-1 {
+			SortNeighbors(res[:p])
+			res = res[p+1:]
+		} else {
+			SortNeighbors(res[p+1:])
+			res = res[:p]
+		}
+	}
+	// Insertion sort finishes the small runs.
+	for i := 1; i < len(res); i++ {
+		for j := i; j > 0 && neighborLess(res[j], res[j-1]); j-- {
+			res[j], res[j-1] = res[j-1], res[j]
+		}
+	}
+}
+
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist2 != b.Dist2 {
+		return a.Dist2 < b.Dist2
+	}
+	return a.Index < b.Index
+}
+
+// partitionNeighbors Hoare-style partitions res around a median-of-three
+// pivot moved to the end, returning the pivot's final position.
+func partitionNeighbors(res []Neighbor) int {
+	hi := len(res) - 1
+	mid := hi / 2
+	if neighborLess(res[mid], res[0]) {
+		res[mid], res[0] = res[0], res[mid]
+	}
+	if neighborLess(res[hi], res[0]) {
+		res[hi], res[0] = res[0], res[hi]
+	}
+	if neighborLess(res[hi], res[mid]) {
+		res[hi], res[mid] = res[mid], res[hi]
+	}
+	res[mid], res[hi] = res[hi], res[mid]
+	pivot := res[hi]
+	at := 0
+	for i := 0; i < hi; i++ {
+		if neighborLess(res[i], pivot) {
+			res[i], res[at] = res[at], res[i]
+			at++
+		}
+	}
+	res[at], res[hi] = res[hi], res[at]
+	return at
 }
 
 // maxHeap is a binary max-heap by Dist2, used as the bounded candidate set

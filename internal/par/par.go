@@ -98,8 +98,20 @@ func Sharded[St any](n, workers int, run func(shard *St, i int), merge func(*St)
 	if workers > n {
 		workers = n
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		// Sequential specialization: one stack shard instead of a
+		// heap-allocated shard slice. Hot loops issue one small batch per
+		// iteration (ICP's per-iteration NearestBatch), so this keeps the
+		// single-worker batch path allocation-free.
+		if n <= 0 {
+			return
+		}
+		var shard St
+		for i := 0; i < n; i++ {
+			run(&shard, i)
+		}
+		merge(&shard)
+		return
 	}
 	shards := make([]St, workers)
 	For(n, workers, func(w, i int) {
@@ -108,6 +120,91 @@ func Sharded[St any](n, workers int, run func(shard *St, i int), merge func(*St)
 	for w := range shards {
 		merge(&shards[w])
 	}
+}
+
+// Pool is a worker budget that can be divided between concurrently
+// running stages. A pipeline whose stages each size their batches with
+// Workers(0) oversubscribes the machine (every stage spawns NumCPU
+// goroutines); carving one Pool into weighted sub-pools gives each stage
+// a dedicated share so concurrent stages together use exactly the
+// machine's width. A Pool carries no goroutines of its own — it is an
+// accounting object whose Workers() count callers feed to For/Sharded or
+// a Parallelism knob.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of Workers(n) workers (n <= 0 selects NumCPU).
+func NewPool(n int) *Pool {
+	return &Pool{workers: Workers(n)}
+}
+
+// Workers returns the pool's worker budget.
+func (p *Pool) Workers() int { return p.workers }
+
+// Split divides the pool into one sub-pool per weight. Every sub-pool is
+// reserved one worker first — no stage may starve — and the remaining
+// workers are apportioned proportionally to the weights (largest
+// remainder, ties to the lowest index, so the split is deterministic).
+// Whenever the pool is at least as wide as the weight count, the shares
+// sum exactly to the pool's budget; a narrower pool hands every sub-pool
+// its floor of one and oversubscribes instead. Negative or non-finite
+// weights count as zero; if all weights are zero the split is even.
+func (p *Pool) Split(weights ...float64) []*Pool {
+	k := len(weights)
+	if k == 0 {
+		return nil
+	}
+	out := make([]*Pool, k)
+	if p.workers <= k {
+		for i := range out {
+			out[i] = &Pool{workers: 1}
+		}
+		return out
+	}
+	// Sanitize into a local copy: callers may retain the slice they
+	// expanded into the variadic.
+	ws := make([]float64, k)
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e300 {
+			continue
+		}
+		ws[i] = w
+		total += w
+	}
+	weights = ws
+	extra := p.workers - k
+	shares := make([]int, k)
+	fracs := make([]float64, k)
+	assigned := 0
+	for i, w := range weights {
+		frac := 1 / float64(k)
+		if total > 0 {
+			frac = w / total
+		}
+		exact := frac * float64(extra)
+		shares[i] = int(exact)
+		fracs[i] = exact - float64(shares[i])
+		assigned += shares[i]
+	}
+	// Hand the leftover workers to the largest remainders, lowest index
+	// first on ties.
+	for assigned < extra {
+		best := 0
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		shares[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	for i, s := range shares {
+		out[i] = &Pool{workers: s + 1}
+	}
+	return out
 }
 
 // ForChunks runs fn(worker, lo, hi) over the half-open chunks

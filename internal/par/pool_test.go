@@ -1,0 +1,90 @@
+package par
+
+import "testing"
+
+func poolWorkers(subs []*Pool) []int {
+	out := make([]int, len(subs))
+	for i, p := range subs {
+		out[i] = p.Workers()
+	}
+	return out
+}
+
+func TestPoolSplitProportional(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{8, []float64{1, 1}, []int{4, 4}},
+		{8, []float64{3, 1}, []int{6, 2}},
+		{7, []float64{1, 1}, []int{4, 3}}, // remainder to the lowest index on ties
+		{8, []float64{1, 1, 2}, []int{2, 2, 4}},
+		{5, []float64{0.7, 0.3}, []int{3, 2}},
+		{8, []float64{1, 0}, []int{7, 1}}, // zero weight keeps its 1-worker floor
+		{8, []float64{0, 0}, []int{4, 4}}, // all-zero weights split evenly
+		{2, []float64{0.9, 0.1}, []int{1, 1}},
+		{1, []float64{1, 1}, []int{1, 1}}, // narrower than the weight count: floors only
+	}
+	for _, tc := range cases {
+		subs := (&Pool{workers: tc.total}).Split(append([]float64(nil), tc.weights...)...)
+		got := poolWorkers(subs)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Split(%v) of %d: got %v", tc.weights, tc.total, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Split(%v) of %d = %v, want %v", tc.weights, tc.total, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPoolSplitInvariants(t *testing.T) {
+	// Every split hands out at least one worker per sub-pool, and — when
+	// the pool is wide enough for that floor — exactly the pool's budget
+	// in total.
+	for total := 1; total <= 16; total++ {
+		for _, weights := range [][]float64{{1, 1}, {5, 1}, {1, 2, 3}, {0.9, 0.1}} {
+			subs := (&Pool{workers: total}).Split(append([]float64(nil), weights...)...)
+			sum := 0
+			for _, p := range subs {
+				if p.Workers() < 1 {
+					t.Fatalf("total %d weights %v: sub-pool with %d workers", total, weights, p.Workers())
+				}
+				sum += p.Workers()
+			}
+			if total >= len(weights) && sum != total {
+				t.Errorf("total %d weights %v: shares sum to %d", total, weights, sum)
+			}
+		}
+	}
+}
+
+func TestPoolSplitDeterministic(t *testing.T) {
+	a := poolWorkers(NewPool(12).Split(0.37, 0.63))
+	for i := 0; i < 50; i++ {
+		b := poolWorkers(NewPool(12).Split(0.37, 0.63))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("split not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestPoolSplitRejectsBadWeights(t *testing.T) {
+	// NaN and negative weights are treated as zero instead of poisoning
+	// the apportionment.
+	subs := (&Pool{workers: 8}).Split(nan(), -3, 1)
+	got := poolWorkers(subs)
+	if got[2] != 6 || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("bad weights not neutralized: %v", got)
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

@@ -180,9 +180,15 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	res.Stage.KPCE = time.Since(t0)
 	res.Correspondences = len(corr)
 
-	// (5) Rejection + initial transform.
+	// (5) Rejection + initial transform. Rejection inherits the searcher
+	// parallelism (like KPCE) so -parallel governs RANSAC hypothesis
+	// scoring too; results are bit-identical at any setting.
 	t0 = time.Now()
-	inliers := RejectCorrespondences(corr, src.KeypointPts, dst.KeypointPts, cfg.Rejection)
+	rejCfg := cfg.Rejection
+	if rejCfg.Parallelism == 0 {
+		rejCfg.Parallelism = cfg.Searcher.EffectiveParallelism()
+	}
+	inliers := RejectCorrespondences(corr, src.KeypointPts, dst.KeypointPts, rejCfg)
 	res.Inliers = len(inliers)
 	initial, ok := estimateFromCorr(inliers, src.KeypointPts, dst.KeypointPts)
 	// Guard against a junk initial estimate: a tiny or low-ratio consensus
@@ -205,15 +211,31 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	}
 	res.Stage.Rejection = time.Since(t0)
 	res.Initial = initial
+	// Both correspondence lists are fully consumed; their slabs go back
+	// to the pool for the next pair.
+	recycleCorr(corr, inliers)
 
 	// --- Fine-tuning phase (paper Fig. 2, right) ---
 	icpTarget, icpTargetCloud := dst.FineTarget(cfg)
+	// The target index may have been built by the other pipeline stage
+	// under a different worker share (front-end reuse in a pipelined
+	// stream splits the pool between stages); re-pin its batch width to
+	// THIS stage's share so the adaptive split governs the RPCE batches
+	// too. Exact backends are parallelism-invariant, so this never
+	// changes results.
+	icpTarget.SetParallelism(cfg.Searcher.EffectiveParallelism())
 	var rpceSearch search.Searcher = icpTarget
 	if cfg.Inject.RPCEKthNN > 1 {
 		rpceSearch = &search.KthNNSearcher{Inner: icpTarget, K: cfg.Inject.RPCEKthNN}
 	}
-	// Fine-tuning always refines with the raw source points.
-	icpRes := ICP(src.Raw, rpceSearch, icpTargetCloud.Normals, initial, cfg.ICP)
+	// Fine-tuning always refines with the raw source points; the error
+	// accumulation inherits the searcher parallelism like every other
+	// stage.
+	icpCfg := cfg.ICP
+	if icpCfg.Parallelism == 0 {
+		icpCfg.Parallelism = cfg.Searcher.EffectiveParallelism()
+	}
+	icpRes := ICP(src.Raw, rpceSearch, icpTargetCloud.Normals, initial, icpCfg)
 	res.ICP = icpRes
 	res.Stage.RPCE = icpRes.RPCETime
 	res.Stage.ErrorMinimization = icpRes.SolveTime

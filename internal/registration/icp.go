@@ -1,6 +1,7 @@
 package registration
 
 import (
+	"sync"
 	"time"
 
 	"tigris/internal/cloud"
@@ -33,6 +34,13 @@ type ICPConfig struct {
 	// SourceStride subsamples source points during RPCE (1 = use all; the
 	// performance-oriented design points use larger strides).
 	SourceStride int
+	// Parallelism is the worker count for the per-point error
+	// accumulation inside transform estimation and the convergence RMSE
+	// (<= 0 selects NumCPU, 1 forces the sequential path). The pipeline
+	// propagates its searcher parallelism here when the field is left
+	// zero. Results are bit-identical at any setting (fixed-chunk
+	// deterministic reductions, see transform.go).
+	Parallelism int
 }
 
 func (c *ICPConfig) defaults() {
@@ -70,26 +78,63 @@ type ICPResult struct {
 	SolveTime time.Duration
 }
 
+// icpScratch holds every buffer one ICP call cycles through its
+// iterations: the moved source copy, the strided query set, the
+// nearest-neighbor results, and the gated correspondence arrays. Pooled
+// across calls so a streaming session's fine-tuning runs with near-zero
+// steady-state allocations.
+type icpScratch struct {
+	cur    []geom.Vec3
+	qIdx   []int
+	qs     []geom.Vec3
+	nbs    []kdtree.Neighbor
+	candQ  []int
+	backQs []geom.Vec3
+	srcPts []geom.Vec3
+	dstPts []geom.Vec3
+	dstNs  []geom.Vec3
+}
+
+var icpScratchPool = sync.Pool{New: func() any { return new(icpScratch) }}
+
 // ICP runs iterative closest point from the initial guess. target is the
 // searcher indexing the target cloud (it must also expose the target
 // normals when the point-to-plane metric is selected). Each iteration's
 // RPCE runs as one NearestBatch against the target (and, for reciprocal
 // RPCE, a second batch of back-queries against a fresh source index), so
 // the dominant per-iteration cost parallelizes across the searcher's
-// worker pool while the correspondence list keeps its sequential order.
+// worker pool while the correspondence list keeps its sequential order;
+// the per-point error accumulation inside transform estimation fans out
+// over cfg.Parallelism workers with bit-identical results at any setting.
 func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, initial geom.Transform, cfg ICPConfig) ICPResult {
 	cfg.defaults()
 	res := ICPResult{Transform: initial}
-	cur := src.Transform(initial)
 	targetPts := target.Points()
+
+	sc := icpScratchPool.Get().(*icpScratch)
+	defer icpScratchPool.Put(sc)
+
+	// The moved source copy: only the positions matter to RPCE and error
+	// minimization, so a bare point slice replaces the cloud copy
+	// Register historically made (identical arithmetic, zero steady-state
+	// allocation).
+	cur := append(sc.cur[:0], src.Points...)
+	sc.cur = cur
+	for i := range cur {
+		cur[i] = initial.Apply(cur[i])
+	}
 
 	// The strided query index set is fixed across iterations; the query
 	// positions change as cur moves.
-	qIdx := make([]int, 0, (cur.Len()+cfg.SourceStride-1)/cfg.SourceStride)
-	for i := 0; i < cur.Len(); i += cfg.SourceStride {
+	qIdx := sc.qIdx[:0]
+	for i := 0; i < len(cur); i += cfg.SourceStride {
 		qIdx = append(qIdx, i)
 	}
-	qs := make([]geom.Vec3, len(qIdx))
+	sc.qIdx = qIdx
+	if cap(sc.qs) < len(qIdx) {
+		sc.qs = make([]geom.Vec3, len(qIdx))
+	}
+	qs := sc.qs[:len(qIdx)]
 
 	prevRMSE := -1.0
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
@@ -100,33 +145,38 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		start := time.Now()
 		var srcSearch search.Searcher
 		if cfg.Reciprocal {
-			srcSearch = search.NewKDSearcher(cur.Points)
+			srcSearch = search.NewKDSearcher(cur)
 			srcSearch.SetParallelism(target.Parallelism())
 		}
 		maxD2 := cfg.MaxCorrespondenceDist * cfg.MaxCorrespondenceDist
 		for qi, i := range qIdx {
-			qs[qi] = cur.Points[i]
+			qs[qi] = cur[i]
 		}
-		nbs := target.NearestBatch(qs)
+		nbs := search.BatchNearestInto(target, qs, sc.nbs[:0])
+		sc.nbs = nbs
 
 		// Candidates that pass the distance gate, in query order.
-		candQ := make([]int, 0, len(qIdx))
+		candQ := sc.candQ[:0]
 		for qi := range qIdx {
 			if nbs[qi].Index >= 0 && nbs[qi].Dist2 <= maxD2 {
 				candQ = append(candQ, qi)
 			}
 		}
+		sc.candQ = candQ
 		// Reciprocal gate: batch the back-queries for the candidates only
 		// (the same queries the sequential loop would issue).
 		var backs []kdtree.Neighbor
 		if cfg.Reciprocal {
-			backQs := make([]geom.Vec3, len(candQ))
+			if cap(sc.backQs) < len(candQ) {
+				sc.backQs = make([]geom.Vec3, len(candQ))
+			}
+			backQs := sc.backQs[:len(candQ)]
 			for ci, qi := range candQ {
 				backQs[ci] = targetPts[nbs[qi].Index]
 			}
 			backs = srcSearch.NearestBatch(backQs)
 		}
-		var srcPts, dstPts, dstNs []geom.Vec3
+		srcPts, dstPts, dstNs := sc.srcPts[:0], sc.dstPts[:0], sc.dstNs[:0]
 		for ci, qi := range candQ {
 			if cfg.Reciprocal && backs[ci].Index != qIdx[qi] {
 				continue
@@ -137,6 +187,7 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 				dstNs = append(dstNs, targetNormals[nbs[qi].Index])
 			}
 		}
+		sc.srcPts, sc.dstPts, sc.dstNs = srcPts, dstPts, dstNs
 		res.RPCETime += time.Since(start)
 		if len(srcPts) < 6 {
 			return res // too little overlap to continue
@@ -147,9 +198,9 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		var delta geom.Transform
 		var ok bool
 		if cfg.Metric == PointToPlane && dstNs != nil {
-			delta, ok = EstimatePointToPlane(srcPts, dstPts, dstNs)
+			delta, ok = EstimatePointToPlanePar(srcPts, dstPts, dstNs, cfg.Parallelism)
 		} else {
-			delta, ok = EstimateRigidTransform(srcPts, dstPts)
+			delta, ok = EstimateRigidTransformPar(srcPts, dstPts, cfg.Parallelism)
 		}
 		res.SolveTime += time.Since(start)
 		if !ok {
@@ -157,9 +208,11 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		}
 
 		res.Transform = delta.Compose(res.Transform)
-		cur.TransformInPlace(delta)
+		for i := range cur {
+			cur[i] = delta.Apply(cur[i])
+		}
 
-		rmse := AlignmentRMSE(geom.IdentityTransform(), applyAll(delta, srcPts), dstPts)
+		rmse := AlignmentRMSEPar(delta, srcPts, dstPts, cfg.Parallelism)
 		res.FinalRMSE = rmse
 
 		// Convergence criteria (Tbl. 1): small incremental motion or small
@@ -175,12 +228,4 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		prevRMSE = rmse
 	}
 	return res
-}
-
-func applyAll(t geom.Transform, pts []geom.Vec3) []geom.Vec3 {
-	out := make([]geom.Vec3, len(pts))
-	for i, p := range pts {
-		out[i] = t.Apply(p)
-	}
-	return out
 }

@@ -5,7 +5,39 @@ import (
 
 	"tigris/internal/geom"
 	"tigris/internal/linalg"
+	"tigris/internal/par"
 )
+
+// accumChunk is the fixed block size of every parallel error/statistics
+// reduction in this file. Chunk boundaries depend only on the pair count
+// — never on the worker count — and chunk partials are folded in chunk
+// order, so the floating-point summation order (and therefore every bit
+// of the result) is invariant under the Parallelism knob: one worker
+// walking the chunks sequentially produces exactly what sixteen workers
+// produce. Inputs at or below one chunk take the plain sequential loop,
+// preserving the historical summation order for small solves (RANSAC's
+// 3-point hypotheses, test-scale clouds).
+const accumChunk = 4096
+
+// reduceChunks evaluates eval over the fixed-size chunks of [0, n) on up
+// to `workers` goroutines and folds the chunk partials in chunk order.
+// See accumChunk for why this is deterministic at any worker count.
+func reduceChunks[P any](n, workers int, eval func(lo, hi int) P, fold func(acc, p P) P) P {
+	if n <= accumChunk {
+		return eval(0, n)
+	}
+	workers = par.Workers(workers)
+	chunks := (n + accumChunk - 1) / accumChunk
+	parts := make([]P, chunks)
+	par.ForChunks(n, workers, accumChunk, func(_, lo, hi int) {
+		parts[lo/accumChunk] = eval(lo, hi)
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = fold(acc, p)
+	}
+	return acc
+}
 
 // EstimateRigidTransform solves the point-to-point least-squares alignment
 // problem: find the rigid T minimizing Σ‖T(srcᵢ) − dstᵢ‖² for paired
@@ -13,23 +45,83 @@ import (
 // solver choice in Tbl. 1). Returns ok=false when fewer than 3 pairs are
 // given or the configuration is degenerate.
 func EstimateRigidTransform(src, dst []geom.Vec3) (geom.Transform, bool) {
+	return EstimateRigidTransformPar(src, dst, 1)
+}
+
+// centroidPart is one chunk's running point sums.
+type centroidPart struct{ cs, cd geom.Vec3 }
+
+// EstimateRigidTransformPar is EstimateRigidTransform with the per-point
+// accumulation (centroids and cross-covariance) spread over up to
+// `workers` goroutines (<= 0 selects NumCPU). Results are bit-identical
+// at any worker count (see accumChunk). Inputs at or below one chunk
+// dispatch to a closure-free sequential kernel, which keeps the RANSAC
+// hypothesis loop (3-point solves, thousands per pair) allocation-free:
+// the chunked reducers' closures would otherwise force every sample
+// array to the heap.
+func EstimateRigidTransformPar(src, dst []geom.Vec3, workers int) (geom.Transform, bool) {
 	if len(src) != len(dst) || len(src) < 3 {
 		return geom.IdentityTransform(), false
 	}
-	n := float64(len(src))
-	var cs, cd geom.Vec3
-	for i := range src {
-		cs = cs.Add(src[i])
-		cd = cd.Add(dst[i])
+	if len(src) <= accumChunk {
+		return estimateRigidSeq(src, dst)
 	}
-	cs = cs.Scale(1 / n)
-	cd = cd.Scale(1 / n)
+	return estimateRigidChunked(src, dst, workers)
+}
 
-	// Cross-covariance H = Σ (srcᵢ−c̄s)(dstᵢ−c̄d)ᵀ.
+// estimateRigidSeq is the sequential accumulation kernel — byte for byte
+// the single-chunk specialization of estimateRigidChunked.
+func estimateRigidSeq(src, dst []geom.Vec3) (geom.Transform, bool) {
+	n := float64(len(src))
+	var cp centroidPart
+	for i := range src {
+		cp.cs = cp.cs.Add(src[i])
+		cp.cd = cp.cd.Add(dst[i])
+	}
+	cs := cp.cs.Scale(1 / n)
+	cd := cp.cd.Scale(1 / n)
 	var h geom.Mat3
 	for i := range src {
 		h = h.Add(geom.OuterProduct(src[i].Sub(cs), dst[i].Sub(cd)))
 	}
+	return rigidFromStats(h, cs, cd)
+}
+
+func estimateRigidChunked(src, dst []geom.Vec3, workers int) (geom.Transform, bool) {
+	n := float64(len(src))
+	cp := reduceChunks(len(src), workers,
+		func(lo, hi int) centroidPart {
+			var p centroidPart
+			for i := lo; i < hi; i++ {
+				p.cs = p.cs.Add(src[i])
+				p.cd = p.cd.Add(dst[i])
+			}
+			return p
+		},
+		func(a, b centroidPart) centroidPart {
+			a.cs = a.cs.Add(b.cs)
+			a.cd = a.cd.Add(b.cd)
+			return a
+		})
+	cs := cp.cs.Scale(1 / n)
+	cd := cp.cd.Scale(1 / n)
+
+	// Cross-covariance H = Σ (srcᵢ−c̄s)(dstᵢ−c̄d)ᵀ.
+	h := reduceChunks(len(src), workers,
+		func(lo, hi int) geom.Mat3 {
+			var hp geom.Mat3
+			for i := lo; i < hi; i++ {
+				hp = hp.Add(geom.OuterProduct(src[i].Sub(cs), dst[i].Sub(cd)))
+			}
+			return hp
+		},
+		geom.Mat3.Add)
+	return rigidFromStats(h, cs, cd)
+}
+
+// rigidFromStats finishes the Umeyama solve from the accumulated
+// cross-covariance and centroids.
+func rigidFromStats(h geom.Mat3, cs, cd geom.Vec3) (geom.Transform, bool) {
 	svd := linalg.ComputeSVD3(h)
 	// R = V·D·Uᵀ with D correcting for reflections.
 	d := geom.Identity3()
@@ -77,37 +169,60 @@ func (m ErrorMetric) String() string {
 // the standard ICP linearization (Low 2004) the paper's LM solver [45]
 // choice corresponds to.
 func EstimatePointToPlane(src, dst, normals []geom.Vec3) (geom.Transform, bool) {
+	return EstimatePointToPlanePar(src, dst, normals, 1)
+}
+
+// normalEqPart is one chunk's share of the 6×6 normal equations.
+type normalEqPart struct {
+	jtj [36]float64
+	jtr [6]float64
+}
+
+func (p normalEqPart) add(o normalEqPart) normalEqPart {
+	for i := range p.jtj {
+		p.jtj[i] += o.jtj[i]
+	}
+	for i := range p.jtr {
+		p.jtr[i] += o.jtr[i]
+	}
+	return p
+}
+
+// EstimatePointToPlanePar is EstimatePointToPlane with the per-point
+// accumulation (the JᵀJ/Jᵀr normal equations and the cost evaluations)
+// spread over up to `workers` goroutines (<= 0 selects NumCPU). Results
+// are bit-identical at any worker count (see accumChunk).
+func EstimatePointToPlanePar(src, dst, normals []geom.Vec3, workers int) (geom.Transform, bool) {
 	if len(src) != len(dst) || len(src) != len(normals) || len(src) < 6 {
 		return geom.IdentityTransform(), false
 	}
 	cur := geom.IdentityTransform()
 	lambda := 1e-4
-	cost := pointToPlaneCost(cur, src, dst, normals)
-	var jtj [36]float64
-	var jtr [6]float64
+	cost := pointToPlaneCost(cur, src, dst, normals, workers)
 	// A handful of damped Gauss-Newton steps suffices: the outer ICP loop
 	// re-linearizes anyway.
 	for iter := 0; iter < 6; iter++ {
 		// Accumulate the 6×6 normal equations in one pass.
-		for i := range jtj {
-			jtj[i] = 0
-		}
-		for i := range jtr {
-			jtr[i] = 0
-		}
-		for i := range src {
-			s := cur.Apply(src[i])
-			n := normals[i]
-			r := s.Sub(dst[i]).Dot(n)
-			c := s.Cross(n)
-			row := [6]float64{c.X, c.Y, c.Z, n.X, n.Y, n.Z}
-			for a := 0; a < 6; a++ {
-				jtr[a] += row[a] * r
-				for b := a; b < 6; b++ {
-					jtj[a*6+b] += row[a] * row[b]
+		eq := reduceChunks(len(src), workers,
+			func(lo, hi int) normalEqPart {
+				var p normalEqPart
+				for i := lo; i < hi; i++ {
+					s := cur.Apply(src[i])
+					n := normals[i]
+					r := s.Sub(dst[i]).Dot(n)
+					c := s.Cross(n)
+					row := [6]float64{c.X, c.Y, c.Z, n.X, n.Y, n.Z}
+					for a := 0; a < 6; a++ {
+						p.jtr[a] += row[a] * r
+						for b := a; b < 6; b++ {
+							p.jtj[a*6+b] += row[a] * row[b]
+						}
+					}
 				}
-			}
-		}
+				return p
+			},
+			normalEqPart.add)
+		jtj, jtr := eq.jtj, eq.jtr
 		for a := 0; a < 6; a++ {
 			for b := 0; b < a; b++ {
 				jtj[a*6+b] = jtj[b*6+a]
@@ -133,7 +248,7 @@ func EstimatePointToPlane(src, dst, normals []geom.Vec3) (geom.Transform, bool) 
 				continue
 			}
 			trial := twistToTransform(delta).Compose(cur)
-			trialCost := pointToPlaneCost(trial, src, dst, normals)
+			trialCost := pointToPlaneCost(trial, src, dst, normals, workers)
 			if trialCost < cost {
 				cur = trial
 				cost = trialCost
@@ -153,13 +268,17 @@ func EstimatePointToPlane(src, dst, normals []geom.Vec3) (geom.Transform, bool) 
 	return cur, true
 }
 
-func pointToPlaneCost(t geom.Transform, src, dst, normals []geom.Vec3) float64 {
-	var s float64
-	for i := range src {
-		r := t.Apply(src[i]).Sub(dst[i]).Dot(normals[i])
-		s += r * r
-	}
-	return s
+func pointToPlaneCost(t geom.Transform, src, dst, normals []geom.Vec3, workers int) float64 {
+	return reduceChunks(len(src), workers,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				r := t.Apply(src[i]).Sub(dst[i]).Dot(normals[i])
+				s += r * r
+			}
+			return s
+		},
+		func(a, b float64) float64 { return a + b })
 }
 
 func vecNorm6(v []float64) float64 {
@@ -187,12 +306,32 @@ func twistToTransform(p []float64) geom.Transform {
 // AlignmentRMSE returns the root-mean-square point-to-point error of the
 // transform over the pairs; the ICP convergence criterion watches it.
 func AlignmentRMSE(tr geom.Transform, src, dst []geom.Vec3) float64 {
+	return AlignmentRMSEPar(tr, src, dst, 1)
+}
+
+// AlignmentRMSEPar is AlignmentRMSE with the squared-error accumulation
+// spread over up to `workers` goroutines (<= 0 selects NumCPU). Results
+// are bit-identical at any worker count (see accumChunk); small inputs
+// take a closure-free sequential kernel like EstimateRigidTransformPar.
+func AlignmentRMSEPar(tr geom.Transform, src, dst []geom.Vec3, workers int) float64 {
 	if len(src) == 0 {
 		return 0
 	}
 	var s float64
-	for i := range src {
-		s += tr.Apply(src[i]).Dist2(dst[i])
+	if len(src) <= accumChunk {
+		s = sqErrSeq(tr, src, dst, 0, len(src))
+	} else {
+		s = reduceChunks(len(src), workers,
+			func(lo, hi int) float64 { return sqErrSeq(tr, src, dst, lo, hi) },
+			func(a, b float64) float64 { return a + b })
 	}
 	return math.Sqrt(s / float64(len(src)))
+}
+
+func sqErrSeq(tr geom.Transform, src, dst []geom.Vec3, lo, hi int) float64 {
+	var p float64
+	for i := lo; i < hi; i++ {
+		p += tr.Apply(src[i]).Dist2(dst[i])
+	}
+	return p
 }

@@ -90,12 +90,46 @@ func knnPooled(knnInto func(buf []kdtree.Neighbor) []kdtree.Neighbor) []kdtree.N
 	return res
 }
 
+// nearestInto is the optional fast-path capability behind BatchNearestInto.
+type nearestInto interface {
+	NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor
+}
+
+// BatchNearestInto answers a NearestBatch into buf (reset to length 0,
+// regrown as needed) when the backend supports in-place batches — every
+// built-in structure does — and falls back to a plain NearestBatch
+// otherwise. Results are identical either way; the Into path lets hot
+// loops that issue one batch per iteration (ICP's RPCE) reuse a single
+// result slab for the life of the loop instead of allocating
+// len(qs)-sized slices every iteration.
+func BatchNearestInto(s Searcher, qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor {
+	if bi, ok := s.(nearestInto); ok {
+		return bi.NearestBatchInto(qs, buf)
+	}
+	return s.NearestBatch(qs)
+}
+
+// growNeighbors returns buf reset to length n, reallocating only when the
+// capacity is short.
+func growNeighbors(buf []kdtree.Neighbor, n int) []kdtree.Neighbor {
+	if cap(buf) < n {
+		return make([]kdtree.Neighbor, n)
+	}
+	return buf[:n]
+}
+
 // --- KDSearcher ---------------------------------------------------------
 
 // NearestBatch implements Searcher.
 func (s *KDSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	return s.NearestBatchInto(qs, nil)
+}
+
+// NearestBatchInto is NearestBatch answering into buf (see
+// BatchNearestInto for the contract).
+func (s *KDSearcher) NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor {
 	start := time.Now()
-	out := make([]kdtree.Neighbor, len(qs))
+	out := growNeighbors(buf, len(qs))
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
 			nb, ok := s.tree.Nearest(qs[i], shard)
@@ -150,8 +184,14 @@ func (s *KDSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor 
 // per chunk (the paper's "one session per stage invocation" model), which
 // makes the result a deterministic function of the batch alone.
 func (s *TwoStageSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	return s.NearestBatchInto(qs, nil)
+}
+
+// NearestBatchInto is NearestBatch answering into buf (see
+// BatchNearestInto for the contract).
+func (s *TwoStageSearcher) NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor {
 	start := time.Now()
-	out := make([]kdtree.Neighbor, len(qs))
+	out := growNeighbors(buf, len(qs))
 	if s.approx != nil {
 		s.approxChunked(len(qs), func(sess *twostage.ApproxSession, shard *twostage.Stats, i int) {
 			nb, ok := sess.Nearest(qs[i], shard)

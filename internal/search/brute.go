@@ -66,8 +66,14 @@ func (s *BruteSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 
 // NearestBatch implements Searcher.
 func (s *BruteSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
+	return s.NearestBatchInto(qs, nil)
+}
+
+// NearestBatchInto is NearestBatch answering into buf (see
+// BatchNearestInto for the contract).
+func (s *BruteSearcher) NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor {
 	start := time.Now()
-	out := make([]kdtree.Neighbor, len(qs))
+	out := growNeighbors(buf, len(qs))
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
 			nb, ok := kdtree.BruteNearest(s.pts, qs[i])

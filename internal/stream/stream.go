@@ -33,6 +33,7 @@ import (
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
+	"tigris/internal/par"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 )
@@ -157,6 +158,21 @@ type Engine struct {
 	in chan *cloud.Cloud
 	wg sync.WaitGroup
 
+	// Adaptive stage split (pipelined mode). The two concurrent stages
+	// would otherwise each size their batches to the full Parallelism and
+	// fight over the machine — the PR 2 defect where pipelining only won
+	// with a hand-capped knob. pool is the session's total worker budget;
+	// prepWork/alignWork are EWMAs of each stage's observed serial work
+	// (latency × workers), and prepWorkers/alignWorkers the current
+	// apportionment. Exact backends are bit-identical at any parallelism,
+	// so rebalancing never changes the trajectory.
+	splitMu      sync.Mutex
+	pool         *par.Pool
+	prepWork     float64
+	alignWork    float64
+	prepWorkers  int
+	alignWorkers int
+
 	// Sequential mode: the previous frame's prepared state.
 	prev *registration.PreparedFrame
 }
@@ -174,6 +190,11 @@ func New(cfg Config) *Engine {
 		if depth < 1 {
 			depth = 1
 		}
+		// Start from an even split of the configured worker budget; the
+		// EWMAs take over once both stages have been observed.
+		e.pool = par.NewPool(cfg.Pipeline.Searcher.EffectiveParallelism())
+		subs := e.pool.Split(1, 1)
+		e.prepWorkers, e.alignWorkers = subs[0].Workers(), subs[1].Workers()
 		e.in = make(chan *cloud.Cloud, depth)
 		// Capacity 1 is the pipeline register between the two stages:
 		// the front-end worker may run one frame ahead of alignment.
@@ -220,13 +241,67 @@ func (e *Engine) process(c *cloud.Cloud) {
 	e.commit(pf, prev)
 }
 
+// splitAlpha is the EWMA weight of the latest per-stage work sample:
+// heavy enough to track scene-density drift within a few frames, light
+// enough that one slow frame (a GC pause, a cold cache) cannot whipsaw
+// the apportionment.
+const splitAlpha = 0.4
+
+// stageConfig resolves the pipeline configuration one stage should run
+// with: its current share of the split pool in pipelined mode, the
+// unmodified configuration otherwise (splitting a 1-worker budget is
+// meaningless). prep selects the front-end share, else fine-tuning's.
+func (e *Engine) stageConfig(prep bool) (registration.PipelineConfig, int) {
+	cfg := e.cfg.Pipeline
+	if !e.cfg.Pipelined || e.pool.Workers() < 2 {
+		return cfg, par.Workers(cfg.Searcher.EffectiveParallelism())
+	}
+	e.splitMu.Lock()
+	w := e.prepWorkers
+	if !prep {
+		w = e.alignWorkers
+	}
+	e.splitMu.Unlock()
+	cfg.Searcher = cfg.Searcher.WithParallelism(w)
+	return cfg, w
+}
+
+// observeStage folds one stage execution (wall time d on `workers`
+// workers) into the stage's work EWMA and re-apportions the pool. Work —
+// latency × workers — estimates the stage's serial cost, so splitting the
+// pool proportionally to it equalizes the two stage latencies, which is
+// what maximizes two-stage pipeline throughput.
+func (e *Engine) observeStage(prep bool, d time.Duration, workers int) {
+	if !e.cfg.Pipelined || e.pool.Workers() < 2 {
+		return
+	}
+	work := d.Seconds() * float64(workers)
+	e.splitMu.Lock()
+	defer e.splitMu.Unlock()
+	tgt := &e.prepWork
+	if !prep {
+		tgt = &e.alignWork
+	}
+	if *tgt <= 0 {
+		*tgt = work
+	} else {
+		*tgt += splitAlpha * (work - *tgt)
+	}
+	if e.prepWork > 0 && e.alignWork > 0 {
+		subs := e.pool.Split(e.prepWork, e.alignWork)
+		e.prepWorkers, e.alignWorkers = subs[0].Workers(), subs[1].Workers()
+	}
+}
+
 // prepare runs the front-end stage under the limiter. The build-once
 // counters are bumped here — at the site that actually builds — so the
 // stats assert real work, not commits.
 func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
 	e.cfg.Limiter.acquire()
 	defer e.cfg.Limiter.release()
-	pf := registration.PrepareFrame(c, e.cfg.Pipeline)
+	cfg, workers := e.stageConfig(true)
+	pf := registration.PrepareFrame(c, cfg)
+	e.observeStage(true, pf.PrepTotal, workers)
 	e.mu.Lock()
 	e.stats.FramesPrepared++
 	e.stats.DescriptorBuilds++
@@ -240,9 +315,11 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 	fr := FrameResult{PrepTime: pf.PrepTotal, Delta: geom.IdentityTransform()}
 	if prev != nil {
 		e.cfg.Limiter.acquire()
+		cfg, workers := e.stageConfig(false)
 		start := time.Now()
-		fr.Reg = registration.Align(pf, prev, e.cfg.Pipeline)
+		fr.Reg = registration.Align(pf, prev, cfg)
 		fr.AlignTime = time.Since(start)
+		e.observeStage(false, fr.AlignTime, workers)
 		e.cfg.Limiter.release()
 		fr.Delta = fr.Reg.Transform
 		// Surface this frame's front-end shares in the pair result so

@@ -3,6 +3,7 @@ package stream
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
@@ -241,4 +242,92 @@ func TestPending(t *testing.T) {
 		t.Fatalf("Pending = %d after Drain", eng.Pending())
 	}
 	eng.Close()
+}
+
+// TestAdaptiveSplitRebalances drives the EWMA/split machinery directly:
+// observing a fine-tuning stage that is much heavier than the front-end
+// must shift the worker apportionment toward alignment (and vice versa),
+// while both stages always keep at least one worker and — with a pool
+// wide enough — exactly exhaust the budget.
+func TestAdaptiveSplitRebalances(t *testing.T) {
+	cfg := testConfig(registration.SearchCanonical)
+	cfg.Searcher.Parallelism = 8
+	e := New(Config{Pipeline: cfg, Pipelined: true})
+	defer e.Close()
+
+	if e.prepWorkers+e.alignWorkers != 8 {
+		t.Fatalf("initial split %d+%d, want the full 8-worker budget",
+			e.prepWorkers, e.alignWorkers)
+	}
+
+	// Front-end 3× heavier: prep should get the larger share.
+	for i := 0; i < 6; i++ {
+		e.observeStage(true, 90*time.Millisecond, e.prepWorkers)
+		e.observeStage(false, 30*time.Millisecond, e.alignWorkers)
+	}
+	if e.prepWorkers <= e.alignWorkers {
+		t.Fatalf("prep-heavy load split %d+%d, want prep > align",
+			e.prepWorkers, e.alignWorkers)
+	}
+	if e.prepWorkers+e.alignWorkers != 8 || e.alignWorkers < 1 {
+		t.Fatalf("split %d+%d violates the budget", e.prepWorkers, e.alignWorkers)
+	}
+
+	// The load inverts; the EWMA must follow it across.
+	for i := 0; i < 12; i++ {
+		e.observeStage(true, 10*time.Millisecond, e.prepWorkers)
+		e.observeStage(false, 120*time.Millisecond, e.alignWorkers)
+	}
+	if e.alignWorkers <= e.prepWorkers {
+		t.Fatalf("align-heavy load split %d+%d, want align > prep",
+			e.prepWorkers, e.alignWorkers)
+	}
+
+	// The stage configs hand each stage exactly its share.
+	prepCfg, pw := e.stageConfig(true)
+	alignCfg, aw := e.stageConfig(false)
+	if pw != e.prepWorkers || aw != e.alignWorkers {
+		t.Fatalf("stageConfig workers %d/%d, split %d/%d", pw, aw, e.prepWorkers, e.alignWorkers)
+	}
+	if prepCfg.Searcher.EffectiveParallelism() != pw || alignCfg.Searcher.EffectiveParallelism() != aw {
+		t.Fatal("stage configs do not pin their share as the effective parallelism")
+	}
+}
+
+// TestAdaptiveSplitNarrowPool: a 1-worker session cannot split; both
+// stages must run with the configured width unchanged.
+func TestAdaptiveSplitNarrowPool(t *testing.T) {
+	cfg := testConfig(registration.SearchCanonical)
+	cfg.Searcher.Parallelism = 1
+	e := New(Config{Pipeline: cfg, Pipelined: true})
+	defer e.Close()
+	got, w := e.stageConfig(true)
+	if w != 1 || got.Searcher.Parallelism != 1 {
+		t.Fatalf("narrow pool stage got %d workers", w)
+	}
+	e.observeStage(true, time.Second, 1) // must be a no-op, not a panic
+}
+
+// TestStreamPipelinedAdaptiveMatchesRegister: the adaptive split changes
+// only worker counts, and exact backends are parallelism-invariant, so a
+// pipelined session rebalancing itself must still be bit-identical to the
+// per-pair Register loop.
+func TestStreamPipelinedAdaptiveMatchesRegister(t *testing.T) {
+	seq := testSeq(t, 4, 41)
+	cfg := testConfig(registration.SearchCanonical)
+	cfg.Searcher.Parallelism = 4
+
+	ref := cloneFrames(seq)
+	var want []geom.Transform
+	for i := 0; i+1 < len(ref); i++ {
+		res := registration.Register(ref[i+1], ref[i], cfg)
+		want = append(want, res.Transform)
+	}
+
+	traj, _ := runStream(cloneFrames(seq), Config{Pipeline: cfg, Pipelined: true})
+	for i, w := range want {
+		if got := traj.Frames[i+1].Delta; got != w {
+			t.Fatalf("pair %d: adaptive pipelined delta differs from Register:\n%v\nvs\n%v", i, got, w)
+		}
+	}
 }

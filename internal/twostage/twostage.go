@@ -429,11 +429,8 @@ func (t *Tree) radiusChild(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neigh
 	}
 }
 
+// sortNeighbors orders results by ascending (Dist2, Index) through the
+// allocation-free kdtree sort (sort.Slice would allocate per query).
 func sortNeighbors(res []kdtree.Neighbor) {
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist2 != res[b].Dist2 {
-			return res[a].Dist2 < res[b].Dist2
-		}
-		return res[a].Index < res[b].Index
-	})
+	kdtree.SortNeighbors(res)
 }
