@@ -222,13 +222,21 @@ func traceWorkloads(seq *synth.Sequence, dp dse.DesignPoint) []sim.Workload {
 		},
 	}
 	registration.Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), cfg)
-	workloads := sim.WorkloadsFromTrace(sink.Batches())
+	batches := sink.Batches()
+	workloads := sim.WorkloadsFromTrace(batches)
 	var queries int64
 	for _, w := range workloads {
 		queries += int64(len(w.Queries))
 	}
 	fmt.Printf("%s trace: %d stage batches, %d queries captured from the live pipeline\n",
 		dp.Name, len(workloads), queries)
+	// Per-stage attribution (the Fig. 6-style weights), in a fixed order.
+	counts := sim.StageQueryCounts(batches)
+	for _, stage := range []string{search.StageNormals, search.StageKeypoints, search.StageDescriptors, search.StageRPCE} {
+		if n := counts[stage]; n > 0 {
+			fmt.Printf("  %-22s %8d queries\n", stage, n)
+		}
+	}
 	return workloads
 }
 

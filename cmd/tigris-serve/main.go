@@ -8,13 +8,14 @@
 // Usage:
 //
 //	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
-//	             [-backend NAME] [-session-ttl D]
+//	             [-backend NAME] [-session-ttl D] [-auth-token TOKEN]
 //	tigris-serve -selftest [-backend NAME]
 //
 // -backend sets the default search backend (a registry name, see GET
 // /v1/backends) for sessions that do not pick their own; -session-ttl
 // evicts sessions idle longer than the given duration (e.g. 30m; 0 keeps
-// sessions forever).
+// sessions forever); -auth-token requires `Authorization: Bearer TOKEN`
+// on every /v1/* endpoint (/healthz stays open for probes).
 //
 // Session lifecycle (see internal/serve for the endpoint contract):
 //
@@ -54,6 +55,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent heavy stages across all sessions (0 = CPU count)")
 	backend := flag.String("backend", "", "default search backend for sessions (registry name; \"\" = canonical)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
+	authToken := flag.String("auth-token", "", "require this bearer token on every /v1/* endpoint (\"\" = open access)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, stream two synthetic frames over HTTP, verify, exit")
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func main() {
 		Parallelism:    *parallel,
 		DefaultBackend: *backend,
 		SessionTTL:     *sessionTTL,
+		AuthToken:      *authToken,
 	})
 
 	if *selftest {

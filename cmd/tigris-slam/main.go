@@ -1,0 +1,303 @@
+// Command tigris-slam runs the full SLAM stack end to end on a
+// synthetic drift sequence: a closed LiDAR circuit streams through the
+// odometry engine with the loop-closure stage enabled, the verified
+// closures and the odometry chain build a pose graph, and Gauss–Newton
+// optimization produces the globally consistent trajectory. The report
+// quantifies what the back-end buys: ATE/RPE of the raw (drifted)
+// odometry versus the optimized trajectory, against the generator's
+// ground truth.
+//
+// Drift model: pairwise odometry drifts unboundedly; to make that
+// failure mode visible on short synthetic sequences, the measured
+// odometry deltas are corrupted with a deterministic calibration-style
+// bias (-drift-yaw degrees and -drift-scale translation scaling per
+// frame) before graph construction. Loop edges come from the real
+// verified registrations and are never biased.
+//
+// Usage:
+//
+//	tigris-slam [-frames N] [-lap N] [-radius R] [-beams N] [-azimuth N]
+//	            [-dp DPn] [-backend NAME] [-loop-backend NAME] [-parallel N]
+//	            [-drift-yaw DEG] [-drift-scale S] [-pipelined]
+//	            [-out FILE] [-tag NAME]
+//	tigris-slam -selftest
+//
+// The JSON report is committed as BENCH_<tag>.json alongside the
+// tigris-bench reports; CI runs a small configuration, validates the
+// shape, and checks the loop was found and ATE improved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+
+	"tigris/internal/dse"
+	"tigris/internal/geom"
+	"tigris/internal/loop"
+	"tigris/internal/posegraph"
+	"tigris/internal/registration"
+	"tigris/internal/stream"
+	"tigris/internal/synth"
+)
+
+// ClosureReport is one verified loop closure in the JSON report.
+type ClosureReport struct {
+	From            int     `json:"from"`
+	To              int     `json:"to"`
+	Inliers         int     `json:"inliers"`
+	Correspondences int     `json:"correspondences"`
+	RMSE            float64 `json:"rmse"`
+	// DeltaErrM is the closure transform's translational distance from
+	// the ground-truth relative pose (the verification quality).
+	DeltaErrM float64 `json:"delta_err_m"`
+}
+
+// TrajectoryReport is one trajectory's accuracy against ground truth.
+type TrajectoryReport struct {
+	ATERmseM     float64 `json:"ate_rmse_m"`
+	ATEMaxM      float64 `json:"ate_max_m"`
+	RPETransM    float64 `json:"rpe_trans_m"`
+	RPERotDeg    float64 `json:"rpe_rot_deg"`
+	FramesScored int     `json:"frames_scored"`
+}
+
+// Report is the full tigris-slam output.
+type Report struct {
+	Name         string  `json:"name"`
+	Tag          string  `json:"tag"`
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	DesignPoint  string  `json:"design_point"`
+	Backend      string  `json:"backend"`
+	Parallelism  int     `json:"parallelism"`
+	Pipelined    bool    `json:"pipelined"`
+	Frames       int     `json:"frames"`
+	FramesPerLap int     `json:"frames_per_lap"`
+	DriftYawDeg  float64 `json:"drift_yaw_deg"`
+	DriftScale   float64 `json:"drift_scale"`
+
+	Closures  []ClosureReport `json:"closures"`
+	LoopStats struct {
+		Observed int64 `json:"observed"`
+		Proposed int64 `json:"proposed"`
+		Verified int64 `json:"verified"`
+		Accepted int64 `json:"accepted"`
+	} `json:"loop_stats"`
+
+	// Odometry is the engine's raw trajectory; Drifted the bias-corrupted
+	// chain; Optimized the pose-graph output over the drifted chain plus
+	// the loop edges.
+	Odometry  TrajectoryReport `json:"odometry"`
+	Drifted   TrajectoryReport `json:"drifted"`
+	Optimized TrajectoryReport `json:"optimized"`
+	// ATEImprovement is Drifted.ATERmseM / Optimized.ATERmseM.
+	ATEImprovement float64 `json:"ate_improvement"`
+	Optimization   struct {
+		InitialCost float64 `json:"initial_cost"`
+		FinalCost   float64 `json:"final_cost"`
+		Iterations  int     `json:"iterations"`
+		Converged   bool    `json:"converged"`
+	} `json:"optimization"`
+}
+
+func main() {
+	frames := flag.Int("frames", 46, "sequence length (one lap plus revisit frames)")
+	perLap := flag.Int("lap", 40, "frames per circuit lap")
+	radius := flag.Float64("radius", 3, "circuit radius in meters")
+	beams := flag.Int("beams", 16, "LiDAR beams per frame")
+	azimuth := flag.Int("azimuth", 300, "LiDAR azimuth steps per revolution")
+	seed := flag.Int64("seed", 77, "scene/sensor seed")
+	designPoint := flag.String("dp", "DP7", "design point (DP1..DP8; the accuracy-oriented DP7 suits sparse synthetic frames)")
+	backend := flag.String("backend", "", "search backend registry name (empty keeps the design point's)")
+	loopBackend := flag.String("loop-backend", "twostage", "search backend for the loop-closure signature index")
+	parallel := flag.Int("parallel", 0, "batch search worker count (0 = all CPUs, 1 = sequential)")
+	pipelined := flag.Bool("pipelined", true, "overlap front-end, alignment, and loop verification")
+	driftYaw := flag.Float64("drift-yaw", 0.6, "injected odometry yaw bias in degrees per frame")
+	driftScale := flag.Float64("drift-scale", 1.06, "injected odometry translation scale per frame")
+	minSep := flag.Int("min-separation", 0, "loop temporal gate in frames (0 = lap length - 2)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	tag := flag.String("tag", "local", "report tag (e.g. pr5) recorded in the JSON")
+	selftest := flag.Bool("selftest", false, "run a small configuration, assert the loop is found and ATE improves, exit non-zero on failure")
+	flag.Parse()
+
+	cfg, ok := findDesignPoint(*designPoint)
+	if !ok {
+		log.Fatalf("unknown design point %q (want DP1..DP8)", *designPoint)
+	}
+	if *backend != "" {
+		cfg.Searcher.Backend = *backend
+		cfg.Searcher.TopHeight = -1
+	}
+	cfg.Searcher.Parallelism = *parallel
+	if err := cfg.Searcher.Validate(); err != nil {
+		log.Fatalf("%v", err)
+	}
+
+	sep := *minSep
+	if sep == 0 {
+		sep = *perLap - 2
+	}
+	loopCfg := &loop.Config{
+		Backend:       *loopBackend,
+		MinSeparation: sep,
+		MaxCandidates: 2,
+		Cooldown:      1,
+	}
+	if err := loopCfg.Validate(); err != nil {
+		log.Fatalf("%v", err)
+	}
+
+	seq := synth.GenerateSequence(synth.SequenceConfig{
+		Scene:      synth.SceneConfig{Seed: *seed, Length: 120},
+		Lidar:      synth.LidarConfig{Beams: *beams, AzimuthSteps: *azimuth, Seed: *seed},
+		NumFrames:  *frames,
+		Trajectory: synth.CircuitTrajectory{Radius: *radius, FramesPerLap: *perLap},
+	})
+
+	rep := run(seq, cfg, loopCfg, *pipelined, *parallel, *driftYaw, *driftScale)
+	rep.Tag = *tag
+	rep.DesignPoint = *designPoint
+	rep.FramesPerLap = *perLap
+
+	if *selftest {
+		if err := check(rep); err != nil {
+			log.Fatalf("selftest FAILED: %v", err)
+		}
+		fmt.Println("selftest ok")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run streams the sequence through a loop-enabled engine, builds the
+// drifted pose graph, optimizes, and scores all three trajectories.
+func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Config, pipelined bool, parallel int, driftYawDeg, driftScale float64) Report {
+	var rep Report
+	rep.Name = "tigris-slam"
+	rep.GoVersion = runtime.Version()
+	rep.NumCPU = runtime.NumCPU()
+	rep.Backend = cfg.Searcher.BackendName()
+	rep.Parallelism = parallel
+	rep.Pipelined = pipelined
+	rep.Frames = seq.Len()
+	rep.DriftYawDeg = driftYawDeg
+	rep.DriftScale = driftScale
+
+	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Loop: loopCfg})
+	for _, f := range seq.Frames {
+		if _, err := eng.Push(f.Clone()); err != nil {
+			log.Fatalf("push: %v", err)
+		}
+	}
+	eng.Drain()
+	traj := eng.Trajectory()
+	closures := eng.Closures()
+	st := eng.Stats()
+	eng.Close()
+
+	rep.LoopStats.Observed = st.Loop.Observed
+	rep.LoopStats.Proposed = st.Loop.Proposed
+	rep.LoopStats.Verified = st.Loop.Verified
+	rep.LoopStats.Accepted = st.Loop.Accepted
+	for _, cl := range closures {
+		truth := seq.Poses[cl.To].Inverse().Compose(seq.Poses[cl.From])
+		rep.Closures = append(rep.Closures, ClosureReport{
+			From:            cl.From,
+			To:              cl.To,
+			Inliers:         cl.Inliers,
+			Correspondences: cl.Correspondences,
+			RMSE:            cl.RMSE,
+			DeltaErrM:       cl.Delta.Inverse().Compose(truth).TranslationNorm(),
+		})
+	}
+
+	// Drift the measured odometry, then optimize with the loop edges.
+	deltas := make([]geom.Transform, 0, traj.Len()-1)
+	for _, fr := range traj.Frames[1:] {
+		deltas = append(deltas, fr.Delta)
+	}
+	drifted := synth.DriftDeltas(deltas, driftYawDeg*math.Pi/180, driftScale)
+	g := posegraph.FromOdometry(geom.IdentityTransform(), drifted)
+	for _, cl := range closures {
+		g.AddEdge(posegraph.Edge{I: cl.To, J: cl.From, Z: cl.Delta, TransWeight: 10, RotWeight: 10, Robust: true})
+	}
+	driftedPoses := append([]geom.Transform(nil), g.Poses...)
+	optPoses, res, err := g.Optimize(posegraph.Options{Parallelism: parallel})
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	rep.Optimization.InitialCost = res.InitialCost
+	rep.Optimization.FinalCost = res.FinalCost
+	rep.Optimization.Iterations = res.Iterations
+	rep.Optimization.Converged = res.Converged
+
+	rep.Odometry = score(traj.Poses, seq.Poses)
+	rep.Drifted = score(driftedPoses, seq.Poses)
+	rep.Optimized = score(optPoses, seq.Poses)
+	if rep.Optimized.ATERmseM > 0 {
+		rep.ATEImprovement = rep.Drifted.ATERmseM / rep.Optimized.ATERmseM
+	}
+
+	fmt.Fprintf(os.Stderr, "closures %d/%d verified  ATE drifted %.3f m -> optimized %.3f m (%.2fx)\n",
+		st.Loop.Accepted, st.Loop.Verified, rep.Drifted.ATERmseM, rep.Optimized.ATERmseM, rep.ATEImprovement)
+	return rep
+}
+
+func score(est, truth []geom.Transform) TrajectoryReport {
+	ate := posegraph.ATE(est, truth)
+	rpe := posegraph.RPE(est, truth)
+	return TrajectoryReport{
+		ATERmseM:     ate.RMSE,
+		ATEMaxM:      ate.Max,
+		RPETransM:    rpe.TransRMSE,
+		RPERotDeg:    rpe.RotRMSE * 180 / math.Pi,
+		FramesScored: ate.Frames,
+	}
+}
+
+// check asserts the selftest contract: the loop is detected with an
+// accurate relative transform, and optimization reduces the drifted
+// trajectory's ATE by a real margin.
+func check(rep Report) error {
+	if len(rep.Closures) == 0 {
+		return fmt.Errorf("no loop closure detected")
+	}
+	for _, cl := range rep.Closures {
+		if cl.DeltaErrM > 0.1 {
+			return fmt.Errorf("closure %d->%d delta is %.3f m from ground truth", cl.From, cl.To, cl.DeltaErrM)
+		}
+	}
+	if !rep.Optimization.Converged {
+		return fmt.Errorf("pose-graph optimization did not converge")
+	}
+	if rep.Optimized.ATERmseM >= 0.75*rep.Drifted.ATERmseM {
+		return fmt.Errorf("ATE %.3f m -> %.3f m: want at least a 25%% reduction",
+			rep.Drifted.ATERmseM, rep.Optimized.ATERmseM)
+	}
+	return nil
+}
+
+func findDesignPoint(name string) (registration.PipelineConfig, bool) {
+	for _, dp := range dse.NamedDesignPoints() {
+		if dp.Name == name {
+			return dp.Config, true
+		}
+	}
+	return registration.PipelineConfig{}, false
+}

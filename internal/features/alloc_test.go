@@ -1,0 +1,41 @@
+package features
+
+import (
+	"testing"
+)
+
+// TestFeatureTreeNearestBatchSteadyStateAllocs extends the hot-path
+// AllocsPerRun coverage to the KPCE feature tree: with the pooled match
+// slab, a fully recycled NearestBatch must settle to (near) zero
+// allocations per call — the last per-pair allocation proportional to
+// the key-point count (the PR 4 follow-up).
+func TestFeatureTreeNearestBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	const dim, n = 33, 200
+	d := &Descriptors{Dim: dim, Data: make([]float64, dim*n)}
+	for i := range d.Data {
+		d.Data[i] = float64(i%97) * 0.13
+	}
+	tree := NewFeatureTree(d)
+	qs := make([][]float64, n)
+	for i := range qs {
+		qs[i] = d.Row((i * 7) % n)
+	}
+
+	// Warm the slab pool.
+	for i := 0; i < 3; i++ {
+		RecycleMatches(tree.NearestBatch(qs, 1))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		RecycleMatches(tree.NearestBatch(qs, 1))
+	})
+	// Tolerated residue: the two worker-pool closures and the pooled-slab
+	// pointer round trip — fixed per-call costs, nothing proportional to
+	// the query count (which used to cost one len(qs)-sized slice per
+	// call).
+	if allocs > 4 {
+		t.Errorf("NearestBatch allocates %.1f times per call steady-state, want <= 4", allocs)
+	}
+}

@@ -143,8 +143,12 @@ func (t *FeatureTree) Nearest(q []float64) (FeatureMatch, bool) {
 // its own shard, merged after the batch, and SearchTime accumulates the
 // batch's wall time — so the tree's metrics stay exact while the queries
 // run concurrently. Results are bit-identical to per-query Nearest calls.
+//
+// The result lives in a pooled slab: callers that fully consume it may
+// hand it back with RecycleMatches so steady-state batches allocate
+// nothing (KPCE does exactly that).
 func (t *FeatureTree) NearestBatch(qs [][]float64, parallelism int) []FeatureMatch {
-	out := make([]FeatureMatch, len(qs))
+	out := newMatchSlab(len(qs))
 	if t.root < 0 {
 		for i := range out {
 			out[i] = FeatureMatch{Row: -1}

@@ -44,3 +44,38 @@ func RecycleDescriptors(d *Descriptors) {
 	descSlabs.Put(&s)
 	d.Data = nil
 }
+
+// matchSlabs pools FeatureMatch result slices for FeatureTree's batched
+// queries. KPCE issues one (reciprocal: two) NearestBatch per pair
+// forever in a streaming session; pooling the result slab closes the
+// last per-pair allocation proportional to the key-point count (the PR 4
+// follow-up).
+var matchSlabs = sync.Pool{
+	New: func() any {
+		s := make([]FeatureMatch, 0, 256)
+		return &s
+	},
+}
+
+// newMatchSlab returns a length-n FeatureMatch slice from the pool
+// (contents unspecified; batch queries overwrite every entry).
+func newMatchSlab(n int) []FeatureMatch {
+	p := matchSlabs.Get().(*[]FeatureMatch)
+	s := *p
+	if cap(s) < n {
+		*p = s
+		matchSlabs.Put(p)
+		return make([]FeatureMatch, n)
+	}
+	return s[:n]
+}
+
+// RecycleMatches hands a fully consumed NearestBatch result back to the
+// pool. The caller must not use the slice afterwards.
+func RecycleMatches(ms []FeatureMatch) {
+	if cap(ms) == 0 {
+		return
+	}
+	s := ms[:0]
+	matchSlabs.Put(&s)
+}

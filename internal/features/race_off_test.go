@@ -1,0 +1,8 @@
+//go:build !race
+
+package features
+
+// raceEnabled reports whether the race detector is active: its shadow
+// allocations break AllocsPerRun budgets, so the allocation tests skip
+// themselves under -race.
+const raceEnabled = false

@@ -146,6 +146,89 @@ func RotZ(a float64) Mat3 {
 	}
 }
 
+// ExpRotation is the SO(3) exponential map: the rotation matrix of the
+// rotation vector w (axis = w normalized, angle = |w|), via Rodrigues'
+// formula. The zero vector maps to the identity. Together with
+// LogRotation it is the parameterization the pose-graph optimizer
+// perturbs rotations in.
+func ExpRotation(w Vec3) Mat3 {
+	a := w.Norm()
+	if a < 1e-12 {
+		// First-order expansion keeps Exp smooth through zero (and exact
+		// enough for the optimizer's numeric-difference steps).
+		return Mat3{
+			1, -w.Z, w.Y,
+			w.Z, 1, -w.X,
+			-w.Y, w.X, 1,
+		}
+	}
+	return AxisAngle(w.Scale(1/a), a)
+}
+
+// LogRotation is the SO(3) logarithm: the rotation vector of m (the
+// inverse of ExpRotation). Angles at or near π are recovered through the
+// matrix diagonal so the axis stays numerically stable where sin(angle)
+// vanishes.
+func LogRotation(m Mat3) Vec3 {
+	angle := m.RotationAngle()
+	skew := Vec3{
+		X: (m.At(2, 1) - m.At(1, 2)) / 2,
+		Y: (m.At(0, 2) - m.At(2, 0)) / 2,
+		Z: (m.At(1, 0) - m.At(0, 1)) / 2,
+	}
+	if angle < 1e-12 {
+		// Small angle: the skew part IS the rotation vector to first order.
+		return skew
+	}
+	// The generic branch scales the skew part by angle/sin(angle), whose
+	// relative error grows like ε/(π−angle)² (acos's conditioning near
+	// −1 amplified through sin), so hand angles within 1e-4 of π to the
+	// diagonal recovery below, which stays accurate all the way to π.
+	if math.Pi-angle > 1e-4 {
+		return skew.Scale(angle / math.Sin(angle))
+	}
+	// Near π the skew part degenerates; recover the axis from the
+	// diagonal of R + I, whose entries give |u_i|.
+	axis := Vec3{
+		X: math.Sqrt(math.Max(0, (m.At(0, 0)+1)/2)),
+		Y: math.Sqrt(math.Max(0, (m.At(1, 1)+1)/2)),
+		Z: math.Sqrt(math.Max(0, (m.At(2, 2)+1)/2)),
+	}
+	// Fix relative signs from the off-diagonal sums, anchored on the
+	// largest component.
+	switch {
+	case axis.X >= axis.Y && axis.X >= axis.Z:
+		if m.At(0, 1)+m.At(1, 0) < 0 {
+			axis.Y = -axis.Y
+		}
+		if m.At(0, 2)+m.At(2, 0) < 0 {
+			axis.Z = -axis.Z
+		}
+	case axis.Y >= axis.Z:
+		if m.At(0, 1)+m.At(1, 0) < 0 {
+			axis.X = -axis.X
+		}
+		if m.At(1, 2)+m.At(2, 1) < 0 {
+			axis.Z = -axis.Z
+		}
+	default:
+		if m.At(0, 2)+m.At(2, 0) < 0 {
+			axis.X = -axis.X
+		}
+		if m.At(1, 2)+m.At(2, 1) < 0 {
+			axis.Y = -axis.Y
+		}
+	}
+	// The diagonal fixes the axis only up to global sign. Short of
+	// exactly π the skew part, however tiny, still points along the true
+	// axis — align with it so the log map stays continuous across the
+	// branch (at exactly π the sign is genuinely a free choice).
+	if skew.Dot(axis) < 0 {
+		axis = axis.Neg()
+	}
+	return axis.Normalize().Scale(angle)
+}
+
 // AxisAngle returns the rotation of angle a (radians) about unit axis u
 // (Rodrigues' formula).
 func AxisAngle(u Vec3, a float64) Mat3 {

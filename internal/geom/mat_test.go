@@ -173,3 +173,66 @@ func TestMat4MatchesTransformCompose(t *testing.T) {
 		}
 	}
 }
+
+func TestExpLogRotationRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Random rotations, including angles all the way up to (near) π where
+	// the log map switches to its diagonal branch.
+	for i := 0; i < 200; i++ {
+		m := randRotation(r)
+		w := LogRotation(m)
+		back := ExpRotation(w)
+		for j := range m {
+			if !approx(m[j], back[j], 1e-8) {
+				t.Fatalf("roundtrip mismatch at %d: angle %.4f\n m=%v\n b=%v", j, w.Norm(), m, back)
+			}
+		}
+	}
+	// Targeted angles: zero, tiny, and within a hair of π about every axis.
+	axes := []Vec3{{X: 1}, {Y: 1}, {Z: 1}, Vec3{X: 1, Y: -2, Z: 0.5}.Normalize()}
+	for _, u := range axes {
+		for _, a := range []float64{0, 1e-9, 1e-4, 1.0, 3.0, math.Pi - 1e-9, math.Pi} {
+			m := AxisAngle(u, a)
+			back := ExpRotation(LogRotation(m))
+			for j := range m {
+				if !approx(m[j], back[j], 1e-6) {
+					t.Fatalf("axis %v angle %v: roundtrip mismatch at %d", u, a, j)
+				}
+			}
+		}
+	}
+	if ExpRotation(Vec3{}) != Identity3() {
+		t.Fatal("Exp(0) != I")
+	}
+}
+
+// TestLogRotationNearPiSign pins the global-sign recovery of the log
+// map's near-π branch: short of exactly π the tiny skew part still
+// carries the axis sign, so the roundtrip must be exact (not just
+// within the loose branch tolerance) and continuous across the branch
+// switch.
+func TestLogRotationNearPiSign(t *testing.T) {
+	axes := []Vec3{
+		Vec3{X: -1, Y: 0.2, Z: 0.1}.Normalize(),
+		Vec3{X: 0.3, Y: -1, Z: -0.4}.Normalize(),
+		Vec3{X: -0.2, Y: -0.3, Z: 1}.Normalize(),
+	}
+	for _, u := range axes {
+		for _, a := range []float64{math.Pi - 5e-7, math.Pi - 2e-6, math.Pi - 1e-5, math.Pi - 9e-5, math.Pi - 2e-4, math.Pi - 1e-8} {
+			m := AxisAngle(u, a)
+			w := LogRotation(m)
+			if w.Dot(u) < 0 {
+				t.Fatalf("axis %v angle %v: log axis flipped: %v", u, a, w)
+			}
+			back := ExpRotation(w)
+			// Both branches keep the roundtrip far below the ~1e-5 error
+			// the sin branch used to produce this close to π; the
+			// diagonal branch's own floor is ~(π−angle)²/4.
+			for j := range m {
+				if !approx(m[j], back[j], 1e-7) {
+					t.Fatalf("axis %v angle %v: roundtrip error %g at %d", u, a, m[j]-back[j], j)
+				}
+			}
+		}
+	}
+}

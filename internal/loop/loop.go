@@ -1,0 +1,397 @@
+// Package loop implements place recognition for the SLAM layer: it
+// decides when the sensor has returned to somewhere it has been before,
+// and verifies the revisit with the full registration pipeline so the
+// pose-graph back-end (internal/posegraph) only ever receives
+// geometrically confirmed constraints.
+//
+// The detector reuses the machinery the previous PRs built instead of
+// growing parallel infrastructure:
+//
+//   - Each prepared frame's descriptors (internal/features, FPFH by
+//     default) are aggregated into one compact frame signature — the
+//     mean descriptor plus a 3-component projection of it.
+//   - The 3D projections are indexed through any registered
+//     search.Backend (the PR 3 registry), so signature retrieval runs on
+//     the same pluggable searcher stack as the pipeline's 3D queries.
+//   - Candidates pass a temporal gate (no matching against the recent
+//     past — consecutive frames always look alike) and are ranked by
+//     full-signature distance.
+//   - Verification registers the two frames with the existing
+//     registration.PrepareFrame / registration.Align path and accepts
+//     the closure only on strong geometric consensus (inlier count and
+//     ratio, ICP convergence, bounded relative motion).
+//
+// Everything is deterministic: signatures are fixed-order reductions,
+// retrieval uses exact backends' parallelism-invariant results, and
+// verification inherits the registration pipeline's bit-identity at any
+// Parallelism.
+package loop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tigris/internal/cloud"
+	"tigris/internal/features"
+	"tigris/internal/geom"
+	"tigris/internal/registration"
+	"tigris/internal/search"
+)
+
+// Config parameterizes a Detector. The zero value selects the
+// documented defaults.
+type Config struct {
+	// Backend is the registry name of the search backend the signature
+	// index is built with ("" = canonical). Any registered backend works;
+	// the index holds one 3D point per observed frame.
+	Backend string
+	// Options is the backend's option bag (see search.Opt* keys).
+	Options search.Options
+	// MinSeparation is the temporal gate: a frame only matches frames at
+	// least this many indices older (default 15).
+	MinSeparation int
+	// MaxCandidates bounds how many gated signature neighbors are
+	// proposed per frame, best signature distance first (default 2).
+	MaxCandidates int
+	// MaxSignatureDist drops candidates whose full-signature L2 distance
+	// exceeds it (0 = no signature gate; verification is the filter).
+	MaxSignatureDist float64
+	// Cooldown suppresses proposals for this many frames after an
+	// accepted closure, so one revisit does not spend a verification on
+	// every frame along it (default MinSeparation/2).
+	Cooldown int
+	// MinInliers is the verification floor on RANSAC-consistent
+	// correspondences (default 12).
+	MinInliers int
+	// MinInlierRatio is the verification floor on inliers/correspondences
+	// (default 0.5).
+	MinInlierRatio float64
+	// MaxRMSE rejects verifications whose final ICP RMSE exceeds it
+	// (default 0.3 m).
+	MaxRMSE float64
+	// TightRMSE accepts a verification on ICP evidence alone when the
+	// final RMSE is at or below it (default MaxRMSE/3): a fit this tight
+	// is a confirmed revisit even when the sparse key-point features
+	// yielded few RANSAC inliers, which happens routinely on low-beam
+	// frames.
+	TightRMSE float64
+	// MaxDeltaTranslation rejects verified transforms that move more than
+	// this many meters (default 10) — a candidate is supposed to be a
+	// near-revisit, so a huge relative motion means the registration
+	// locked onto the wrong structure.
+	MaxDeltaTranslation float64
+}
+
+func (c *Config) defaults() {
+	if c.MinSeparation == 0 {
+		c.MinSeparation = 15
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 2
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = c.MinSeparation / 2
+	}
+	if c.MinInliers == 0 {
+		c.MinInliers = 12
+	}
+	if c.MinInlierRatio == 0 {
+		c.MinInlierRatio = 0.5
+	}
+	if c.MaxRMSE == 0 {
+		c.MaxRMSE = 0.3
+	}
+	if c.TightRMSE == 0 {
+		c.TightRMSE = c.MaxRMSE / 3
+	}
+	if c.MaxDeltaTranslation == 0 {
+		c.MaxDeltaTranslation = 10
+	}
+}
+
+// Candidate is a proposed loop pair awaiting verification: frame From
+// (newer) may be a revisit of frame To (older).
+type Candidate struct {
+	From, To int
+	// SigDist is the full-signature L2 distance that ranked the pair.
+	SigDist float64
+}
+
+// Closure is a verified loop constraint: Delta registers frame From onto
+// frame To, i.e. Pose[From] ≈ Pose[To] ∘ Delta — exactly the shape of a
+// posegraph.Edge{I: To, J: From, Z: Delta}.
+type Closure struct {
+	From, To int
+	Delta    geom.Transform
+	// Inliers / Correspondences / RMSE are the verification evidence.
+	Inliers, Correspondences int
+	RMSE                     float64
+	SigDist                  float64
+}
+
+// Stats counts a detector's work.
+type Stats struct {
+	// Observed frames, proposed candidates, verification attempts, and
+	// accepted closures.
+	Observed, Proposed, Verified, Accepted int64
+}
+
+// signature is one frame's place fingerprint.
+type signature struct {
+	index int
+	// mean is the frame's mean descriptor (len = descriptor dim).
+	mean []float64
+	// key is the 3D projection indexed by the search backend.
+	key geom.Vec3
+}
+
+// Detector accumulates frame signatures and proposes/verifies loop
+// candidates. Methods are safe for concurrent use (a pipelined streaming
+// engine observes from its alignment stage while a separate worker
+// verifies).
+type Detector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	sigs   []signature
+	clouds map[int]*cloud.Cloud
+	// searcher indexes sigs[i].key positionally; rebuilt lazily when
+	// frames were added since the last proposal.
+	searcher search.Searcher
+	indexed  int
+	lastHit  int // index of the last frame that produced an accepted closure
+	stats    Stats
+}
+
+// Validate reports whether the configured signature backend exists and
+// accepts the options, without constructing a detector — the boundary
+// check (HTTP session creation, CLI flags) mirroring
+// registration.SearcherConfig.Validate.
+func (c Config) Validate() error {
+	if _, err := search.NewByName(backendName(c), nil, c.Options); err != nil {
+		return fmt.Errorf("loop: %w", err)
+	}
+	return nil
+}
+
+// NewDetector validates the backend selection and returns an empty
+// detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	cfg.defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, clouds: make(map[int]*cloud.Cloud), lastHit: -1 << 30}, nil
+}
+
+func backendName(cfg Config) string {
+	if cfg.Backend == "" {
+		return search.BackendCanonical
+	}
+	return cfg.Backend
+}
+
+// Signature aggregates a descriptor matrix into the frame's fingerprint:
+// the mean descriptor row (a fixed-order reduction, so the result is
+// independent of any parallelism) and its 3D projection — the centroids
+// of the vector's three equal bands, which for FPFH are the three
+// Darboux-angle histograms. Exposed for tests and tooling.
+func Signature(d *features.Descriptors) (mean []float64, key geom.Vec3) {
+	if d == nil || d.Dim == 0 || d.Count() == 0 {
+		return nil, geom.Vec3{}
+	}
+	dim := d.Dim
+	mean = make([]float64, dim)
+	for i := 0; i < d.Count(); i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	inv := 1 / float64(d.Count())
+	for j := range mean {
+		mean[j] *= inv
+	}
+	third := dim / 3
+	if third == 0 {
+		third = 1
+	}
+	centroid := func(lo, hi int) float64 {
+		if hi > dim {
+			hi = dim
+		}
+		var mass, moment float64
+		for j := lo; j < hi; j++ {
+			mass += mean[j]
+			moment += mean[j] * float64(j-lo)
+		}
+		if mass <= 0 {
+			return 0
+		}
+		return moment / mass
+	}
+	key = geom.Vec3{
+		X: centroid(0, third),
+		Y: centroid(third, 2*third),
+		Z: centroid(2*third, dim),
+	}
+	return mean, key
+}
+
+// Observe ingests frame index's front-end products: it computes the
+// frame's signature from desc, retains c for later verification, and
+// returns the loop candidates the signature index proposes (subject to
+// the temporal gate, the signature gate, and the cooldown). desc is read
+// synchronously and not retained, so callers may release the prepared
+// frame afterwards; the detector takes ownership of c, which must not
+// be mutated afterwards (pass a clone if the pipeline keeps writing to
+// it). Frames must be observed in increasing index order.
+func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Cloud) []Candidate {
+	mean, key := Signature(desc)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Observed++
+
+	var cands []Candidate
+	gate := index - d.cfg.MinSeparation
+	if mean != nil && index-d.lastHit > d.cfg.Cooldown {
+		// The gated prefix of past signatures is eligible. Rebuild the
+		// index only when it grew (one tiny build per frame at most; the
+		// index holds one point per frame).
+		n := 0
+		for n < len(d.sigs) && d.sigs[n].index <= gate {
+			n++
+		}
+		if n > 0 {
+			if d.searcher == nil || d.indexed != n {
+				pts := make([]geom.Vec3, n)
+				for i := 0; i < n; i++ {
+					pts[i] = d.sigs[i].key
+				}
+				s, err := search.NewByName(backendName(d.cfg), pts, d.cfg.Options)
+				if err != nil {
+					// Validated at construction; an error here means the
+					// options stopped being valid mid-session.
+					panic(fmt.Sprintf("loop: %v", err))
+				}
+				d.searcher = s
+				d.indexed = n
+			}
+			for _, nb := range d.searcher.KNearest(key, d.cfg.MaxCandidates) {
+				if nb.Index < 0 || nb.Index >= n {
+					continue
+				}
+				sig := &d.sigs[nb.Index]
+				dist := l2dist(mean, sig.mean)
+				if d.cfg.MaxSignatureDist > 0 && dist > d.cfg.MaxSignatureDist {
+					continue
+				}
+				cands = append(cands, Candidate{From: index, To: sig.index, SigDist: dist})
+			}
+			// Most promising first: the 3D key ranked the retrieval, the
+			// full-signature distance ranks the verification order (callers
+			// typically stop at the first accepted closure).
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].SigDist != cands[b].SigDist {
+					return cands[a].SigDist < cands[b].SigDist
+				}
+				return cands[a].To < cands[b].To
+			})
+			d.stats.Proposed += int64(len(cands))
+		}
+	}
+
+	if mean != nil {
+		d.sigs = append(d.sigs, signature{index: index, mean: mean, key: key})
+		// Retain the cloud only for frames that entered the signature
+		// index: a signature-less frame (no descriptors) can never be
+		// proposed as either side of a closure, so keeping its points
+		// would only leak one cloud per degenerate frame.
+		if c != nil {
+			d.clouds[index] = c
+		}
+	}
+	return cands
+}
+
+// Verify registers the candidate pair through the full
+// PrepareFrame/Align path (on private clones, so retained clouds are
+// never mutated concurrently) and accepts the closure only on strong
+// geometric consensus. cfg is the registration configuration to verify
+// with — callers typically pass their pipeline config, possibly pinned
+// to a worker share; exact backends make the outcome identical at any
+// Parallelism.
+func (d *Detector) Verify(cand Candidate, cfg registration.PipelineConfig) (Closure, bool) {
+	d.mu.Lock()
+	from, okFrom := d.clouds[cand.From]
+	to, okTo := d.clouds[cand.To]
+	if okFrom && okTo {
+		d.stats.Verified++
+	}
+	d.mu.Unlock()
+	if !okFrom || !okTo {
+		return Closure{}, false
+	}
+
+	pf := registration.PrepareFrame(from.Clone(), cfg)
+	pt := registration.PrepareFrame(to.Clone(), cfg)
+	res := registration.Align(pf, pt, cfg)
+	pf.Release()
+	pt.Release()
+
+	cl := Closure{
+		From:            cand.From,
+		To:              cand.To,
+		Delta:           res.Transform,
+		Inliers:         res.Inliers,
+		Correspondences: res.Correspondences,
+		RMSE:            res.ICP.FinalRMSE,
+		SigDist:         cand.SigDist,
+	}
+	if !res.ICP.Converged || res.ICP.FinalRMSE > d.cfg.MaxRMSE {
+		return cl, false
+	}
+	if res.Transform.TranslationNorm() > d.cfg.MaxDeltaTranslation {
+		return cl, false
+	}
+	// Geometric consensus: either the feature stage agrees broadly, or
+	// the fine-tuning fit is tight enough to stand on its own.
+	featureOK := res.Correspondences > 0 &&
+		res.Inliers >= d.cfg.MinInliers &&
+		float64(res.Inliers) >= d.cfg.MinInlierRatio*float64(res.Correspondences)
+	if !featureOK && res.ICP.FinalRMSE > d.cfg.TightRMSE {
+		return cl, false
+	}
+	d.mu.Lock()
+	if cand.From > d.lastHit {
+		d.lastHit = cand.From
+	}
+	d.stats.Accepted++
+	d.mu.Unlock()
+	return cl, true
+}
+
+// Stats snapshots the work counters.
+func (d *Detector) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Frames reports how many frames have been observed.
+func (d *Detector) Frames() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sigs)
+}
+
+func l2dist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -130,3 +130,39 @@ func TestNewSearcherPanicsOnBadConfig(t *testing.T) {
 	}()
 	newSearcher(nil, SearcherConfig{Backend: "no-such"})
 }
+
+// TestTraceStageAttribution: a traced Register run must label every
+// recorded batch with the pipeline stage that issued it, and the
+// co-sim's stage weighting must see those labels (the Fig. 6 breakdown).
+func TestTraceStageAttribution(t *testing.T) {
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 48))
+	log := &search.TraceLog{}
+	cfg := pipelineTestConfig()
+	cfg.Searcher = SearcherConfig{
+		Backend: search.BackendTrace,
+		Options: search.Options{search.OptTraceSink: log, search.OptTraceInner: search.BackendCanonical},
+	}
+	Register(seq.Frames[1].Clone(), seq.Frames[0].Clone(), cfg)
+
+	counts := map[string]int64{}
+	for _, b := range log.Batches() {
+		counts[b.Stage] += int64(len(b.Queries))
+	}
+	for _, stage := range []string{search.StageNormals, search.StageKeypoints, search.StageDescriptors, search.StageRPCE} {
+		if counts[stage] == 0 {
+			t.Errorf("no queries attributed to stage %q (got %v)", stage, counts)
+		}
+	}
+	if counts[""] != 0 {
+		t.Errorf("%d queries left unattributed", counts[""])
+	}
+	// RPCE must be NN-shaped, normals radius-shaped.
+	for _, b := range log.Batches() {
+		if b.Stage == search.StageRPCE && b.Kind != search.TraceNearest {
+			t.Errorf("RPCE batch recorded as %v", b.Kind)
+		}
+		if b.Stage == search.StageNormals && b.Kind != search.TraceRadius {
+			t.Errorf("normal-estimation batch recorded as %v", b.Kind)
+		}
+	}
+}

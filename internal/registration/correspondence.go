@@ -161,6 +161,12 @@ func kpceMatch(src, dst *features.Descriptors, cfg KPCEConfig) ([]Correspondence
 		}
 		out = append(out, Correspondence{Source: i, Target: m.Row, Dist2: m.Dist2})
 	}
+	// Both match batches are fully consumed; their slabs go back to the
+	// feature-tree pool for the next pair.
+	features.RecycleMatches(matches)
+	if backs != nil {
+		features.RecycleMatches(backs)
+	}
 	return out, dstTree, srcTree
 }
 

@@ -75,18 +75,23 @@ func PrepareFrame(c *cloud.Cloud, cfg PipelineConfig) *PreparedFrame {
 	f.Builds++
 
 	// Normal estimation, optionally with shell error injection (§4.2).
+	// Each stage tags the searcher first so a trace backend attributes
+	// its batches per stage (Fig. 6-style weighting in the co-sim).
 	ne := f.FESearch
 	if cfg.Inject.NEShell != nil {
 		ne = &search.ShellSearcher{Inner: f.FESearch, R1: cfg.Inject.NEShell[0], R2: cfg.Inject.NEShell[1]}
 	}
+	search.TagStage(ne, search.StageNormals)
 	t0 := time.Now()
 	features.EstimateNormals(f.FE, ne, cfg.Normal)
 	f.NormalTime = time.Since(t0)
 
+	search.TagStage(f.FESearch, search.StageKeypoints)
 	t0 = time.Now()
 	f.Keypoints = features.DetectKeypoints(f.FE, f.FESearch, cfg.Keypoint)
 	f.KeypointTime = time.Since(t0)
 
+	search.TagStage(f.FESearch, search.StageDescriptors)
 	t0 = time.Now()
 	f.Desc = features.ComputeDescriptors(f.FE, f.FESearch, f.Keypoints, cfg.Descriptor)
 	f.DescriptorTime = time.Since(t0)
@@ -111,6 +116,7 @@ func (f *PreparedFrame) FineTarget(cfg PipelineConfig) (search.Searcher, *cloud.
 		f.Builds++
 	}
 	if cfg.ICP.Metric == PointToPlane && !f.fineNormalsDone {
+		search.TagStage(f.fineSearch, search.StageNormals)
 		features.EstimateNormals(f.Raw, f.fineSearch, cfg.Normal)
 		f.fineNormalsDone = true
 	}
@@ -224,6 +230,7 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	// too. Exact backends are parallelism-invariant, so this never
 	// changes results.
 	icpTarget.SetParallelism(cfg.Searcher.EffectiveParallelism())
+	search.TagStage(icpTarget, search.StageRPCE)
 	var rpceSearch search.Searcher = icpTarget
 	if cfg.Inject.RPCEKthNN > 1 {
 		rpceSearch = &search.KthNNSearcher{Inner: icpTarget, K: cfg.Inject.RPCEKthNN}

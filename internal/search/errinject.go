@@ -80,6 +80,9 @@ func (s *KthNNSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighb
 	return s.Inner.RadiusBatch(qs, r)
 }
 
+// SetStage forwards stage attribution to the wrapped searcher.
+func (s *KthNNSearcher) SetStage(stage string) { TagStage(s.Inner, stage) }
+
 // SetParallelism implements Searcher by delegation.
 func (s *KthNNSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
 
@@ -151,6 +154,9 @@ func (s *ShellSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 func (s *ShellSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
 	return s.Inner.KNearestBatch(qs, k)
 }
+
+// SetStage forwards stage attribution to the wrapped searcher.
+func (s *ShellSearcher) SetStage(stage string) { TagStage(s.Inner, stage) }
 
 // SetParallelism implements Searcher by delegation.
 func (s *ShellSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }

@@ -39,17 +39,47 @@ func (k TraceKind) String() string {
 	}
 }
 
+// Pipeline stage labels for trace attribution. Each registration stage
+// tags the searcher (TagStage) before issuing its batches, so a capture
+// can be weighted per stage the way the paper's Fig. 6 breaks search
+// time down — not just per query kind.
+const (
+	StageNormals     = "normal_estimation"
+	StageKeypoints   = "keypoint_detection"
+	StageDescriptors = "descriptor_calculation"
+	StageRPCE        = "rpce"
+)
+
 // TraceBatch is one recorded stage batch: the query points (a private
 // copy) plus the per-kind parameters. A batch of one records a
 // single-query call.
 type TraceBatch struct {
 	Kind TraceKind
+	// Stage is the pipeline stage that issued the batch (one of the
+	// Stage* labels; empty when the caller never tagged the searcher).
+	Stage string
 	// K is the neighbor count of a TraceKNearest batch.
 	K int
 	// Radius is the search radius of a TraceRadius batch.
 	Radius float64
 	// Queries are the batch's query points, in issue order.
 	Queries []geom.Vec3
+}
+
+// StageTagger is implemented by searchers that attribute subsequent
+// queries to a pipeline stage. Decorators forward the tag to their inner
+// searcher; use TagStage to tag any Searcher without a type assertion.
+type StageTagger interface {
+	SetStage(stage string)
+}
+
+// TagStage labels the pipeline stage about to issue queries through s.
+// A no-op for searchers that do not record stages, so every stage can
+// tag unconditionally.
+func TagStage(s Searcher, stage string) {
+	if t, ok := s.(StageTagger); ok {
+		t.SetStage(stage)
+	}
 }
 
 // TraceLog accumulates recorded batches. It is safe for concurrent use:
@@ -114,7 +144,7 @@ func (l *TraceLog) evictOldestLocked(kind TraceKind) {
 
 // add records a batch, copying the queries (callers own and may reuse the
 // input slice). Empty batches are dropped.
-func (l *TraceLog) add(kind TraceKind, k int, radius float64, qs []geom.Vec3) {
+func (l *TraceLog) add(kind TraceKind, stage string, k int, radius float64, qs []geom.Vec3) {
 	if len(qs) == 0 {
 		return
 	}
@@ -124,7 +154,7 @@ func (l *TraceLog) add(kind TraceKind, k int, radius float64, qs []geom.Vec3) {
 	if l.maxPerKind > 0 && l.kindCounts[kind] >= l.maxPerKind {
 		l.evictOldestLocked(kind)
 	}
-	l.batches = append(l.batches, TraceBatch{Kind: kind, K: k, Radius: radius, Queries: cp})
+	l.batches = append(l.batches, TraceBatch{Kind: kind, Stage: stage, K: k, Radius: radius, Queries: cp})
 	l.kindCounts[kind]++
 	l.mu.Unlock()
 }
@@ -167,32 +197,41 @@ func (l *TraceLog) Reset() {
 // TraceSearcher decorates Inner, recording every query into Log before
 // delegating. Construct it directly or via the "trace" registry backend
 // (options: "inner" backend name, "sink" *TraceLog, rest forwarded).
+// The pipeline stages label their traffic through SetStage (see
+// TagStage); like the rest of the Searcher surface, the stage tag is not
+// synchronized — distinct searcher instances record concurrently, one
+// instance must be driven sequentially.
 type TraceSearcher struct {
 	Inner Searcher
 	Log   *TraceLog
+	stage string
 }
+
+// SetStage implements StageTagger: subsequent batches are attributed to
+// the given pipeline stage.
+func (s *TraceSearcher) SetStage(stage string) { s.stage = stage }
 
 // Nearest implements Searcher, recording a batch of one.
 func (s *TraceSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
-	s.Log.add(TraceNearest, 0, 0, []geom.Vec3{q})
+	s.Log.add(TraceNearest, s.stage, 0, 0, []geom.Vec3{q})
 	return s.Inner.Nearest(q)
 }
 
 // KNearest implements Searcher, recording a batch of one.
 func (s *TraceSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
-	s.Log.add(TraceKNearest, k, 0, []geom.Vec3{q})
+	s.Log.add(TraceKNearest, s.stage, k, 0, []geom.Vec3{q})
 	return s.Inner.KNearest(q, k)
 }
 
 // Radius implements Searcher, recording a batch of one.
 func (s *TraceSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
-	s.Log.add(TraceRadius, 0, r, []geom.Vec3{q})
+	s.Log.add(TraceRadius, s.stage, 0, r, []geom.Vec3{q})
 	return s.Inner.Radius(q, r)
 }
 
 // NearestBatch implements Searcher, recording the whole stage batch.
 func (s *TraceSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
-	s.Log.add(TraceNearest, 0, 0, qs)
+	s.Log.add(TraceNearest, s.stage, 0, 0, qs)
 	return s.Inner.NearestBatch(qs)
 }
 
@@ -200,19 +239,19 @@ func (s *TraceSearcher) NearestBatch(qs []geom.Vec3) []kdtree.Neighbor {
 // (see BatchNearestInto), so tracing keeps the hot loop's zero-allocation
 // behavior when the inner backend supports it.
 func (s *TraceSearcher) NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) []kdtree.Neighbor {
-	s.Log.add(TraceNearest, 0, 0, qs)
+	s.Log.add(TraceNearest, s.stage, 0, 0, qs)
 	return BatchNearestInto(s.Inner, qs, buf)
 }
 
 // KNearestBatch implements Searcher, recording the whole stage batch.
 func (s *TraceSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor {
-	s.Log.add(TraceKNearest, k, 0, qs)
+	s.Log.add(TraceKNearest, s.stage, k, 0, qs)
 	return s.Inner.KNearestBatch(qs, k)
 }
 
 // RadiusBatch implements Searcher, recording the whole stage batch.
 func (s *TraceSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighbor {
-	s.Log.add(TraceRadius, 0, r, qs)
+	s.Log.add(TraceRadius, s.stage, 0, r, qs)
 	return s.Inner.RadiusBatch(qs, r)
 }
 

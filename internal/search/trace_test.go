@@ -81,10 +81,10 @@ func TestTraceLogRotation(t *testing.T) {
 	log.SetMaxBatchesPerKind(2)
 	q := func(x float64) []geom.Vec3 { return []geom.Vec3{{X: x}} }
 
-	log.add(TraceNearest, 0, 0, q(1))
-	log.add(TraceNearest, 0, 0, q(2))
-	log.add(TraceRadius, 0, 0.5, q(10))
-	log.add(TraceNearest, 0, 0, q(3)) // evicts the x=1 nearest batch
+	log.add(TraceNearest, "", 0, 0, q(1))
+	log.add(TraceNearest, "", 0, 0, q(2))
+	log.add(TraceRadius, "", 0, 0.5, q(10))
+	log.add(TraceNearest, "", 0, 0, q(3)) // evicts the x=1 nearest batch
 
 	batches := log.Batches()
 	if len(batches) != 3 {
@@ -114,7 +114,7 @@ func TestTraceLogRotation(t *testing.T) {
 
 	// Reset clears retention state but keeps the cumulative drop count.
 	log.Reset()
-	log.add(TraceNearest, 0, 0, q(4))
+	log.add(TraceNearest, "", 0, 0, q(4))
 	if log.Len() != 1 || log.Dropped() != 2 {
 		t.Fatalf("after reset: len %d dropped %d", log.Len(), log.Dropped())
 	}

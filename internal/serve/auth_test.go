@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tigris/internal/cloud"
+	"tigris/internal/synth"
+)
+
+// TestAuthTokenGuardsV1 covers the bearer-token check: without (or with
+// a wrong) token every /v1/* endpoint is a 401, with the token the
+// session lifecycle works, and /healthz stays open for probes.
+func TestAuthTokenGuardsV1(t *testing.T) {
+	const token = "sesame-1"
+	srv := New(Config{Parallelism: 1, AuthToken: token})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health needs no credentials.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz without token: %d", resp.StatusCode)
+	}
+
+	// /v1/* without a token, with a malformed header, and with the wrong
+	// token must all be 401.
+	for _, auth := range []string{"", "Basic abc", "Bearer wrong"} {
+		for _, ep := range []string{"/v1/backends", "/v1/sessions/s1/trajectory"} {
+			req, _ := http.NewRequest(http.MethodGet, ts.URL+ep, nil)
+			if auth != "" {
+				req.Header.Set("Authorization", auth)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Fatalf("GET %s with auth %q: %d, want 401", ep, auth, resp.StatusCode)
+			}
+			if resp.Header.Get("WWW-Authenticate") == "" {
+				t.Error("401 without a WWW-Authenticate challenge")
+			}
+		}
+	}
+
+	// With the token the full lifecycle works.
+	do := func(method, path string, body []byte) (*http.Response, error) {
+		req, _ := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+token)
+		return client.Do(req)
+	}
+	resp, err = do(http.MethodPost, "/v1/sessions", []byte(`{"parallelism":1,"pipelined":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("authorized create: %d %+v", resp.StatusCode, created)
+	}
+
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(1, 9))
+	var buf bytes.Buffer
+	if err := cloud.Write(&buf, seq.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = do(http.MethodPost, fmt.Sprintf("/v1/sessions/%s/frames?wait=1", created.ID), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("authorized push: %d", resp.StatusCode)
+	}
+	resp, err = do(http.MethodDelete, "/v1/sessions/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized delete: %d", resp.StatusCode)
+	}
+}
+
+// TestNoAuthTokenKeepsOpenAccess: the zero config preserves the
+// pre-auth behavior.
+func TestNoAuthTokenKeepsOpenAccess(t *testing.T) {
+	srv := New(Config{Parallelism: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open-access backends: %d", resp.StatusCode)
+	}
+}

@@ -12,12 +12,20 @@
 //	POST   /v1/sessions                    create a session (JSON config)
 //	POST   /v1/sessions/{id}/frames        push one TIGRIS-CLOUD frame
 //	GET    /v1/sessions/{id}/trajectory    accumulated trajectory (JSON)
+//	GET    /v1/sessions/{id}/loops         verified loop closures (JSON)
 //	GET    /v1/sessions/{id}/stats         session work counters (JSON)
 //	DELETE /v1/sessions/{id}               close and remove the session
 //
 // Frame pushes return the assigned frame index immediately (the engine
 // pipelines the heavy work); `?wait=1` on a push or trajectory request
-// blocks until every pushed frame is committed.
+// blocks until every pushed frame is committed. Sessions created with
+// `"loop": {"enabled": true}` run the SLAM layer: the streaming engine's
+// loop-closure stage verifies place-recognition candidates, and
+// `?optimized=1` on the trajectory request returns the pose-graph
+// optimized trajectory alongside the raw odometry.
+//
+// With Config.AuthToken set, every /v1/* endpoint requires
+// `Authorization: Bearer <token>`; /healthz stays open for probes.
 //
 // Sessions hold prepared-frame state and a pair of pipeline goroutines
 // for their whole life, so a real deployment must bound abandoned ones:
@@ -26,17 +34,21 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/dse"
 	"tigris/internal/geom"
+	"tigris/internal/loop"
 	"tigris/internal/par"
+	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 	"tigris/internal/stream"
@@ -45,6 +57,13 @@ import (
 // maxFrameBytes bounds one uploaded frame (ASCII clouds run ~60 bytes
 // per point, so this admits multi-million-point frames).
 const maxFrameBytes = 256 << 20
+
+// maxOptimizeFrames bounds the trajectory length ?optimized=1 will
+// solve: the pose-graph solver is dense (O(N³) time, O(N²) memory — at
+// 1000 frames the normal equations are ~290 MB), so longer sessions are
+// refused instead of letting one request stall the limiter for minutes.
+// A sparse solver is the lift that removes this cap (see ROADMAP).
+const maxOptimizeFrames = 1000
 
 // Config parameterizes the server.
 type Config struct {
@@ -62,6 +81,11 @@ type Config struct {
 	// long (0 disables eviction). Sessions still processing queued
 	// frames are never evicted, however long ago their last request was.
 	SessionTTL time.Duration
+	// AuthToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every /v1/* endpoint (the minimal deployment guard the ROADMAP's
+	// "serve lacks auth" follow-up asks for). /healthz stays open so
+	// liveness probes need no credentials.
+	AuthToken string
 }
 
 // session pairs an engine with its idle-eviction bookkeeping. lastUsed is
@@ -104,6 +128,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.withSession(s.handlePush))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trajectory", s.withSession(s.handleTrajectory))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/loops", s.withSession(s.handleLoops))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	if cfg.SessionTTL > 0 {
@@ -113,8 +138,19 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, enforcing bearer-token auth on the
+// /v1/* surface when Config.AuthToken is set.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AuthToken != "" && strings.HasPrefix(r.URL.Path, "/v1/") {
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.cfg.AuthToken)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="tigris"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Close stops the janitor and shuts every session down (used by tests and
 // graceful shutdown).
@@ -206,6 +242,52 @@ type sessionRequest struct {
 	// VoxelLeaf overrides the front-end downsampling leaf (< 0 disables
 	// downsampling; 0 keeps the design point's value).
 	VoxelLeaf *float64 `json:"voxel_leaf"`
+	// Loop enables and tunes the SLAM layer's loop-closure stage.
+	Loop *loopRequest `json:"loop"`
+}
+
+// loopRequest is the JSON shape of the session's loop-closure options.
+// Zero fields select the internal/loop defaults. Note that an enabled
+// loop stage retains every pushed frame's cloud for verification, so
+// session memory grows with stream length.
+type loopRequest struct {
+	Enabled bool `json:"enabled"`
+	// Backend names the signature-index search backend ("" = canonical).
+	Backend string `json:"backend"`
+	// MinSeparation is the temporal gate in frames.
+	MinSeparation int `json:"min_separation"`
+	// MaxCandidates bounds proposals per frame.
+	MaxCandidates int `json:"max_candidates"`
+	// Cooldown suppresses proposals after an accepted closure.
+	Cooldown int `json:"cooldown"`
+	// EdgeWeight scales loop edges against odometry edges in the
+	// optimized pose graph.
+	EdgeWeight float64 `json:"edge_weight"`
+}
+
+// loopConfig resolves the request to the engine's loop configuration,
+// validating the backend selection at the boundary (stream.New panics on
+// invalid loop configs by contract).
+func (lr *loopRequest) loopConfig() (*loop.Config, float64, error) {
+	if lr == nil || !lr.Enabled {
+		return nil, 0, nil
+	}
+	// The detector's defaults only replace zero values, so negative
+	// knobs would disable the temporal gate/cooldown outright (every
+	// frame verified against its predecessor); reject them here.
+	if lr.MinSeparation < 0 || lr.MaxCandidates < 0 || lr.Cooldown < 0 || lr.EdgeWeight < 0 {
+		return nil, 0, fmt.Errorf("loop options must be non-negative")
+	}
+	cfg := &loop.Config{
+		Backend:       lr.Backend,
+		MinSeparation: lr.MinSeparation,
+		MaxCandidates: lr.MaxCandidates,
+		Cooldown:      lr.Cooldown,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return cfg, lr.EdgeWeight, nil
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +304,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pipelined := req.Pipelined == nil || *req.Pipelined
-	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Limiter: s.limiter})
+	loopCfg, loopWeight, err := req.Loop.loopConfig()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "loop config: %v", err)
+		return
+	}
+	eng := stream.New(stream.Config{
+		Pipeline:       cfg,
+		Pipelined:      pipelined,
+		Limiter:        s.limiter,
+		Loop:           loopCfg,
+		LoopEdgeWeight: loopWeight,
+	})
 
 	s.mu.Lock()
 	s.nextID++
@@ -234,6 +327,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		"id":        id,
 		"pipelined": pipelined,
 		"backend":   cfg.Searcher.BackendName(),
+		"loop":      loopCfg != nil,
 	})
 }
 
@@ -351,7 +445,81 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request, eng *s
 	if wantWait(r) {
 		eng.Drain()
 	}
-	writeJSON(w, http.StatusOK, trajectoryResponse(eng.Trajectory()))
+	traj := eng.Trajectory()
+	resp := trajectoryResponse(traj)
+	if optimized, _ := strconv.ParseBool(r.URL.Query().Get("optimized")); optimized {
+		if traj.Len() > maxOptimizeFrames {
+			httpError(w, http.StatusUnprocessableEntity,
+				"session has %d frames; the dense pose-graph solver is capped at %d", traj.Len(), maxOptimizeFrames)
+			return
+		}
+		// Pose-graph optimization over the session's odometry chain plus
+		// its verified loop edges. Cheap for the no-closure case (the
+		// graph is consistent); callers wanting every queued frame
+		// reflected combine with ?wait=1. The solve is a heavy stage like
+		// any other — it runs under the shared limiter with the server's
+		// parallelism so -max-concurrent and -parallel govern it too.
+		s.limiter.Acquire()
+		poses, res, err := eng.OptimizedPoses(posegraph.Options{Parallelism: par.Workers(s.cfg.Parallelism)})
+		s.limiter.Release()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "optimize: %v", err)
+			return
+		}
+		opt := make([]wireTransform, len(poses))
+		for i, p := range poses {
+			opt[i] = wireTransformOf(p)
+		}
+		resp["optimized"] = opt
+		resp["optimization"] = map[string]any{
+			"initial_cost": res.InitialCost,
+			"final_cost":   res.FinalCost,
+			"iterations":   res.Iterations,
+			"converged":    res.Converged,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wireClosure is one verified loop closure in the loops response.
+type wireClosure struct {
+	From            int           `json:"from"`
+	To              int           `json:"to"`
+	Delta           wireTransform `json:"delta"`
+	Inliers         int           `json:"inliers"`
+	Correspondences int           `json:"correspondences"`
+	RMSE            float64       `json:"rmse"`
+	SignatureDist   float64       `json:"signature_dist"`
+}
+
+func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+	if wantWait(r) {
+		eng.Drain()
+	}
+	closures := eng.Closures()
+	out := make([]wireClosure, len(closures))
+	for i, cl := range closures {
+		out[i] = wireClosure{
+			From:            cl.From,
+			To:              cl.To,
+			Delta:           wireTransformOf(cl.Delta),
+			Inliers:         cl.Inliers,
+			Correspondences: cl.Correspondences,
+			RMSE:            cl.RMSE,
+			SignatureDist:   cl.SigDist,
+		}
+	}
+	st := eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"closures": out,
+		"stats": map[string]any{
+			"observed": st.Loop.Observed,
+			"proposed": st.Loop.Proposed,
+			"verified": st.Loop.Verified,
+			"accepted": st.Loop.Accepted,
+			"loop_ms":  float64(st.LoopTime.Microseconds()) / 1e3,
+		},
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
@@ -366,6 +534,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream
 		"nodes_visited":     st.Search.NodesVisited,
 		"search_ms":         float64(st.Search.SearchTime.Microseconds()) / 1e3,
 		"build_ms":          float64(st.Search.BuildTime.Microseconds()) / 1e3,
+		"loops_proposed":    st.Loop.Proposed,
+		"loops_verified":    st.Loop.Verified,
+		"loops_accepted":    st.Loop.Accepted,
+		"loop_ms":           float64(st.LoopTime.Microseconds()) / 1e3,
 	})
 }
 

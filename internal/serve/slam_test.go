@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tigris/internal/synth"
+)
+
+// TestLoopSessionSurface drives a loop-enabled session over HTTP: the
+// loops endpoint must report the stage's counters, the trajectory
+// endpoint must serve an optimized trajectory, and an invalid loop
+// backend must 400 at session creation (not panic the engine).
+func TestLoopSessionSurface(t *testing.T) {
+	srv := New(Config{Parallelism: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Invalid loop backend: a clean 400.
+	var errResp map[string]any
+	if code := postJSON(t, client, ts.URL+"/v1/sessions",
+		map[string]any{"loop": map[string]any{"enabled": true, "backend": "no-such"}}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("invalid loop backend: status %d (%v)", code, errResp)
+	}
+	// Negative knobs would disable the temporal gate outright: also 400.
+	if code := postJSON(t, client, ts.URL+"/v1/sessions",
+		map[string]any{"loop": map[string]any{"enabled": true, "min_separation": -5}}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("negative loop option: status %d (%v)", code, errResp)
+	}
+
+	var created struct {
+		ID   string `json:"id"`
+		Loop bool   `json:"loop"`
+	}
+	if code := postJSON(t, client, ts.URL+"/v1/sessions", map[string]any{
+		"parallelism": 1,
+		"pipelined":   false,
+		"loop":        map[string]any{"enabled": true, "min_separation": 2, "max_candidates": 1},
+	}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if !created.Loop {
+		t.Fatal("loop-enabled session reported loop=false")
+	}
+
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(4, 11))
+	for _, f := range seq.Frames {
+		pushFrame(t, client, ts.URL, created.ID, f, true)
+	}
+
+	// Loops endpoint: counters present, observed == frames.
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sessions/%s/loops?wait=1", ts.URL, created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loops struct {
+		Closures []map[string]any `json:"closures"`
+		Stats    struct {
+			Observed int64 `json:"observed"`
+			Proposed int64 `json:"proposed"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&loops); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if loops.Stats.Observed != int64(seq.Len()) {
+		t.Fatalf("loop stage observed %d of %d frames", loops.Stats.Observed, seq.Len())
+	}
+
+	// Optimized trajectory: present, one pose per frame, with solver
+	// stats.
+	resp, err = client.Get(fmt.Sprintf("%s/v1/sessions/%s/trajectory?wait=1&optimized=1", ts.URL, created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Frames       int              `json:"frames"`
+		Optimized    []map[string]any `json:"optimized"`
+		Optimization struct {
+			Converged bool `json:"converged"`
+		} `json:"optimization"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traj); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if traj.Frames != seq.Len() || len(traj.Optimized) != seq.Len() {
+		t.Fatalf("optimized trajectory has %d poses for %d frames", len(traj.Optimized), traj.Frames)
+	}
+	if !traj.Optimization.Converged {
+		t.Fatal("optimization did not converge on a consistent graph")
+	}
+
+	// Stats endpoint carries the loop counters too.
+	resp, err = client.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", ts.URL, created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, k := range []string{"loops_proposed", "loops_verified", "loops_accepted", "loop_ms"} {
+		if _, ok := stats[k]; !ok {
+			t.Errorf("stats missing %q", k)
+		}
+	}
+}

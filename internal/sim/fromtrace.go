@@ -20,10 +20,21 @@ func WorkloadsFromTrace(batches []search.TraceBatch) []Workload {
 	for _, b := range batches {
 		switch b.Kind {
 		case search.TraceNearest:
-			out = append(out, Workload{Kind: NNSearch, Queries: b.Queries})
+			out = append(out, Workload{Kind: NNSearch, Queries: b.Queries, Stage: b.Stage})
 		case search.TraceRadius:
-			out = append(out, Workload{Kind: RadiusSearch, Queries: b.Queries, Radius: b.Radius})
+			out = append(out, Workload{Kind: RadiusSearch, Queries: b.Queries, Radius: b.Radius, Stage: b.Stage})
 		}
+	}
+	return out
+}
+
+// StageQueryCounts sums a capture's queries per pipeline stage — the
+// Fig. 6-style weights a co-sim run scales its per-stage results with.
+// Batches the pipeline never tagged fall under the "" key.
+func StageQueryCounts(batches []search.TraceBatch) map[string]int64 {
+	out := make(map[string]int64)
+	for _, b := range batches {
+		out[b.Stage] += int64(len(b.Queries))
 	}
 	return out
 }

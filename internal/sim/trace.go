@@ -33,6 +33,11 @@ type Workload struct {
 	Kind    SearchKind
 	Queries []geom.Vec3
 	Radius  float64 // used by RadiusSearch
+	// Stage labels the pipeline stage that issued the batch when the
+	// workload came from a trace capture (one of the search.Stage*
+	// labels; empty for synthesized workloads). It lets co-sim runs
+	// weight per-stage contributions the way Fig. 6 does.
+	Stage string
 }
 
 // segment is one FE burst optionally followed by one BE leaf visit. A

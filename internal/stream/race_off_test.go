@@ -1,0 +1,9 @@
+//go:build !race
+
+package stream
+
+// raceEnabled reports whether the race detector is active: the
+// full-pipeline SLAM test runs dozens of registrations and would take
+// minutes under the detector's slowdown, so it skips itself; a smaller
+// dedicated test exercises the loop stage's concurrency under -race.
+const raceEnabled = false

@@ -28,12 +28,15 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
+	"tigris/internal/loop"
 	"tigris/internal/par"
+	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 )
@@ -65,6 +68,15 @@ func (l Limiter) release() {
 	}
 }
 
+// Acquire blocks until the limiter admits another heavy stage (a no-op
+// for a nil limiter). Exported so the serving layer can gate its own
+// heavy work — pose-graph optimization — under the same budget as the
+// pipeline stages.
+func (l Limiter) Acquire() { l.acquire() }
+
+// Release returns a slot taken by Acquire (no-op for a nil limiter).
+func (l Limiter) Release() { l.release() }
+
 // Config parameterizes a streaming session.
 type Config struct {
 	// Pipeline is the registration configuration every pair runs with.
@@ -84,6 +96,24 @@ type Config struct {
 	// Limiter, when non-nil, gates every prepare/align stage (shared
 	// across engines by the registration server).
 	Limiter Limiter
+	// Loop, when non-nil, enables the loop-closure stage: every committed
+	// frame's descriptors are aggregated into a place signature
+	// (internal/loop), candidates proposed by the signature index are
+	// verified with the full registration pipeline, and accepted closures
+	// accumulate for pose-graph optimization (OptimizedPoses). In
+	// pipelined mode verification runs on its own worker goroutine with
+	// its own share of the adaptively split pool, overlapping both other
+	// stages. Enabling the stage retains every pushed frame's cloud for
+	// the session's life (verification needs the raw points), so bound
+	// session length accordingly. The config must name a valid search
+	// backend (validate with loop.Config.Validate at the boundary); New
+	// panics otherwise, like the registration layer does on invalid
+	// searcher configs.
+	Loop *loop.Config
+	// LoopEdgeWeight scales verified loop edges relative to odometry
+	// edges in the optimized pose graph (default 10): one globally
+	// accurate constraint against many locally consistent drifting ones.
+	LoopEdgeWeight float64
 }
 
 // FrameResult records one frame's outcome in the trajectory.
@@ -131,6 +161,11 @@ type Stats struct {
 	// Search aggregates the released frames' searcher metrics (query
 	// counts, node visits, build/search wall time).
 	Search search.Metrics
+	// Loop counts the loop-closure stage's work (zero value when the
+	// stage is disabled).
+	Loop loop.Stats
+	// LoopTime is wall time spent verifying loop candidates.
+	LoopTime time.Duration
 }
 
 // Engine is a streaming odometry session. Frames enter through Push;
@@ -158,43 +193,74 @@ type Engine struct {
 	in chan *cloud.Cloud
 	wg sync.WaitGroup
 
-	// Adaptive stage split (pipelined mode). The two concurrent stages
-	// would otherwise each size their batches to the full Parallelism and
-	// fight over the machine — the PR 2 defect where pipelining only won
-	// with a hand-capped knob. pool is the session's total worker budget;
-	// prepWork/alignWork are EWMAs of each stage's observed serial work
-	// (latency × workers), and prepWorkers/alignWorkers the current
-	// apportionment. Exact backends are bit-identical at any parallelism,
+	// Adaptive stage split (pipelined mode). The concurrent stages would
+	// otherwise each size their batches to the full Parallelism and fight
+	// over the machine — the PR 2 defect where pipelining only won with a
+	// hand-capped knob. pool is the session's total worker budget;
+	// stageWork are EWMAs of each stage's observed serial work (latency ×
+	// workers), and stageWorkers the current apportionment — two entries
+	// normally, three when the loop-closure stage runs its verifications
+	// concurrently. Exact backends are bit-identical at any parallelism,
 	// so rebalancing never changes the trajectory.
 	splitMu      sync.Mutex
 	pool         *par.Pool
-	prepWork     float64
-	alignWork    float64
-	prepWorkers  int
-	alignWorkers int
+	stageWork    [3]float64
+	stageWorkers [3]int
+	stages       int
+
+	// Loop-closure stage (enabled by Config.Loop).
+	det         *loop.Detector
+	closures    []loop.Closure // guarded by mu
+	loopPending int            // frames with queued verifications, guarded by mu
+	loopCh      chan loopTask
+	loopWg      sync.WaitGroup
 
 	// Sequential mode: the previous frame's prepared state.
 	prev *registration.PreparedFrame
 }
 
+// Pipeline stage indices for the adaptive pool split.
+const (
+	stagePrep = iota
+	stageAlign
+	stageLoop
+)
+
+// loopTask is one committed frame's proposed loop candidates, awaiting
+// verification on the loop worker.
+type loopTask struct {
+	cands []loop.Candidate
+}
+
 // ErrClosed is returned by Push after Close.
 var ErrClosed = errors.New("stream: engine closed")
 
-// New creates an engine and, in pipelined mode, starts its two stage
-// workers. Callers must Close the engine to stop them.
+// New creates an engine and, in pipelined mode, starts its stage
+// workers (two, or three with the loop-closure stage). Callers must
+// Close the engine to stop them. An invalid Config.Loop (unknown
+// backend, bad options) panics — validate at the boundary with
+// loop.Config.Validate, exactly as SearcherConfig.Validate guards the
+// searcher selection.
 func New(cfg Config) *Engine {
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, stages: 2}
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.Loop != nil {
+		det, err := loop.NewDetector(*cfg.Loop)
+		if err != nil {
+			panic(fmt.Sprintf("stream: %v (validate loop configs at the boundary with loop.Config.Validate)", err))
+		}
+		e.det = det
+		e.stages = 3
+	}
 	if cfg.Pipelined {
 		depth := cfg.QueueDepth
 		if depth < 1 {
 			depth = 1
 		}
 		// Start from an even split of the configured worker budget; the
-		// EWMAs take over once both stages have been observed.
+		// EWMAs take over once the stages have been observed.
 		e.pool = par.NewPool(cfg.Pipeline.Searcher.EffectiveParallelism())
-		subs := e.pool.Split(1, 1)
-		e.prepWorkers, e.alignWorkers = subs[0].Workers(), subs[1].Workers()
+		e.resplitLocked()
 		e.in = make(chan *cloud.Cloud, depth)
 		// Capacity 1 is the pipeline register between the two stages:
 		// the front-end worker may run one frame ahead of alignment.
@@ -202,8 +268,41 @@ func New(cfg Config) *Engine {
 		e.wg.Add(2)
 		go e.prepWorker(preparedCh)
 		go e.alignWorker(preparedCh)
+		if e.det != nil {
+			// The loop stage rarely has queued work (candidates are gated
+			// and cooled down), so a small queue suffices; commit never
+			// blocks on it because the channel is drained by a dedicated
+			// worker.
+			e.loopCh = make(chan loopTask, 8)
+			e.loopWg.Add(1)
+			go e.loopWorker()
+		}
 	}
 	return e
+}
+
+// resplitLocked re-apportions the pool between the active stages from
+// their work EWMAs. The split stays even until both steady stages
+// (front-end and alignment) have been observed; the loop stage's weight
+// may stay zero for long stretches (candidates are gated and cooled
+// down), in which case Split's one-worker floor keeps it alive without
+// starving the steady stages. Callers hold splitMu, except during
+// construction.
+func (e *Engine) resplitLocked() {
+	ws := make([]float64, e.stages)
+	if e.stageWork[stagePrep] <= 0 || e.stageWork[stageAlign] <= 0 {
+		for s := range ws {
+			ws[s] = 1
+		}
+	} else {
+		for s := 0; s < e.stages; s++ {
+			ws[s] = e.stageWork[s]
+		}
+	}
+	subs := e.pool.Split(ws...)
+	for s, sub := range subs {
+		e.stageWorkers[s] = sub.Workers()
+	}
 }
 
 // Push submits the next frame of the stream and returns its index. The
@@ -250,17 +349,14 @@ const splitAlpha = 0.4
 // stageConfig resolves the pipeline configuration one stage should run
 // with: its current share of the split pool in pipelined mode, the
 // unmodified configuration otherwise (splitting a 1-worker budget is
-// meaningless). prep selects the front-end share, else fine-tuning's.
-func (e *Engine) stageConfig(prep bool) (registration.PipelineConfig, int) {
+// meaningless).
+func (e *Engine) stageConfig(stage int) (registration.PipelineConfig, int) {
 	cfg := e.cfg.Pipeline
 	if !e.cfg.Pipelined || e.pool.Workers() < 2 {
 		return cfg, par.Workers(cfg.Searcher.EffectiveParallelism())
 	}
 	e.splitMu.Lock()
-	w := e.prepWorkers
-	if !prep {
-		w = e.alignWorkers
-	}
+	w := e.stageWorkers[stage]
 	e.splitMu.Unlock()
 	cfg.Searcher = cfg.Searcher.WithParallelism(w)
 	return cfg, w
@@ -269,28 +365,32 @@ func (e *Engine) stageConfig(prep bool) (registration.PipelineConfig, int) {
 // observeStage folds one stage execution (wall time d on `workers`
 // workers) into the stage's work EWMA and re-apportions the pool. Work —
 // latency × workers — estimates the stage's serial cost, so splitting the
-// pool proportionally to it equalizes the two stage latencies, which is
-// what maximizes two-stage pipeline throughput.
-func (e *Engine) observeStage(prep bool, d time.Duration, workers int) {
+// pool proportionally to it equalizes the stage latencies, which is what
+// maximizes pipeline throughput.
+func (e *Engine) observeStage(stage int, d time.Duration, workers int) {
 	if !e.cfg.Pipelined || e.pool.Workers() < 2 {
 		return
 	}
 	work := d.Seconds() * float64(workers)
 	e.splitMu.Lock()
 	defer e.splitMu.Unlock()
-	tgt := &e.prepWork
-	if !prep {
-		tgt = &e.alignWork
-	}
+	tgt := &e.stageWork[stage]
 	if *tgt <= 0 {
 		*tgt = work
 	} else {
 		*tgt += splitAlpha * (work - *tgt)
 	}
-	if e.prepWork > 0 && e.alignWork > 0 {
-		subs := e.pool.Split(e.prepWork, e.alignWork)
-		e.prepWorkers, e.alignWorkers = subs[0].Workers(), subs[1].Workers()
+	// The loop stage is bursty: verifications arrive in gated, cooled-down
+	// clumps. Decay its weight on every aligned frame so an idle loop
+	// stage slides back to Split's one-worker floor instead of holding a
+	// burst-sized share forever.
+	if stage == stageAlign && e.stages > stageLoop {
+		e.stageWork[stageLoop] *= 1 - splitAlpha
+		if e.stageWork[stageLoop] < 1e-12 {
+			e.stageWork[stageLoop] = 0
+		}
 	}
+	e.resplitLocked()
 }
 
 // prepare runs the front-end stage under the limiter. The build-once
@@ -299,9 +399,9 @@ func (e *Engine) observeStage(prep bool, d time.Duration, workers int) {
 func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
 	e.cfg.Limiter.acquire()
 	defer e.cfg.Limiter.release()
-	cfg, workers := e.stageConfig(true)
+	cfg, workers := e.stageConfig(stagePrep)
 	pf := registration.PrepareFrame(c, cfg)
-	e.observeStage(true, pf.PrepTotal, workers)
+	e.observeStage(stagePrep, pf.PrepTotal, workers)
 	e.mu.Lock()
 	e.stats.FramesPrepared++
 	e.stats.DescriptorBuilds++
@@ -315,11 +415,11 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 	fr := FrameResult{PrepTime: pf.PrepTotal, Delta: geom.IdentityTransform()}
 	if prev != nil {
 		e.cfg.Limiter.acquire()
-		cfg, workers := e.stageConfig(false)
+		cfg, workers := e.stageConfig(stageAlign)
 		start := time.Now()
 		fr.Reg = registration.Align(pf, prev, cfg)
 		fr.AlignTime = time.Since(start)
-		e.observeStage(false, fr.AlignTime, workers)
+		e.observeStage(stageAlign, fr.AlignTime, workers)
 		e.cfg.Limiter.release()
 		fr.Delta = fr.Reg.Transform
 		// Surface this frame's front-end shares in the pair result so
@@ -348,6 +448,8 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 	}
 	e.mu.Unlock()
 
+	e.observeLoop(fr.Index, pf)
+
 	if prev != nil {
 		e.release(prev)
 	}
@@ -368,6 +470,87 @@ func (e *Engine) release(f *registration.PreparedFrame) {
 	e.stats.TreeBuilds += int64(f.Builds)
 	e.mu.Unlock()
 	f.Release()
+}
+
+// observeLoop runs the loop-closure stage's cheap half for a committed
+// frame: signature aggregation and candidate proposal. Candidate
+// verification is expensive and runs inline in sequential mode, or on
+// the loop worker (with its own pool share) in pipelined mode.
+//
+// Determinism: proposals depend on the detector's cooldown state, which
+// verification outcomes advance — so in pipelined mode Observe waits
+// for any still-queued verifications of earlier frames first. Candidates
+// are rare (gated and cooled down), so the wait is almost always free;
+// verification itself still overlaps the next frame's front-end and
+// alignment compute. This keeps the closure set, and therefore the
+// optimized trajectory, bit-identical across pipelining and Parallelism.
+func (e *Engine) observeLoop(index int, pf *registration.PreparedFrame) {
+	if e.det == nil {
+		return
+	}
+	if e.cfg.Pipelined {
+		e.mu.Lock()
+		for e.loopPending > 0 {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+	// The detector retains the cloud for later verification; hand it a
+	// private clone, because the pipeline keeps mutating pf.Raw after
+	// this commit (the next pair's FineTarget writes its normals in
+	// place, which would race with a concurrent verification's read).
+	// Cloning at observe time also pins the retained content to the same
+	// snapshot in pipelined and sequential modes.
+	cands := e.det.Observe(index, pf.Desc, pf.Raw.Clone())
+	if len(cands) == 0 {
+		return
+	}
+	if e.cfg.Pipelined {
+		e.mu.Lock()
+		e.loopPending++
+		e.mu.Unlock()
+		e.loopCh <- loopTask{cands: cands}
+		return
+	}
+	e.verifyLoop(cands)
+}
+
+// verifyLoop verifies proposed candidates in order, stopping at the
+// first accepted closure (the cooldown then suppresses the frames right
+// behind it). Runs under the limiter like every heavy stage.
+func (e *Engine) verifyLoop(cands []loop.Candidate) {
+	e.cfg.Limiter.acquire()
+	cfg, workers := e.stageConfig(stageLoop)
+	start := time.Now()
+	var accepted *loop.Closure
+	for _, cand := range cands {
+		if cl, ok := e.det.Verify(cand, cfg); ok {
+			accepted = &cl
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	e.observeStage(stageLoop, elapsed, workers)
+	e.cfg.Limiter.release()
+
+	e.mu.Lock()
+	e.stats.LoopTime += elapsed
+	if accepted != nil {
+		e.closures = append(e.closures, *accepted)
+	}
+	e.mu.Unlock()
+}
+
+// loopWorker is pipeline stage 3: loop-candidate verification.
+func (e *Engine) loopWorker() {
+	defer e.loopWg.Done()
+	for task := range e.loopCh {
+		e.verifyLoop(task.cands)
+		e.mu.Lock()
+		e.loopPending--
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
 }
 
 // prepWorker is pipeline stage 1: the per-frame front-end.
@@ -394,21 +577,22 @@ func (e *Engine) alignWorker(in <-chan *registration.PreparedFrame) {
 	}
 }
 
-// Pending reports how many pushed frames have not been committed to the
-// trajectory yet. A server uses this to tell an idle session apart from
-// one still chewing through queued frames (which must not be evicted).
+// Pending reports how many pushed frames have not been fully processed
+// yet (committed to the trajectory, plus any queued loop-closure
+// verifications). A server uses this to tell an idle session apart from
+// one still chewing through queued work (which must not be evicted).
 func (e *Engine) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.pushed - e.done
+	return e.pushed - e.done + e.loopPending
 }
 
 // Drain blocks until every frame pushed so far has been committed to the
-// trajectory.
+// trajectory and its loop-closure candidates (if any) verified.
 func (e *Engine) Drain() {
 	e.mu.Lock()
 	target := e.pushed
-	for e.done < target {
+	for e.done < target || e.loopPending > 0 {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()
@@ -434,6 +618,12 @@ func (e *Engine) Close() {
 	if e.cfg.Pipelined {
 		close(e.in)
 		e.wg.Wait()
+		if e.loopCh != nil {
+			// The align worker has exited, so no further loop tasks can be
+			// enqueued; drain the verification queue and stop the worker.
+			close(e.loopCh)
+			e.loopWg.Wait()
+		}
 	} else if e.prev != nil {
 		e.release(e.prev)
 		e.prev = nil
@@ -468,6 +658,59 @@ func (e *Engine) Trajectory() Trajectory {
 // trajectory by up to two in-flight frames until Close.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
+	st := e.stats
+	e.mu.Unlock()
+	if e.det != nil {
+		st.Loop = e.det.Stats()
+	}
+	return st
+}
+
+// Closures snapshots the verified loop closures accepted so far, in
+// frame order (empty without Config.Loop). The set is deterministic:
+// proposals, verification order, and acceptance are all independent of
+// pipelining and Parallelism.
+func (e *Engine) Closures() []loop.Closure {
+	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	return append([]loop.Closure(nil), e.closures...)
+}
+
+// OptimizedPoses builds the session's pose graph — the odometry chain as
+// consecutive edges plus one weighted robust edge per verified loop
+// closure — and optimizes it (internal/posegraph), returning the
+// globally consistent trajectory. Callers should Drain first so every
+// pushed frame and queued verification is reflected. The zero Options
+// value selects the optimizer defaults; the result is bit-identical at
+// any Options.Parallelism. Without loop closures the graph is exactly
+// consistent and the odometry poses come back unchanged.
+func (e *Engine) OptimizedPoses(opts posegraph.Options) ([]geom.Transform, posegraph.Result, error) {
+	e.mu.Lock()
+	if len(e.traj.Poses) == 0 {
+		e.mu.Unlock()
+		return nil, posegraph.Result{Converged: true}, nil
+	}
+	deltas := make([]geom.Transform, 0, len(e.traj.Frames))
+	for _, fr := range e.traj.Frames {
+		if fr.Index == 0 {
+			continue
+		}
+		deltas = append(deltas, fr.Delta)
+	}
+	origin := e.traj.Poses[0]
+	closures := append([]loop.Closure(nil), e.closures...)
+	e.mu.Unlock()
+
+	g := posegraph.FromOdometry(origin, deltas)
+	w := e.cfg.LoopEdgeWeight
+	if w == 0 {
+		w = 10
+	}
+	for _, cl := range closures {
+		g.AddEdge(posegraph.Edge{
+			I: cl.To, J: cl.From, Z: cl.Delta,
+			TransWeight: w, RotWeight: w, Robust: true,
+		})
+	}
+	return g.Optimize(opts)
 }

@@ -255,39 +255,39 @@ func TestAdaptiveSplitRebalances(t *testing.T) {
 	e := New(Config{Pipeline: cfg, Pipelined: true})
 	defer e.Close()
 
-	if e.prepWorkers+e.alignWorkers != 8 {
+	if e.stageWorkers[stagePrep]+e.stageWorkers[stageAlign] != 8 {
 		t.Fatalf("initial split %d+%d, want the full 8-worker budget",
-			e.prepWorkers, e.alignWorkers)
+			e.stageWorkers[stagePrep], e.stageWorkers[stageAlign])
 	}
 
 	// Front-end 3× heavier: prep should get the larger share.
 	for i := 0; i < 6; i++ {
-		e.observeStage(true, 90*time.Millisecond, e.prepWorkers)
-		e.observeStage(false, 30*time.Millisecond, e.alignWorkers)
+		e.observeStage(stagePrep, 90*time.Millisecond, e.stageWorkers[stagePrep])
+		e.observeStage(stageAlign, 30*time.Millisecond, e.stageWorkers[stageAlign])
 	}
-	if e.prepWorkers <= e.alignWorkers {
+	if e.stageWorkers[stagePrep] <= e.stageWorkers[stageAlign] {
 		t.Fatalf("prep-heavy load split %d+%d, want prep > align",
-			e.prepWorkers, e.alignWorkers)
+			e.stageWorkers[stagePrep], e.stageWorkers[stageAlign])
 	}
-	if e.prepWorkers+e.alignWorkers != 8 || e.alignWorkers < 1 {
-		t.Fatalf("split %d+%d violates the budget", e.prepWorkers, e.alignWorkers)
+	if e.stageWorkers[stagePrep]+e.stageWorkers[stageAlign] != 8 || e.stageWorkers[stageAlign] < 1 {
+		t.Fatalf("split %d+%d violates the budget", e.stageWorkers[stagePrep], e.stageWorkers[stageAlign])
 	}
 
 	// The load inverts; the EWMA must follow it across.
 	for i := 0; i < 12; i++ {
-		e.observeStage(true, 10*time.Millisecond, e.prepWorkers)
-		e.observeStage(false, 120*time.Millisecond, e.alignWorkers)
+		e.observeStage(stagePrep, 10*time.Millisecond, e.stageWorkers[stagePrep])
+		e.observeStage(stageAlign, 120*time.Millisecond, e.stageWorkers[stageAlign])
 	}
-	if e.alignWorkers <= e.prepWorkers {
+	if e.stageWorkers[stageAlign] <= e.stageWorkers[stagePrep] {
 		t.Fatalf("align-heavy load split %d+%d, want align > prep",
-			e.prepWorkers, e.alignWorkers)
+			e.stageWorkers[stagePrep], e.stageWorkers[stageAlign])
 	}
 
 	// The stage configs hand each stage exactly its share.
-	prepCfg, pw := e.stageConfig(true)
-	alignCfg, aw := e.stageConfig(false)
-	if pw != e.prepWorkers || aw != e.alignWorkers {
-		t.Fatalf("stageConfig workers %d/%d, split %d/%d", pw, aw, e.prepWorkers, e.alignWorkers)
+	prepCfg, pw := e.stageConfig(stagePrep)
+	alignCfg, aw := e.stageConfig(stageAlign)
+	if pw != e.stageWorkers[stagePrep] || aw != e.stageWorkers[stageAlign] {
+		t.Fatalf("stageConfig workers %d/%d, split %d/%d", pw, aw, e.stageWorkers[stagePrep], e.stageWorkers[stageAlign])
 	}
 	if prepCfg.Searcher.EffectiveParallelism() != pw || alignCfg.Searcher.EffectiveParallelism() != aw {
 		t.Fatal("stage configs do not pin their share as the effective parallelism")
@@ -301,11 +301,11 @@ func TestAdaptiveSplitNarrowPool(t *testing.T) {
 	cfg.Searcher.Parallelism = 1
 	e := New(Config{Pipeline: cfg, Pipelined: true})
 	defer e.Close()
-	got, w := e.stageConfig(true)
+	got, w := e.stageConfig(stagePrep)
 	if w != 1 || got.Searcher.Parallelism != 1 {
 		t.Fatalf("narrow pool stage got %d workers", w)
 	}
-	e.observeStage(true, time.Second, 1) // must be a no-op, not a panic
+	e.observeStage(stagePrep, time.Second, 1) // must be a no-op, not a panic
 }
 
 // TestStreamPipelinedAdaptiveMatchesRegister: the adaptive split changes

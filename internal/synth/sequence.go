@@ -57,6 +57,67 @@ func (d DrivingTrajectory) Pose(i int) geom.Transform {
 	}
 }
 
+// CircuitTrajectory is a closed circular circuit inside the street: the
+// vehicle drives one (or more) full laps and returns to its starting
+// pose with the same heading, which is exactly the geometry a
+// loop-closure detector needs — late frames are true revisits of early
+// ones. The circle stays inside the facade lines for the default scene
+// width, so every frame scans real structure.
+type CircuitTrajectory struct {
+	// Radius of the circuit in meters (default 4; keep below the scene's
+	// HalfWidth/2 so the vehicle stays on the street).
+	Radius float64
+	// FramesPerLap is the number of frames per full revolution (default
+	// 40).
+	FramesPerLap int
+	// CenterX shifts the circuit along the street (default 0: the lap
+	// starts at the origin heading +X and curls left).
+	CenterX float64
+}
+
+func (c CircuitTrajectory) params() (r float64, perLap int, cx float64) {
+	r = c.Radius
+	if r == 0 {
+		r = 4
+	}
+	perLap = c.FramesPerLap
+	if perLap == 0 {
+		perLap = 40
+	}
+	// CenterX needs no default: zero means the lap starts at the origin.
+	return r, perLap, c.CenterX
+}
+
+// Pose implements Trajectory: frame i sits at angle 2π·i/FramesPerLap
+// around the circle, heading along the tangent. Pose(FramesPerLap) is
+// exactly Pose(0) — the ground-truth loop.
+func (c CircuitTrajectory) Pose(i int) geom.Transform {
+	r, perLap, cx := c.params()
+	theta := 2 * math.Pi * float64(i) / float64(perLap)
+	return geom.Transform{
+		R: geom.RotZ(theta),
+		T: geom.Vec3{X: cx + r*math.Sin(theta), Y: r - r*math.Cos(theta), Z: 0},
+	}
+}
+
+// DriftDeltas applies a deterministic drift model to a sequence of
+// odometry deltas, simulating the calibration-style error that
+// accumulates unboundedly in pairwise odometry (the failure mode loop
+// closure + pose-graph optimization exist to fix): every step's
+// translation is scaled by scale and its rotation is pre-multiplied by a
+// yaw bias of yawRad radians. The input is not modified.
+func DriftDeltas(deltas []geom.Transform, yawRad, scale float64) []geom.Transform {
+	if scale == 0 {
+		scale = 1
+	}
+	bias := geom.RotZ(yawRad)
+	out := make([]geom.Transform, len(deltas))
+	for i, d := range deltas {
+		out[i] = geom.Transform{R: bias.Mul(d.R), T: d.T.Scale(scale)}
+	}
+	return out
+}
+
 // Sequence is a generated dataset: frames in sensor coordinates plus
 // ground-truth poses, mirroring the KITTI odometry layout.
 type Sequence struct {

@@ -35,6 +35,9 @@
 //     (internal/registration)
 //   - streaming: Stream, StreamConfig, Trajectory — the long-running
 //     odometry engine behind cmd/tigris-serve (internal/stream)
+//   - SLAM: LoopConfig/LoopClosure (place recognition + verification,
+//     internal/loop) and PoseGraph/OptimizePoseGraph with ATE/RPE
+//     metrics (internal/posegraph), the back-end behind cmd/tigris-slam
 //   - accelerator: AccelConfig, SimWorkload, Simulate (internal/sim)
 //   - baselines: GPUModel/CPUModel (internal/baseline)
 //   - dataset: GenerateSequence (internal/synth)
@@ -50,6 +53,8 @@ import (
 	"tigris/internal/features"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
+	"tigris/internal/loop"
+	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 	"tigris/internal/sim"
@@ -310,6 +315,59 @@ type (
 // pipeline workers and release the last frame's state.
 func NewStream(cfg StreamConfig) *Stream { return stream.New(cfg) }
 
+// SLAM layer: loop closure + pose-graph optimization. A streaming
+// session with StreamConfig.Loop set detects and verifies revisits
+// (Stream.Closures) and serves the globally optimized trajectory
+// (Stream.OptimizedPoses); the pieces are public for custom back-ends.
+type (
+	// LoopConfig parameterizes place recognition: the signature-index
+	// search backend, temporal gating, and verification thresholds.
+	LoopConfig = loop.Config
+	// LoopCandidate is a proposed (unverified) loop pair.
+	LoopCandidate = loop.Candidate
+	// LoopClosure is a verified loop constraint: Delta registers frame
+	// From onto frame To.
+	LoopClosure = loop.Closure
+	// LoopDetector aggregates frame signatures and proposes/verifies
+	// loop candidates.
+	LoopDetector = loop.Detector
+	// LoopStats counts a detector's work.
+	LoopStats = loop.Stats
+	// PoseGraph is an SE(3) pose graph: node poses plus relative-pose
+	// edges (odometry and loop closures).
+	PoseGraph = posegraph.Graph
+	// PoseGraphEdge is one relative-pose constraint X_I⁻¹∘X_J = Z.
+	PoseGraphEdge = posegraph.Edge
+	// PoseGraphOptions configures the Gauss–Newton/LM optimizer.
+	PoseGraphOptions = posegraph.Options
+	// PoseGraphResult reports an optimization run.
+	PoseGraphResult = posegraph.Result
+	// ATEResult is the absolute-trajectory-error summary.
+	ATEResult = posegraph.ATEResult
+	// RPEResult is the relative-pose-error summary.
+	RPEResult = posegraph.RPEResult
+)
+
+// NewLoopDetector validates the configured signature backend and
+// returns an empty place-recognition detector.
+func NewLoopDetector(cfg LoopConfig) (*LoopDetector, error) { return loop.NewDetector(cfg) }
+
+// NewPoseGraph starts a pose graph from initial absolute poses.
+func NewPoseGraph(poses []Transform) *PoseGraph { return posegraph.NewGraph(poses) }
+
+// PoseGraphFromOdometry builds a graph whose initial poses compose the
+// odometry chain from origin, with one edge per step.
+func PoseGraphFromOdometry(origin Transform, deltas []Transform) *PoseGraph {
+	return posegraph.FromOdometry(origin, deltas)
+}
+
+// ATE computes the absolute trajectory error of est against ref after
+// first-pose anchoring.
+func ATE(est, ref []Transform) ATEResult { return posegraph.ATE(est, ref) }
+
+// RPE computes the per-step relative pose error of est against ref.
+func RPE(est, ref []Transform) RPEResult { return posegraph.RPE(est, ref) }
+
 // NewStreamLimiter returns a limiter admitting n concurrent heavy stages
 // (n <= 0: unlimited), shared across sessions via StreamConfig.Limiter.
 func NewStreamLimiter(n int) StreamLimiter { return stream.NewLimiter(n) }
@@ -341,7 +399,17 @@ type (
 	LidarConfig = synth.LidarConfig
 	// SceneConfig controls procedural street generation.
 	SceneConfig = synth.SceneConfig
+	// CircuitTrajectory drives a closed circular lap — the ground-truth
+	// loop the SLAM layer closes.
+	CircuitTrajectory = synth.CircuitTrajectory
 )
+
+// DriftOdometry corrupts odometry deltas with a deterministic
+// calibration-style bias (yaw radians and translation scale per frame),
+// the synthetic drift model the SLAM benchmarks repair.
+func DriftOdometry(deltas []Transform, yawRad, scale float64) []Transform {
+	return synth.DriftDeltas(deltas, yawRad, scale)
+}
 
 // GenerateSequence renders LiDAR frames along a trajectory.
 func GenerateSequence(cfg SequenceConfig) *Sequence { return synth.GenerateSequence(cfg) }
