@@ -11,6 +11,13 @@
 //	             [-backend NAME] [-parallel N] [-mode all|perpair|unpipelined|pipelined]
 //	             [-out FILE] [-tag NAME] [-cpuprofile FILE] [-memprofile FILE]
 //
+// With -parallel 0 (the default) every mode is swept at parallelism 1
+// and NumCPU in one invocation (deduplicated on single-core hosts), so
+// one report carries both the sequential floor and the multi-core
+// number; an explicit -parallel N pins a single setting. Each run also
+// reports the SoA point-storage bytes per prepared frame against the
+// AoS float64 equivalent, Go heap-in-use, and the process peak RSS.
+//
 // Modes:
 //
 //	perpair     the classic loop: full Register (both front-ends) per pair
@@ -31,20 +38,34 @@ import (
 
 	"tigris/internal/cloud"
 	"tigris/internal/dse"
+	"tigris/internal/memstat"
 	"tigris/internal/registration"
 	"tigris/internal/stream"
 	"tigris/internal/synth"
 )
 
-// RunReport is one mode's measured outcome.
+// RunReport is one mode's measured outcome at one parallelism setting.
 type RunReport struct {
 	Mode          string  `json:"mode"`
+	Parallelism   int     `json:"parallelism"`
 	Frames        int     `json:"frames"`
 	Pairs         int     `json:"pairs"`
 	PairsPerSec   float64 `json:"pairs_per_sec"`
 	MsPerFrame    float64 `json:"ms_per_frame"`
 	AllocsPerPair float64 `json:"allocs_per_pair"`
 	BytesPerPair  float64 `json:"bytes_per_pair"`
+	// PointStorageBytesPerFrame is one prepared frame's retained SoA
+	// float32 point storage (raw + downsampled slabs);
+	// AosPointStorageBytesPerFrame is the same content priced at the
+	// pre-slab AoS []geom.Vec3 layout. The ratio is the PR's data-layout
+	// reduction claim, measured rather than asserted.
+	PointStorageBytesPerFrame    int64 `json:"point_storage_bytes_per_frame"`
+	AosPointStorageBytesPerFrame int64 `json:"aos_point_storage_bytes_per_frame"`
+	// HeapInuseBytes is the Go heap occupancy right after the timed run
+	// (post-GC); PeakRSSBytes is the kernel's process high-water mark
+	// (VmHWM; 0 on non-Linux).
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	PeakRSSBytes   int64  `json:"peak_rss_bytes"`
 	// StageMs is the average per-pair stage breakdown in milliseconds
 	// (the Fig. 4a rows plus the streaming engine's prep/align shares).
 	StageMs map[string]float64 `json:"stage_ms"`
@@ -52,17 +73,19 @@ type RunReport struct {
 
 // Report is the full benchmark output.
 type Report struct {
-	Name        string      `json:"name"`
-	Tag         string      `json:"tag"`
-	GoVersion   string      `json:"go_version"`
-	NumCPU      int         `json:"num_cpu"`
-	DesignPoint string      `json:"design_point"`
-	Backend     string      `json:"backend"`
-	Parallelism int         `json:"parallelism"`
-	Frames      int         `json:"frames"`
-	Beams       int         `json:"beams"`
-	Azimuth     int         `json:"azimuth_steps"`
-	Runs        []RunReport `json:"runs"`
+	Name        string `json:"name"`
+	Tag         string `json:"tag"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	DesignPoint string `json:"design_point"`
+	Backend     string `json:"backend"`
+	Parallelism int    `json:"parallelism"`
+	// ParallelismSweep lists the worker counts each mode ran at.
+	ParallelismSweep []int       `json:"parallelism_sweep"`
+	Frames           int         `json:"frames"`
+	Beams            int         `json:"beams"`
+	Azimuth          int         `json:"azimuth_steps"`
+	Runs             []RunReport `json:"runs"`
 }
 
 func main() {
@@ -91,6 +114,18 @@ func main() {
 	cfg.Searcher.Parallelism = *parallel
 	if err := cfg.Searcher.Validate(); err != nil {
 		log.Fatalf("%v", err)
+	}
+
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr,
+			"WARNING: GOMAXPROCS=1 — parallel stages run sequentially; multi-core speedups are not measurable on this host")
+	}
+	sweep := []int{*parallel}
+	if *parallel == 0 {
+		sweep = []int{1, runtime.NumCPU()}
+		if sweep[1] == sweep[0] {
+			sweep = sweep[:1] // single-core host: one setting covers both
+		}
 	}
 
 	seq := synth.GenerateSequence(synth.SequenceConfig{
@@ -126,29 +161,35 @@ func main() {
 	}
 
 	rep := Report{
-		Name:        "tigris-bench",
-		Tag:         *tag,
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		DesignPoint: *designPoint,
-		Backend:     cfg.Searcher.BackendName(),
-		Parallelism: *parallel,
-		Frames:      seq.Len(),
-		Beams:       *beams,
-		Azimuth:     *azimuth,
+		Name:             "tigris-bench",
+		Tag:              *tag,
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		DesignPoint:      *designPoint,
+		Backend:          cfg.Searcher.BackendName(),
+		Parallelism:      *parallel,
+		ParallelismSweep: sweep,
+		Frames:           seq.Len(),
+		Beams:            *beams,
+		Azimuth:          *azimuth,
 	}
 	modes := []string{"perpair", "unpipelined", "pipelined"}
 	if *mode != "all" {
 		modes = []string{*mode}
 	}
-	for _, m := range modes {
-		r, err := runMode(m, seq, cfg)
-		if err != nil {
-			log.Fatalf("%v", err)
+	for _, par := range sweep {
+		runCfg := cfg
+		runCfg.Searcher.Parallelism = par
+		for _, m := range modes {
+			r, err := runMode(m, par, seq, runCfg)
+			if err != nil {
+				log.Fatalf("%v", err)
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Fprintf(os.Stderr, "%-12s p=%-3d %6.2f pairs/sec  %7.1f ms/frame  %8.0f allocs/pair  %5.1f MB frame storage (AoS %5.1f)\n",
+				m, par, r.PairsPerSec, r.MsPerFrame, r.AllocsPerPair,
+				float64(r.PointStorageBytesPerFrame)/(1<<20), float64(r.AosPointStorageBytesPerFrame)/(1<<20))
 		}
-		rep.Runs = append(rep.Runs, r)
-		fmt.Fprintf(os.Stderr, "%-12s %6.2f pairs/sec  %7.1f ms/frame  %8.0f allocs/pair\n",
-			m, r.PairsPerSec, r.MsPerFrame, r.AllocsPerPair)
 	}
 
 	if memFile != nil {
@@ -177,13 +218,20 @@ func main() {
 // time, allocation deltas, and the per-stage breakdown. Each mode clones
 // the frames (the pipeline writes normals into its inputs) and warms up
 // with one pair so steady-state pools are populated before measuring.
-func runMode(mode string, seq *synth.Sequence, cfg registration.PipelineConfig) (RunReport, error) {
+func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration.PipelineConfig) (RunReport, error) {
 	warm := cloneFrames(seq)
 	registration.Register(warm[1], warm[0], cfg)
 
 	frames := cloneFrames(seq)
 	pairs := len(frames) - 1
-	r := RunReport{Mode: mode, Frames: len(frames), Pairs: pairs, StageMs: map[string]float64{}}
+	r := RunReport{Mode: mode, Parallelism: parallelism, Frames: len(frames), Pairs: pairs, StageMs: map[string]float64{}}
+
+	// Point-storage accounting on a representative prepared frame (every
+	// frame in the synthetic sequence has the same point budget).
+	pf := registration.PrepareFrame(frames[0].Clone(), cfg)
+	r.PointStorageBytesPerFrame = pf.StorageBytes()
+	r.AosPointStorageBytesPerFrame = pf.AosStorageBytes()
+	pf.Release()
 
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -223,6 +271,9 @@ func runMode(mode string, seq *synth.Sequence, cfg registration.PipelineConfig) 
 
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	runtime.GC()
+	r.HeapInuseBytes = memstat.HeapInuseBytes()
+	r.PeakRSSBytes = memstat.PeakRSSBytes()
 
 	r.PairsPerSec = float64(pairs) / elapsed.Seconds()
 	r.MsPerFrame = elapsed.Seconds() * 1e3 / float64(len(frames))

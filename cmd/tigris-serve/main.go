@@ -9,13 +9,16 @@
 //
 //	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
 //	             [-backend NAME] [-session-ttl D] [-auth-token TOKEN]
+//	             [-tls-cert CERT.pem -tls-key KEY.pem]
 //	tigris-serve -selftest [-backend NAME]
 //
 // -backend sets the default search backend (a registry name, see GET
 // /v1/backends) for sessions that do not pick their own; -session-ttl
 // evicts sessions idle longer than the given duration (e.g. 30m; 0 keeps
 // sessions forever); -auth-token requires `Authorization: Bearer TOKEN`
-// on every /v1/* endpoint (/healthz stays open for probes).
+// on every /v1/* endpoint (/healthz stays open for probes); -tls-cert and
+// -tls-key (both required together) serve HTTPS with the given PEM
+// material — the pair is validated before the socket binds.
 //
 // Session lifecycle (see internal/serve for the endpoint contract):
 //
@@ -56,8 +59,15 @@ func main() {
 	backend := flag.String("backend", "", "default search backend for sessions (registry name; \"\" = canonical)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
 	authToken := flag.String("auth-token", "", "require this bearer token on every /v1/* endpoint (\"\" = open access)")
+	tlsCert := flag.String("tls-cert", "", "PEM server certificate; serve HTTPS (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, stream two synthetic frames over HTTP, verify, exit")
 	flag.Parse()
+
+	tlsCfg := serve.TLSConfig{CertFile: *tlsCert, KeyFile: *tlsKey}
+	if err := tlsCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent:  *maxConcurrent,
@@ -79,6 +89,13 @@ func main() {
 		return
 	}
 
+	if tlsCfg.Enabled() {
+		log.Printf("tigris-serve listening on %s (TLS)", *addr)
+		if err := http.ListenAndServeTLS(*addr, tlsCfg.CertFile, tlsCfg.KeyFile, srv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	log.Printf("tigris-serve listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)

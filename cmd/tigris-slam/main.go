@@ -39,6 +39,7 @@ import (
 	"tigris/internal/dse"
 	"tigris/internal/geom"
 	"tigris/internal/loop"
+	"tigris/internal/memstat"
 	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/stream"
@@ -80,6 +81,14 @@ type Report struct {
 	FramesPerLap int     `json:"frames_per_lap"`
 	DriftYawDeg  float64 `json:"drift_yaw_deg"`
 	DriftScale   float64 `json:"drift_scale"`
+
+	// Point-storage and process-memory columns, matching tigris-bench:
+	// the SoA slab bytes one prepared frame retains vs its AoS float64
+	// price, plus Go heap-in-use and peak RSS after the run.
+	PointStorageBytesPerFrame    int64  `json:"point_storage_bytes_per_frame"`
+	AosPointStorageBytesPerFrame int64  `json:"aos_point_storage_bytes_per_frame"`
+	HeapInuseBytes               uint64 `json:"heap_inuse_bytes"`
+	PeakRSSBytes                 int64  `json:"peak_rss_bytes"`
 
 	Closures  []ClosureReport `json:"closures"`
 	LoopStats struct {
@@ -246,6 +255,14 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 	rep.Optimization.FinalCost = res.FinalCost
 	rep.Optimization.Iterations = res.Iterations
 	rep.Optimization.Converged = res.Converged
+
+	pf := registration.PrepareFrame(seq.Frames[0].Clone(), cfg)
+	rep.PointStorageBytesPerFrame = pf.StorageBytes()
+	rep.AosPointStorageBytesPerFrame = pf.AosStorageBytes()
+	pf.Release()
+	runtime.GC()
+	rep.HeapInuseBytes = memstat.HeapInuseBytes()
+	rep.PeakRSSBytes = memstat.PeakRSSBytes()
 
 	rep.Odometry = score(traj.Poses, seq.Poses)
 	rep.Drifted = score(driftedPoses, seq.Poses)

@@ -164,6 +164,50 @@ func VoxelDownsample(c *Cloud, leaf float64) *Cloud {
 	return out
 }
 
+// VoxelDownsampleSlab is VoxelDownsample over an SoA slab: cell keys are
+// computed from the dequantized coordinates, centroids accumulate in
+// float64, and the result is re-quantized into a fresh slab. Normals are
+// not carried over (the front-end estimates them on the downsampled
+// cloud).
+func VoxelDownsampleSlab(s *Slab, leaf float64) *Slab {
+	if leaf <= 0 || s.Len() == 0 {
+		return s.Clone()
+	}
+	type acc struct {
+		sum   geom.Vec3
+		count int
+	}
+	cells := make(map[voxelKey]*acc, s.Len()/4+1)
+	order := make([]voxelKey, 0, s.Len()/4+1)
+	inv := 1 / leaf
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		k := voxelKey{
+			X: int32(math.Floor(p.X * inv)),
+			Y: int32(math.Floor(p.Y * inv)),
+			Z: int32(math.Floor(p.Z * inv)),
+		}
+		a, ok := cells[k]
+		if !ok {
+			a = &acc{}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.sum = a.sum.Add(p)
+		a.count++
+	}
+	out := &Slab{
+		Xs: make([]float32, 0, len(order)),
+		Ys: make([]float32, 0, len(order)),
+		Zs: make([]float32, 0, len(order)),
+	}
+	for _, k := range order {
+		a := cells[k]
+		out.Append(a.sum.Scale(1 / float64(a.count)))
+	}
+	return out
+}
+
 // Validate checks structural invariants: finite coordinates and a normals
 // slice that is either nil or parallel to the points.
 func (c *Cloud) Validate() error {

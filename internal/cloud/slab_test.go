@@ -1,0 +1,204 @@
+package cloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tigris/internal/geom"
+)
+
+func randVecs(r *rand.Rand, n int) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.Vec3{
+			X: r.Float64()*100 - 50,
+			Y: r.Float64()*100 - 50,
+			Z: r.Float64()*10 - 5,
+		}
+	}
+	return pts
+}
+
+// TestSlabQuantizeOnce pins the precision contract: At(i) returns exactly
+// the float32-snapped input (geom.Vec3.Quantize32), and a second round
+// trip through the slab is the identity.
+func TestSlabQuantizeOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randVecs(r, 500)
+	s := SlabFromPoints(pts)
+	for i, p := range pts {
+		if got, want := s.At(i), p.Quantize32(); got != want {
+			t.Fatalf("At(%d) = %v, want Quantize32 %v", i, got, want)
+		}
+	}
+	// Re-ingesting the dequantized points must be lossless.
+	s2 := SlabFromPoints(s.Points())
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i) != s2.At(i) {
+			t.Fatalf("second quantization moved point %d", i)
+		}
+	}
+}
+
+func TestSlabRoundTripCloud(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := &Cloud{Points: randVecs(r, 200), Normals: randVecs(r, 200)}
+	for i, n := range c.Normals {
+		c.Normals[i] = n.Normalize()
+	}
+	s := SlabFromCloud(c)
+	if !s.HasNormals() {
+		t.Fatal("normals lost on ingest")
+	}
+	back := s.ToCloud()
+	if back.Len() != c.Len() || !back.HasNormals() {
+		t.Fatalf("round trip shape: %d points, normals=%v", back.Len(), back.HasNormals())
+	}
+	for i := range back.Points {
+		if back.Points[i] != c.Points[i].Quantize32() {
+			t.Fatalf("point %d moved beyond quantization", i)
+		}
+		if back.Normals[i] != c.Normals[i].Quantize32() {
+			t.Fatalf("normal %d moved beyond quantization", i)
+		}
+	}
+}
+
+func TestSlabResetAppendReusesCapacity(t *testing.T) {
+	s := NewSlab(0)
+	s.EnsureNormals()
+	for i := 0; i < 100; i++ {
+		s.Append(geom.Vec3{X: float64(i)})
+		s.AppendNormal(geom.Vec3{Z: 1})
+	}
+	capX := cap(s.Xs)
+	s.Reset()
+	if s.Len() != 0 || !s.HasNormals() {
+		t.Fatalf("reset: len=%d normals=%v", s.Len(), s.HasNormals())
+	}
+	for i := 0; i < 100; i++ {
+		s.Append(geom.Vec3{Y: float64(i)})
+		s.AppendNormal(geom.Vec3{Z: 1})
+	}
+	if cap(s.Xs) != capX {
+		t.Errorf("append after reset reallocated: cap %d -> %d", capX, cap(s.Xs))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabSelectAndClone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := SlabFromCloud(&Cloud{Points: randVecs(r, 50), Normals: randVecs(r, 50)})
+	idx := []int{3, 7, 7, 49, 0}
+	sel := s.Select(idx)
+	if sel.Len() != len(idx) || !sel.HasNormals() {
+		t.Fatalf("select shape: %d, normals=%v", sel.Len(), sel.HasNormals())
+	}
+	for i, j := range idx {
+		if sel.At(i) != s.At(j) || sel.NormalAt(i) != s.NormalAt(j) {
+			t.Fatalf("select slot %d != source %d", i, j)
+		}
+	}
+	cl := s.Clone()
+	cl.SetPoint(0, geom.Vec3{X: 999})
+	if s.At(0) == cl.At(0) {
+		t.Fatal("clone shares storage with source")
+	}
+}
+
+// TestSlabBytesHalvesAoS pins the tentpole's storage claim: coordinate
+// payload is 12 B/point against the AoS layout's 24, with and without
+// normals.
+func TestSlabBytesHalvesAoS(t *testing.T) {
+	s := NewSlab(1000)
+	if got, want := s.Bytes(), int64(12000); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+	if s.AosBytes() != 2*s.Bytes() {
+		t.Fatalf("AosBytes %d is not 2x Bytes %d", s.AosBytes(), s.Bytes())
+	}
+	s.EnsureNormals()
+	if got, want := s.Bytes(), int64(24000); got != want {
+		t.Fatalf("Bytes with normals = %d, want %d", got, want)
+	}
+	if s.AosBytes() != 2*s.Bytes() {
+		t.Fatalf("AosBytes with normals %d is not 2x Bytes %d", s.AosBytes(), s.Bytes())
+	}
+}
+
+func TestSlabValidateErrors(t *testing.T) {
+	bad := &Slab{Xs: make([]float32, 3), Ys: make([]float32, 2), Zs: make([]float32, 3)}
+	if bad.Validate() == nil {
+		t.Error("unequal axis slices accepted")
+	}
+	nan := NewSlab(2)
+	nan.Xs[1] = float32(math.NaN())
+	if nan.Validate() == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	halfN := NewSlab(3)
+	halfN.NXs = make([]float32, 3) // NYs/NZs missing
+	if halfN.Validate() == nil {
+		t.Error("partial normal slabs accepted")
+	}
+}
+
+// TestVoxelDownsampleSlabMatchesAoS: on pre-snapped input the slab
+// downsampler must bucket identically to the AoS one and produce the
+// quantized AoS centroids, cell for cell.
+func TestVoxelDownsampleSlabMatchesAoS(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randVecs(r, 2000)
+	for i := range pts {
+		pts[i] = pts[i].Quantize32()
+	}
+	aos := VoxelDownsample(FromPoints(pts), 0.7)
+	soa := VoxelDownsampleSlab(SlabFromPoints(pts), 0.7)
+	if soa.Len() != aos.Len() {
+		t.Fatalf("cell counts differ: %d vs %d", soa.Len(), aos.Len())
+	}
+	for i := 0; i < soa.Len(); i++ {
+		if soa.At(i) != aos.Points[i].Quantize32() {
+			t.Fatalf("cell %d: slab %v, AoS %v", i, soa.At(i), aos.Points[i].Quantize32())
+		}
+	}
+	// Degenerate leaf: clone semantics.
+	same := VoxelDownsampleSlab(SlabFromPoints(pts), 0)
+	if same.Len() != len(pts) {
+		t.Fatalf("leaf<=0 should clone: %d vs %d", same.Len(), len(pts))
+	}
+}
+
+func TestSlabTransformInPlace(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := SlabFromCloud(&Cloud{Points: randVecs(r, 100), Normals: randVecs(r, 100)})
+	before := s.Clone()
+	tr := geom.Transform{R: geom.RotZ(0.4), T: geom.Vec3{X: 1, Y: -2, Z: 0.5}}
+	s.TransformInPlace(tr)
+	for i := 0; i < s.Len(); i++ {
+		want := tr.Apply(before.At(i)).Quantize32()
+		if s.At(i) != want {
+			t.Fatalf("point %d: %v, want %v", i, s.At(i), want)
+		}
+		wantN := tr.ApplyDirection(before.NormalAt(i)).Quantize32()
+		if s.NormalAt(i) != wantN {
+			t.Fatalf("normal %d: %v, want %v", i, s.NormalAt(i), wantN)
+		}
+	}
+}
+
+func TestSlabDist2AndComponent(t *testing.T) {
+	s := SlabFromPoints([]geom.Vec3{{X: 1, Y: 2, Z: 3}})
+	q := geom.Vec3{X: 2, Y: 0, Z: 7}
+	if got, want := s.Dist2(q, 0), q.Dist2(s.At(0)); got != want {
+		t.Errorf("Dist2 = %v, want %v", got, want)
+	}
+	for axis, want := range []float64{1, 2, 3} {
+		if got := s.Component(0, axis); got != want {
+			t.Errorf("Component(0,%d) = %v, want %v", axis, got, want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package features
 
 import (
+	"sync"
+
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/par"
@@ -17,13 +20,52 @@ import (
 // stage issues one big batch or streams blocks.
 const batchBlockSize = 32 * search.ApproxBatchChunk
 
-// forBlocks streams pts through batch in bounded blocks and hands every
-// query's neighbors to fn on the worker pool. fn receives the worker id
-// (stable within one call, for per-worker tallies), the global query
-// index, and that query's neighbor list; it must write results
-// positionally, which keeps the output bit-identical to the sequential
-// per-query loop.
-func forBlocks(workers int, pts []geom.Vec3, batch func(block []geom.Vec3) [][]kdtree.Neighbor, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+// blockBufs pools the dequantized query block each full-cloud stage
+// streams slab points through; one buffer serves a whole stage call, so a
+// streaming session's stages run without a per-frame block allocation.
+var blockBufs = sync.Pool{
+	New: func() any {
+		s := make([]geom.Vec3, batchBlockSize)
+		return &s
+	},
+}
+
+// forBlocks streams the slab's points through batch in bounded blocks and
+// hands every query's neighbors to fn on the worker pool. Queries are
+// dequantized slab coordinates (float64 of the stored float32), so every
+// stage queries exactly the values the search structures index. fn
+// receives the worker id (stable within one call, for per-worker
+// tallies), the global query index, and that query's neighbor list; it
+// must write results positionally, which keeps the output bit-identical
+// to the sequential per-query loop.
+func forBlocks(workers int, s *cloud.Slab, batch func(block []geom.Vec3) [][]kdtree.Neighbor, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+	bufp := blockBufs.Get().(*[]geom.Vec3)
+	buf := *bufp
+	n := s.Len()
+	for lo := 0; lo < n; lo += batchBlockSize {
+		hi := lo + batchBlockSize
+		if hi > n {
+			hi = n
+		}
+		block := buf[:hi-lo]
+		for j := range block {
+			block[j] = s.At(lo + j)
+		}
+		nbs := batch(block)
+		par.For(hi-lo, workers, func(w, j int) {
+			fn(w, lo+j, nbs[j])
+		})
+		// The sweep consumed every neighbor list; hand the slabs back so
+		// the next block (and the next frame of a streaming session)
+		// reuses them instead of re-allocating.
+		search.RecycleBatch(nbs)
+	}
+	blockBufs.Put(bufp)
+}
+
+// forPointBlocks is forBlocks for callers that already hold an AoS query
+// slice (sparse sets like the FPFH support points).
+func forPointBlocks(workers int, pts []geom.Vec3, batch func(block []geom.Vec3) [][]kdtree.Neighbor, fn func(worker, i int, nbs []kdtree.Neighbor)) {
 	for lo := 0; lo < len(pts); lo += batchBlockSize {
 		hi := lo + batchBlockSize
 		if hi > len(pts) {
@@ -33,16 +75,20 @@ func forBlocks(workers int, pts []geom.Vec3, batch func(block []geom.Vec3) [][]k
 		par.For(hi-lo, workers, func(w, j int) {
 			fn(w, lo+j, nbs[j])
 		})
-		// The sweep consumed every neighbor list; hand the slabs back so
-		// the next block (and the next frame of a streaming session)
-		// reuses them instead of re-allocating.
 		search.RecycleBatch(nbs)
 	}
 }
 
 // forRadiusBlocks is forBlocks for the common radius-search shape.
-func forRadiusBlocks(s search.Searcher, pts []geom.Vec3, r float64, fn func(worker, i int, nbs []kdtree.Neighbor)) {
-	forBlocks(s.Parallelism(), pts, func(block []geom.Vec3) [][]kdtree.Neighbor {
+func forRadiusBlocks(s search.Searcher, c *cloud.Slab, r float64, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+	forBlocks(s.Parallelism(), c, func(block []geom.Vec3) [][]kdtree.Neighbor {
+		return s.RadiusBatch(block, r)
+	}, fn)
+}
+
+// forRadiusPointBlocks is forPointBlocks for the radius-search shape.
+func forRadiusPointBlocks(s search.Searcher, pts []geom.Vec3, r float64, fn func(worker, i int, nbs []kdtree.Neighbor)) {
+	forPointBlocks(s.Parallelism(), pts, func(block []geom.Vec3) [][]kdtree.Neighbor {
 		return s.RadiusBatch(block, r)
 	}, fn)
 }

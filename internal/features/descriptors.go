@@ -99,13 +99,13 @@ func (d *Descriptors) Row(i int) []float64 {
 // point — which is gathered as its own batch over the deduplicated
 // support set, replacing the sequential memoization cache with a
 // precomputed table (same values, computed once each, in parallel).
-func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg DescriptorConfig) *Descriptors {
+func ComputeDescriptors(c *cloud.Slab, s search.Searcher, keypoints []int, cfg DescriptorConfig) *Descriptors {
 	cfg.defaults()
 	dim := cfg.Method.Dim()
 	out := &Descriptors{Dim: dim, Data: newDescriptorData(dim * len(keypoints))}
 	kpPts := make([]geom.Vec3, len(keypoints))
 	for ki, pi := range keypoints {
-		kpPts[ki] = c.Points[pi]
+		kpPts[ki] = c.At(pi)
 	}
 	kpNbs := s.RadiusBatch(kpPts, cfg.SearchRadius)
 	workers := s.Parallelism()
@@ -137,7 +137,7 @@ func ComputeDescriptors(c *cloud.Cloud, s search.Searcher, keypoints []int, cfg 
 // deduplicated and sorted so their batch is issued in a deterministic
 // order, and every SPFH is computed exactly once (the sequential
 // implementation memoized the same values in a cache keyed by index).
-func computeSPFHTable(c *cloud.Cloud, s search.Searcher, keypoints []int, kpNbs [][]kdtree.Neighbor, radius float64) map[int][]float64 {
+func computeSPFHTable(c *cloud.Slab, s search.Searcher, keypoints []int, kpNbs [][]kdtree.Neighbor, radius float64) map[int][]float64 {
 	kpSet := make(map[int]struct{}, len(keypoints))
 	for _, pi := range keypoints {
 		kpSet[pi] = struct{}{}
@@ -167,14 +167,14 @@ func computeSPFHTable(c *cloud.Cloud, s search.Searcher, keypoints []int, kpNbs 
 
 	pts := make([]geom.Vec3, len(need))
 	for i, idx := range need {
-		pts[i] = c.Points[idx]
+		pts[i] = c.At(idx)
 	}
 	// The support set can approach the whole cloud when key-points are
 	// dense, so stream it in bounded blocks like the full-cloud stages:
 	// only the SPFH rows persist, each block's neighbor lists are
 	// released after its sweep.
 	rows := make([][]float64, len(need))
-	forRadiusBlocks(s, pts, radius, func(_, i int, nbs []kdtree.Neighbor) {
+	forRadiusPointBlocks(s, pts, radius, func(_, i int, nbs []kdtree.Neighbor) {
 		rows[i] = spfh(c, need[i], nbs)
 	})
 	table := make(map[int][]float64, len(keypoints)+len(need))
@@ -216,16 +216,16 @@ func darbouxAngles(ps, ns, pt, nt geom.Vec3) (alpha, phi, theta float64, ok bool
 // spfh computes the Simplified Point Feature Histogram of point pi over
 // the prefetched radius neighborhood nbs: the concatenated (α, φ, θ)
 // histograms.
-func spfh(c *cloud.Cloud, pi int, nbs []kdtree.Neighbor) []float64 {
+func spfh(c *cloud.Slab, pi int, nbs []kdtree.Neighbor) []float64 {
 	h := make([]float64, 3*fpfhBinsPerAngle)
-	p := c.Points[pi]
-	n := c.Normals[pi]
+	p := c.At(pi)
+	n := c.NormalAt(pi)
 	count := 0
 	for _, nb := range nbs {
 		if nb.Index == pi {
 			continue
 		}
-		alpha, phi, theta, ok := darbouxAngles(p, n, c.Points[nb.Index], c.Normals[nb.Index])
+		alpha, phi, theta, ok := darbouxAngles(p, n, c.At(nb.Index), c.NormalAt(nb.Index))
 		if !ok {
 			continue
 		}
@@ -270,7 +270,7 @@ func binAngle(v float64) int {
 // fpfhDescriptor computes FPFH(p) = SPFH(p) + Σ_k SPFH(k)/ω_k over the
 // prefetched neighborhood, with ω_k the distance weight. spfhTable holds
 // the SPFH of every index the loop reads (see computeSPFHTable).
-func fpfhDescriptor(c *cloud.Cloud, pi int, nbs []kdtree.Neighbor, row []float64, spfhTable map[int][]float64) {
+func fpfhDescriptor(c *cloud.Slab, pi int, nbs []kdtree.Neighbor, row []float64, spfhTable map[int][]float64) {
 	copy(row, spfhTable[pi])
 	var wsum float64
 	acc := make([]float64, len(row))
@@ -306,12 +306,12 @@ const (
 // prefetched radius neighborhood: the eigenvectors of the
 // distance-weighted covariance with sign disambiguation toward the
 // majority of neighbors.
-func shotLRF(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor) (x, y, z geom.Vec3) {
-	p := c.Points[pi]
+func shotLRF(c *cloud.Slab, pi int, radius float64, nbs []searchNeighbor) (x, y, z geom.Vec3) {
+	p := c.At(pi)
 	var cov geom.Mat3
 	var wsum float64
 	for _, nb := range nbs {
-		d := c.Points[nb.Index].Sub(p)
+		d := c.At(nb.Index).Sub(p)
 		w := radius - math.Sqrt(nb.Dist2)
 		if w <= 0 {
 			continue
@@ -330,7 +330,7 @@ func shotLRF(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor) (x, y
 	// Sign disambiguation: point each axis toward the majority side.
 	var sx, sz int
 	for _, nb := range nbs {
-		d := c.Points[nb.Index].Sub(p)
+		d := c.At(nb.Index).Sub(p)
 		if d.Dot(x) >= 0 {
 			sx++
 		} else {
@@ -356,16 +356,16 @@ func shotLRF(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor) (x, y
 // neighborhood: the support sphere is split into azimuth × elevation ×
 // radial sectors; each sector holds an 11-bin histogram of cos(angle
 // between the neighbor normal and the key-point normal).
-func shotDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor, row []float64) {
+func shotDescriptor(c *cloud.Slab, pi int, radius float64, nbs []searchNeighbor, row []float64) {
 	x, y, z := shotLRF(c, pi, radius, nbs)
-	p := c.Points[pi]
-	n := c.Normals[pi]
+	p := c.At(pi)
+	n := c.NormalAt(pi)
 	total := 0.0
 	for _, nb := range nbs {
 		if nb.Index == pi {
 			continue
 		}
-		d := c.Points[nb.Index].Sub(p)
+		d := c.At(nb.Index).Sub(p)
 		r := d.Norm()
 		if r < 1e-12 || r > radius {
 			continue
@@ -385,7 +385,7 @@ func shotDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor
 			radBin = 1
 		}
 		spatial := (radBin*shotElevationBins+elBin)*shotAzimuthBins + azBin
-		cosAngle := c.Normals[nb.Index].Dot(n)
+		cosAngle := c.NormalAt(nb.Index).Dot(n)
 		cosBin := binUnitN(cosAngle, shotCosineBins)
 		row[spatial*shotCosineBins+cosBin]++
 		total++
@@ -427,9 +427,9 @@ const (
 // prefetched neighborhood: a log-radial spherical histogram of neighbor
 // positions in a normal-aligned frame, each contribution weighted by the
 // inverse local density as in Frome et al.
-func shapeContextDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []searchNeighbor, row []float64) {
-	p := c.Points[pi]
-	n := c.Normals[pi]
+func shapeContextDescriptor(c *cloud.Slab, pi int, radius float64, nbs []searchNeighbor, row []float64) {
+	p := c.At(pi)
+	n := c.NormalAt(pi)
 	u, v := n.OrthoBasis()
 	rmin := radius / 20
 	logSpan := math.Log(radius / rmin)
@@ -438,7 +438,7 @@ func shapeContextDescriptor(c *cloud.Cloud, pi int, radius float64, nbs []search
 		if nb.Index == pi {
 			continue
 		}
-		d := c.Points[nb.Index].Sub(p)
+		d := c.At(nb.Index).Sub(p)
 		r := d.Norm()
 		if r < 1e-12 || r > radius {
 			continue

@@ -11,35 +11,35 @@ import (
 )
 
 // planeCloud samples a noisy plane patch with the given unit normal.
-func planeCloud(r *rand.Rand, n int, normal geom.Vec3, noise float64) *cloud.Cloud {
+func planeCloud(r *rand.Rand, n int, normal geom.Vec3, noise float64) *cloud.Slab {
 	normal = normal.Normalize()
 	u, v := normal.OrthoBasis()
-	c := cloud.New(n)
+	pts := make([]geom.Vec3, 0, n)
 	for i := 0; i < n; i++ {
 		p := u.Scale(r.Float64()*10 - 5).
 			Add(v.Scale(r.Float64()*10 - 5)).
 			Add(normal.Scale(r.NormFloat64() * noise))
-		c.Points = append(c.Points, p)
+		pts = append(pts, p)
 	}
-	return c
+	return cloud.SlabFromPoints(pts)
 }
 
 // boxEdgeCloud samples two perpendicular faces meeting at an edge, plus
 // flat surroundings; the edge points are the expected key-points.
-func boxEdgeCloud(r *rand.Rand, n int) *cloud.Cloud {
-	c := cloud.New(n)
+func boxEdgeCloud(r *rand.Rand, n int) *cloud.Slab {
+	pts := make([]geom.Vec3, 0, n)
 	for i := 0; i < n; i++ {
 		t := r.Float64()
 		switch {
 		case t < 0.45: // floor z=0
-			c.Points = append(c.Points, geom.Vec3{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5, Z: 0})
+			pts = append(pts, geom.Vec3{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5, Z: 0})
 		case t < 0.9: // wall x=2
-			c.Points = append(c.Points, geom.Vec3{X: 2, Y: r.Float64()*10 - 5, Z: r.Float64() * 3})
+			pts = append(pts, geom.Vec3{X: 2, Y: r.Float64()*10 - 5, Z: r.Float64() * 3})
 		default: // edge line x=2, z=0
-			c.Points = append(c.Points, geom.Vec3{X: 2, Y: r.Float64()*10 - 5, Z: 0})
+			pts = append(pts, geom.Vec3{X: 2, Y: r.Float64()*10 - 5, Z: 0})
 		}
 	}
-	return c
+	return cloud.SlabFromPoints(pts)
 }
 
 func TestPlaneSVDNormalsOnPlane(t *testing.T) {
@@ -47,15 +47,15 @@ func TestPlaneSVDNormalsOnPlane(t *testing.T) {
 	for _, want := range []geom.Vec3{{Z: 1}, {X: 1}, {X: 1, Y: 1, Z: 1}} {
 		want = want.Normalize()
 		c := planeCloud(r, 600, want, 0.005)
-		s := search.NewKDSearcher(c.Points)
+		s := search.NewKDSearcherSlab(c)
 		cfg := NormalConfig{Method: PlaneSVD, SearchRadius: 1.2, Viewpoint: want.Scale(100)}
 		deg := EstimateNormals(c, s, cfg)
 		if deg > 30 {
 			t.Fatalf("too many degenerate normals: %d", deg)
 		}
 		good := 0
-		for _, n := range c.Normals {
-			if math.Abs(n.Dot(want)) > 0.99 {
+		for i := 0; i < c.Len(); i++ {
+			if math.Abs(c.NormalAt(i).Dot(want)) > 0.99 {
 				good++
 			}
 		}
@@ -69,12 +69,12 @@ func TestAreaWeightedNormalsOnPlane(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	want := geom.Vec3{Z: 1}
 	c := planeCloud(r, 500, want, 0.005)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	cfg := NormalConfig{Method: AreaWeighted, SearchRadius: 1.2, Viewpoint: geom.Vec3{Z: 100}}
 	EstimateNormals(c, s, cfg)
 	good := 0
-	for _, n := range c.Normals {
-		if n.Dot(want) > 0.98 {
+	for i := 0; i < c.Len(); i++ {
+		if c.NormalAt(i).Dot(want) > 0.98 {
 			good++
 		}
 	}
@@ -86,11 +86,11 @@ func TestAreaWeightedNormalsOnPlane(t *testing.T) {
 func TestNormalsOrientedTowardViewpoint(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	c := planeCloud(r, 300, geom.Vec3{Z: 1}, 0.002)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	viewpoint := geom.Vec3{Z: 50}
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 1.2, Viewpoint: viewpoint})
-	for i, n := range c.Normals {
-		if n.Dot(viewpoint.Sub(c.Points[i])) < 0 {
+	for i := 0; i < c.Len(); i++ {
+		if c.NormalAt(i).Dot(viewpoint.Sub(c.At(i))) < 0 {
 			t.Fatalf("normal %d points away from viewpoint", i)
 		}
 	}
@@ -99,26 +99,26 @@ func TestNormalsOrientedTowardViewpoint(t *testing.T) {
 func TestNormalsUnitLength(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	c := planeCloud(r, 200, geom.Vec3{X: 1, Z: 2}, 0.01)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	for _, method := range []NormalMethod{PlaneSVD, AreaWeighted} {
 		EstimateNormals(c, s, NormalConfig{Method: method, SearchRadius: 1.5})
-		for i, n := range c.Normals {
-			if math.Abs(n.Norm()-1) > 1e-6 {
-				t.Fatalf("%v: normal %d not unit: %v", method, i, n.Norm())
+		for i := 0; i < c.Len(); i++ {
+			if math.Abs(c.NormalAt(i).Norm()-1) > 1e-6 {
+				t.Fatalf("%v: normal %d not unit: %v", method, i, c.NormalAt(i).Norm())
 			}
 		}
 	}
 }
 
 func TestSparseNormalsDegenerate(t *testing.T) {
-	c := cloud.FromPoints([]geom.Vec3{{X: 0}, {X: 100}, {X: 200}})
-	s := search.NewKDSearcher(c.Points)
+	c := cloud.SlabFromPoints([]geom.Vec3{{X: 0}, {X: 100}, {X: 200}})
+	s := search.NewKDSearcherSlab(c)
 	deg := EstimateNormals(c, s, NormalConfig{SearchRadius: 0.5})
 	if deg != 3 {
 		t.Errorf("expected 3 degenerate normals, got %d", deg)
 	}
-	for _, n := range c.Normals {
-		if n != (geom.Vec3{Z: 1}) {
+	for i := 0; i < c.Len(); i++ {
+		if c.NormalAt(i) != (geom.Vec3{Z: 1}) {
 			t.Error("degenerate normal should default to +Z")
 		}
 	}
@@ -127,7 +127,7 @@ func TestSparseNormalsDegenerate(t *testing.T) {
 func TestHarrisDetectsEdges(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	c := boxEdgeCloud(r, 3000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	kps := DetectKeypoints(c, s, KeypointConfig{Method: Harris3D, Radius: 0.8, ResponseQuantile: 0.95})
 	if len(kps) == 0 {
@@ -136,7 +136,7 @@ func TestHarrisDetectsEdges(t *testing.T) {
 	// Keypoints should concentrate near the edge x=2 (where normals vary).
 	nearEdge := 0
 	for _, i := range kps {
-		p := c.Points[i]
+		p := c.At(i)
 		if math.Abs(p.X-2) < 1.0 {
 			nearEdge++
 		}
@@ -149,7 +149,7 @@ func TestHarrisDetectsEdges(t *testing.T) {
 func TestSIFTProducesKeypoints(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	c := boxEdgeCloud(r, 2000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	kps := DetectKeypoints(c, s, KeypointConfig{Method: SIFT3D, Scale: 0.4, ResponseQuantile: 0.9})
 	if len(kps) == 0 {
@@ -163,7 +163,7 @@ func TestSIFTProducesKeypoints(t *testing.T) {
 func TestKeypointNonMaxSuppression(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	c := boxEdgeCloud(r, 2000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	const radius = 1.0
 	kps := DetectKeypoints(c, s, KeypointConfig{Method: Harris3D, Radius: radius, ResponseQuantile: 0.9})
@@ -171,7 +171,7 @@ func TestKeypointNonMaxSuppression(t *testing.T) {
 	// is a line so Y separation is what matters.
 	for i := 0; i < len(kps); i++ {
 		for j := i + 1; j < len(kps); j++ {
-			if c.Points[kps[i]].Dist(c.Points[kps[j]]) < radius-1e-9 {
+			if c.At(kps[i]).Dist(c.At(kps[j])) < radius-1e-9 {
 				t.Fatalf("keypoints %d and %d within suppression radius", kps[i], kps[j])
 			}
 		}
@@ -181,7 +181,7 @@ func TestKeypointNonMaxSuppression(t *testing.T) {
 func TestMaxKeypointsHonored(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	c := boxEdgeCloud(r, 1500)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	kps := DetectKeypoints(c, s, KeypointConfig{Method: Harris3D, MaxKeypoints: 5})
 	if len(kps) > 5 {
@@ -203,9 +203,9 @@ func TestDescriptorDims(t *testing.T) {
 
 // descriptorTestCloud builds a structured cloud with normals for
 // descriptor tests.
-func descriptorTestCloud(r *rand.Rand) (*cloud.Cloud, *search.KDSearcher) {
+func descriptorTestCloud(r *rand.Rand) (*cloud.Slab, *search.KDSearcher) {
 	c := boxEdgeCloud(r, 2500)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	return c, s
 }
@@ -243,8 +243,9 @@ func TestFPFHInvariantToRigidTransform(t *testing.T) {
 	d1 := ComputeDescriptors(c, s, kps, DescriptorConfig{Method: FPFH, SearchRadius: 1.2})
 
 	tr := geom.Transform{R: geom.RotZ(0.6).Mul(geom.RotX(0.2)), T: geom.Vec3{X: 5, Y: -3, Z: 2}}
-	moved := c.Transform(tr)
-	s2 := search.NewKDSearcher(moved.Points)
+	moved := c.Clone()
+	moved.TransformInPlace(tr)
+	s2 := search.NewKDSearcherSlab(moved)
 	d2 := ComputeDescriptors(moved, s2, kps, DescriptorConfig{Method: FPFH, SearchRadius: 1.2})
 
 	for i := range kps {
@@ -266,7 +267,8 @@ func TestDescriptorsDiscriminative(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	c, s := descriptorTestCloud(r)
 	var floorA, floorB, edge int = -1, -1, -1
-	for i, p := range c.Points {
+	for i := 0; i < c.Len(); i++ {
+		p := c.At(i)
 		switch {
 		case floorA < 0 && p.Z == 0 && p.X < -2:
 			floorA = i
@@ -319,10 +321,11 @@ func TestFeatureTreeEmpty(t *testing.T) {
 func TestCurvatureFlatVsEdge(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	c := boxEdgeCloud(r, 2000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	curv := Curvature(c, s, 0.8)
 	var flatSum, flatN, edgeSum, edgeN float64
-	for i, p := range c.Points {
+	for i := 0; i < c.Len(); i++ {
+		p := c.At(i)
 		if p.Z == 0 && p.X < 0 {
 			flatSum += curv[i]
 			flatN++
@@ -344,14 +347,14 @@ func TestKNeighborNormals(t *testing.T) {
 	r := rand.New(rand.NewSource(14))
 	want := geom.Vec3{Z: 1}
 	c := planeCloud(r, 400, want, 0.005)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	deg := EstimateNormals(c, s, NormalConfig{KNeighbors: 12, Viewpoint: geom.Vec3{Z: 100}})
 	if deg != 0 {
 		t.Errorf("k-NN neighborhoods should never be degenerate on a dense plane: %d", deg)
 	}
 	good := 0
-	for _, n := range c.Normals {
-		if n.Dot(want) > 0.99 {
+	for i := 0; i < c.Len(); i++ {
+		if c.NormalAt(i).Dot(want) > 0.99 {
 			good++
 		}
 	}
@@ -363,16 +366,16 @@ func TestKNeighborNormals(t *testing.T) {
 func TestKNeighborNormalsSparseRobust(t *testing.T) {
 	// The adaptive property: points far apart still get plausible normals
 	// with k-NN support, where a fixed radius finds nothing.
-	c := cloud.FromPoints([]geom.Vec3{
+	c := cloud.SlabFromPoints([]geom.Vec3{
 		{X: 0}, {X: 10}, {X: 20}, {X: 0, Y: 10}, {X: 10, Y: 10}, {X: 20, Y: 10},
 	})
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	deg := EstimateNormals(c, s, NormalConfig{KNeighbors: 4, MinNeighbors: 3})
 	if deg != 0 {
 		t.Errorf("k-NN normals degenerate on sparse plane: %d", deg)
 	}
-	for i, n := range c.Normals {
-		if math.Abs(n.Dot(geom.Vec3{Z: 1})) < 0.99 {
+	for i := 0; i < c.Len(); i++ {
+		if n := c.NormalAt(i); math.Abs(n.Dot(geom.Vec3{Z: 1})) < 0.99 {
 			t.Errorf("sparse point %d normal %v not plane-aligned", i, n)
 		}
 	}
@@ -381,7 +384,7 @@ func TestKNeighborNormalsSparseRobust(t *testing.T) {
 func BenchmarkEstimateNormals(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	c := boxEdgeCloud(r, 3000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
@@ -391,7 +394,7 @@ func BenchmarkEstimateNormals(b *testing.B) {
 func BenchmarkFPFHDescriptors(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
 	c := boxEdgeCloud(r, 3000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	kps := make([]int, 64)
 	for i := range kps {
@@ -406,7 +409,7 @@ func BenchmarkFPFHDescriptors(b *testing.B) {
 func BenchmarkHarrisKeypoints(b *testing.B) {
 	r := rand.New(rand.NewSource(3))
 	c := boxEdgeCloud(r, 3000)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	EstimateNormals(c, s, NormalConfig{SearchRadius: 0.8})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

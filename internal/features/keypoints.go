@@ -76,10 +76,10 @@ func (c *KeypointConfig) defaults() {
 	}
 }
 
-// DetectKeypoints returns indices into c.Points of the detected
-// key-points, ordered by decreasing response. The cloud must have normals
-// when the Harris detector is selected.
-func DetectKeypoints(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []int {
+// DetectKeypoints returns indices into c of the detected key-points,
+// ordered by decreasing response. The slab must have normals when the
+// Harris detector is selected.
+func DetectKeypoints(c *cloud.Slab, s search.Searcher, cfg KeypointConfig) []int {
 	cfg.defaults()
 	var responses []float64
 	var suppressRadius float64
@@ -102,20 +102,20 @@ func DetectKeypoints(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []in
 // trace(C) + det(C)/k', which ranks edges and corners above planes using
 // the same covariance statistic. PCL's Harris3D offers equivalent
 // alternative response functions (NOBLE, CURVATURE) for the same reason.
-func harrisResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []float64 {
+func harrisResponses(c *cloud.Slab, s search.Searcher, cfg KeypointConfig) []float64 {
 	res := make([]float64, c.Len())
-	forRadiusBlocks(s, c.Points, cfg.Radius, func(_, i int, nbs []kdtree.Neighbor) {
+	forRadiusBlocks(s, c, cfg.Radius, func(_, i int, nbs []kdtree.Neighbor) {
 		if len(nbs) < 5 {
 			return
 		}
 		var mean geom.Vec3
 		for _, nb := range nbs {
-			mean = mean.Add(c.Normals[nb.Index])
+			mean = mean.Add(c.NormalAt(nb.Index))
 		}
 		mean = mean.Scale(1 / float64(len(nbs)))
 		var cov geom.Mat3
 		for _, nb := range nbs {
-			d := c.Normals[nb.Index].Sub(mean)
+			d := c.NormalAt(nb.Index).Sub(mean)
 			cov = cov.Add(geom.OuterProduct(d, d))
 		}
 		cov = cov.Scale(1 / float64(len(nbs)))
@@ -129,7 +129,7 @@ func harrisResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []fl
 // response is the maximum absolute difference between adjacent scales.
 // Blob-like structure (curbs, poles, car corners) produces large
 // differences; flat regions produce nearly scale-invariant densities.
-func siftResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []float64 {
+func siftResponses(c *cloud.Slab, s search.Searcher, cfg KeypointConfig) []float64 {
 	res := make([]float64, c.Len())
 	scales := make([]float64, cfg.Octaves+1)
 	for o := range scales {
@@ -143,7 +143,7 @@ func siftResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []floa
 		scratch[w] = make([]float64, len(scales))
 	}
 	// One search at the largest scale serves every smaller scale.
-	forRadiusBlocks(s, c.Points, scales[len(scales)-1], func(w, i int, nbs []kdtree.Neighbor) {
+	forRadiusBlocks(s, c, scales[len(scales)-1], func(w, i int, nbs []kdtree.Neighbor) {
 		density := scratch[w]
 		for si, sigma := range scales {
 			var d float64
@@ -166,7 +166,7 @@ func siftResponses(c *cloud.Cloud, s search.Searcher, cfg KeypointConfig) []floa
 
 // selectKeypoints thresholds responses at the configured quantile and
 // applies non-maximum suppression within suppressRadius.
-func selectKeypoints(c *cloud.Cloud, s search.Searcher, responses []float64, suppressRadius float64, cfg KeypointConfig) []int {
+func selectKeypoints(c *cloud.Slab, s search.Searcher, responses []float64, suppressRadius float64, cfg KeypointConfig) []int {
 	positive := make([]float64, 0, len(responses))
 	for _, r := range responses {
 		if r > 0 {
@@ -207,7 +207,7 @@ func selectKeypoints(c *cloud.Cloud, s search.Searcher, responses []float64, sup
 		if cfg.MaxKeypoints > 0 && len(out) >= cfg.MaxKeypoints {
 			break
 		}
-		for _, nb := range s.Radius(c.Points[i], suppressRadius) {
+		for _, nb := range s.Radius(c.At(i), suppressRadius) {
 			suppressed[nb.Index] = true
 		}
 	}
@@ -217,20 +217,20 @@ func selectKeypoints(c *cloud.Cloud, s search.Searcher, responses []float64, sup
 // Curvature returns the surface-variation measure λ0/(λ0+λ1+λ2) for each
 // point, a cheap edge/cornerness signal exposed for diagnostics and
 // examples.
-func Curvature(c *cloud.Cloud, s search.Searcher, radius float64) []float64 {
+func Curvature(c *cloud.Slab, s search.Searcher, radius float64) []float64 {
 	out := make([]float64, c.Len())
-	forRadiusBlocks(s, c.Points, radius, func(_, i int, nbs []kdtree.Neighbor) {
+	forRadiusBlocks(s, c, radius, func(_, i int, nbs []kdtree.Neighbor) {
 		if len(nbs) < 4 {
 			return
 		}
 		var centroid geom.Vec3
 		for _, nb := range nbs {
-			centroid = centroid.Add(s.Points()[nb.Index])
+			centroid = centroid.Add(c.At(nb.Index))
 		}
 		centroid = centroid.Scale(1 / float64(len(nbs)))
 		var cov geom.Mat3
 		for _, nb := range nbs {
-			d := s.Points()[nb.Index].Sub(centroid)
+			d := c.At(nb.Index).Sub(centroid)
 			cov = cov.Add(geom.OuterProduct(d, d))
 		}
 		eig := linalg.EigenSym3(cov)

@@ -15,6 +15,11 @@
 // batched API and fan the pure per-point math over internal/par, so the
 // stage wall times reflect the query-level parallelism the paper's
 // two-stage tree is designed to expose.
+//
+// The stages operate on the SoA float32 slab (cloud.Slab) the pipeline
+// shares with its search indexes: neighbor coordinates and normals are
+// dequantized per read and all accumulation runs in float64, so results
+// are deterministic at any parallelism for the float32-quantized inputs.
 package features
 
 import (
@@ -81,17 +86,17 @@ func (c *NormalConfig) defaults() {
 	}
 }
 
-// EstimateNormals fills c.Normals for every point using neighborhoods
-// from s (which must index the same points). It returns the number of
-// points that had too few neighbors for a stable fit.
+// EstimateNormals fills c's normal slabs for every point using
+// neighborhoods from s (which must index the same points). It returns the
+// number of points that had too few neighbors for a stable fit.
 //
 // The queries stream through the searcher's batch API in bounded blocks
 // (see forBlocks), each consumed by a parallel sweep fitting the
 // per-point normals. Every sweep writes positionally, so the output is
 // bit-identical to the sequential per-point loop.
-func EstimateNormals(c *cloud.Cloud, s search.Searcher, cfg NormalConfig) int {
+func EstimateNormals(c *cloud.Slab, s search.Searcher, cfg NormalConfig) int {
 	cfg.defaults()
-	c.Normals = make([]geom.Vec3, c.Len())
+	c.EnsureNormals()
 	workers := s.Parallelism()
 	batch := func(block []geom.Vec3) [][]kdtree.Neighbor {
 		if cfg.KNeighbors > 0 {
@@ -100,26 +105,26 @@ func EstimateNormals(c *cloud.Cloud, s search.Searcher, cfg NormalConfig) int {
 		return s.RadiusBatch(block, cfg.SearchRadius)
 	}
 	degenerate := make([]int, par.Workers(workers))
-	forBlocks(workers, c.Points, batch, func(w, i int, nbs []kdtree.Neighbor) {
-		p := c.Points[i]
+	forBlocks(workers, c, batch, func(w, i int, nbs []kdtree.Neighbor) {
+		p := c.At(i)
 		if len(nbs) < cfg.MinNeighbors {
-			c.Normals[i] = geom.Vec3{Z: 1}
+			c.SetNormal(i, geom.Vec3{Z: 1})
 			degenerate[w]++
 			return
 		}
 		var n geom.Vec3
 		switch cfg.Method {
 		case AreaWeighted:
-			n = areaWeightedNormal(p, nbs, s.Points())
+			n = areaWeightedNormal(p, nbs, c)
 		default:
-			n = planeSVDNormal(p, nbs, s.Points())
+			n = planeSVDNormal(p, nbs, c)
 		}
 		// Orient toward the viewpoint so normals are consistent across the
 		// cloud (required by the Darboux-frame descriptors).
 		if n.Dot(cfg.Viewpoint.Sub(p)) < 0 {
 			n = n.Neg()
 		}
-		c.Normals[i] = n
+		c.SetNormal(i, n)
 	})
 	total := 0
 	for _, d := range degenerate {
@@ -130,16 +135,16 @@ func EstimateNormals(c *cloud.Cloud, s search.Searcher, cfg NormalConfig) int {
 
 // planeSVDNormal returns the smallest-eigenvalue eigenvector of the
 // neighborhood covariance.
-func planeSVDNormal(p geom.Vec3, nbs []kdtree.Neighbor, pts []geom.Vec3) geom.Vec3 {
+func planeSVDNormal(p geom.Vec3, nbs []kdtree.Neighbor, pts *cloud.Slab) geom.Vec3 {
 	var centroid geom.Vec3
 	for _, nb := range nbs {
-		centroid = centroid.Add(pts[nb.Index])
+		centroid = centroid.Add(pts.At(nb.Index))
 	}
 	centroid = centroid.Scale(1 / float64(len(nbs)))
 
 	var cov geom.Mat3
 	for _, nb := range nbs {
-		d := pts[nb.Index].Sub(centroid)
+		d := pts.At(nb.Index).Sub(centroid)
 		cov = cov.Add(geom.OuterProduct(d, d))
 	}
 	eig := linalg.EigenSym3(cov)
@@ -150,22 +155,22 @@ func planeSVDNormal(p geom.Vec3, nbs []kdtree.Neighbor, pts []geom.Vec3) geom.Ve
 // Each cross product's magnitude is twice the triangle area, so summing
 // raw cross products weights faces by area, which is the essence of
 // Klasing's AreaWeighted estimator.
-func areaWeightedNormal(p geom.Vec3, nbs []kdtree.Neighbor, pts []geom.Vec3) geom.Vec3 {
+func areaWeightedNormal(p geom.Vec3, nbs []kdtree.Neighbor, pts *cloud.Slab) geom.Vec3 {
 	// Order neighbors by azimuth in a provisional tangent plane so the fan
 	// is geometrically consistent.
 	prov := planeSVDNormal(p, nbs, pts)
 	u, v := prov.OrthoBasis()
 	ordered := make([]polarEntry, 0, len(nbs))
 	for _, nb := range nbs {
-		d := pts[nb.Index].Sub(p)
+		d := pts.At(nb.Index).Sub(p)
 		ordered = append(ordered, polarEntry{idx: nb.Index, ang: math.Atan2(d.Dot(v), d.Dot(u))})
 	}
 	sortPolar(ordered)
 
 	var sum geom.Vec3
 	for i := range ordered {
-		a := pts[ordered[i].idx].Sub(p)
-		b := pts[ordered[(i+1)%len(ordered)].idx].Sub(p)
+		a := pts.At(ordered[i].idx).Sub(p)
+		b := pts.At(ordered[(i+1)%len(ordered)].idx).Sub(p)
 		sum = sum.Add(a.Cross(b))
 	}
 	n := sum.Normalize()

@@ -8,11 +8,10 @@ import (
 	"tigris/internal/search"
 )
 
-// cloneCloud copies points so two stage runs never share normal storage.
-func cloneCloud(c *cloud.Cloud) *cloud.Cloud {
-	out := cloud.New(c.Len())
-	out.Points = append(out.Points, c.Points...)
-	return out
+// cloneSlab copies points (not normals) so two stage runs never share
+// normal storage.
+func cloneSlab(s *cloud.Slab) *cloud.Slab {
+	return cloud.SlabFromPoints(s.Points())
 }
 
 // TestEstimateNormalsParallelMatchesSequential: the batched two-sweep
@@ -22,22 +21,22 @@ func TestEstimateNormalsParallelMatchesSequential(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	base := boxEdgeCloud(r, 2000)
 	for _, method := range []NormalMethod{PlaneSVD, AreaWeighted} {
-		ref := cloneCloud(base)
-		refS := search.NewKDSearcher(ref.Points)
+		ref := cloneSlab(base)
+		refS := search.NewKDSearcherSlab(ref)
 		refS.SetParallelism(1)
 		refDegen := EstimateNormals(ref, refS, NormalConfig{Method: method, SearchRadius: 0.8})
 
 		for _, workers := range []int{2, 8} {
-			c := cloneCloud(base)
-			s := search.NewKDSearcher(c.Points)
+			c := cloneSlab(base)
+			s := search.NewKDSearcherSlab(c)
 			s.SetParallelism(workers)
 			degen := EstimateNormals(c, s, NormalConfig{Method: method, SearchRadius: 0.8})
 			if degen != refDegen {
 				t.Errorf("%v/p%d: degenerate count %d, want %d", method, workers, degen, refDegen)
 			}
-			for i := range c.Normals {
-				if c.Normals[i] != ref.Normals[i] {
-					t.Fatalf("%v/p%d: normal[%d] = %v, want %v", method, workers, i, c.Normals[i], ref.Normals[i])
+			for i := 0; i < c.Len(); i++ {
+				if c.NormalAt(i) != ref.NormalAt(i) {
+					t.Fatalf("%v/p%d: normal[%d] = %v, want %v", method, workers, i, c.NormalAt(i), ref.NormalAt(i))
 				}
 			}
 		}

@@ -97,6 +97,19 @@ func (v Vec3) WithComponent(axis int, val float64) Vec3 {
 	return v
 }
 
+// Quantize32 rounds each component through float32 and back, producing
+// the exact value an SoA float32 slab (internal/cloud.Slab) would store
+// and dequantize. Search structures quantize their points on ingest, so
+// oracles and golden tests snap their inputs with this to stay
+// bit-identical with the trees.
+func (v Vec3) Quantize32() Vec3 {
+	return Vec3{
+		X: float64(float32(v.X)),
+		Y: float64(float32(v.Y)),
+		Z: float64(float32(v.Z)),
+	}
+}
+
 // Lerp linearly interpolates between v and w: (1-t)·v + t·w.
 func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
 	return v.Scale(1 - t).Add(w.Scale(t))

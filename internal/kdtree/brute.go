@@ -1,6 +1,7 @@
 package kdtree
 
 import (
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 )
 
@@ -8,6 +9,59 @@ import (
 // against, the degenerate two-stage configuration (top-tree height 0,
 // paper §4.1), and the kernel the accelerator back-end runs over leaf
 // node-sets.
+//
+// The AoS variants scan a []geom.Vec3 in full float64; to act as an
+// oracle for the float32 trees, feed them points snapped with
+// geom.Vec3.Quantize32 (then the dequantized arithmetic is
+// bit-identical). The slab variants scan an SoA slab directly with the
+// same float64-on-dequantized kernel the trees use.
+
+// BruteNearestSlab scans the slab linearly for the nearest neighbor of q.
+func BruteNearestSlab(s *cloud.Slab, q geom.Vec3) (Neighbor, bool) {
+	best := Neighbor{Index: -1, Dist2: 1e308}
+	for i := 0; i < s.Len(); i++ {
+		if d2 := s.Dist2(q, i); d2 < best.Dist2 {
+			best = Neighbor{Index: i, Dist2: d2}
+		}
+	}
+	return best, best.Index >= 0
+}
+
+// BruteKNearestIntoSlab is BruteKNearestInto over an SoA slab.
+func BruteKNearestIntoSlab(s *cloud.Slab, q geom.Vec3, k int, buf []Neighbor) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := maxHeap(buf[:0])
+	if cap(h) < k && k <= s.Len() {
+		h = make(maxHeap, 0, k)
+	}
+	for i := 0; i < s.Len(); i++ {
+		d2 := s.Dist2(q, i)
+		if len(h) < k {
+			h.push(Neighbor{Index: i, Dist2: d2})
+		} else if d2 < h[0].Dist2 {
+			h.replaceTop(Neighbor{Index: i, Dist2: d2})
+		}
+	}
+	return drainHeapAscending(h)
+}
+
+// BruteRadiusIntoSlab is BruteRadiusInto over an SoA slab.
+func BruteRadiusIntoSlab(s *cloud.Slab, q geom.Vec3, r float64, buf []Neighbor) []Neighbor {
+	if r < 0 {
+		return nil
+	}
+	r2 := r * r
+	res := buf[:0]
+	for i := 0; i < s.Len(); i++ {
+		if d2 := s.Dist2(q, i); d2 <= r2 {
+			res = append(res, Neighbor{Index: i, Dist2: d2})
+		}
+	}
+	SortNeighbors(res)
+	return res
+}
 
 // BruteNearest scans pts linearly for the nearest neighbor of q.
 func BruteNearest(pts []geom.Vec3, q geom.Vec3) (Neighbor, bool) {

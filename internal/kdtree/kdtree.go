@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 )
 
@@ -58,12 +59,38 @@ type node struct {
 	split       float64 // coordinate of the point along axis
 }
 
-// Tree is an immutable KD-tree over a point slice. The tree keeps a
-// reference to the slice; callers must not mutate it afterwards.
+// Tree is an immutable KD-tree over an SoA float32 point slab
+// (internal/cloud.Slab). The tree keeps a reference to the slab; callers
+// must not mutate it afterwards. Coordinates are quantized to float32 on
+// ingest and all distance arithmetic runs in float64 on the dequantized
+// values, so search results are a deterministic function of the slab and
+// the query alone (see the Slab precision contract).
 type Tree struct {
-	pts   []geom.Vec3
-	nodes []node
-	root  int32
+	slab       *cloud.Slab
+	xs, ys, zs []float32 // the slab's axis slices, cached for traversal
+	nodes      []node
+	root       int32
+}
+
+// dist2 is the traversal kernel: squared float64 distance from q to
+// point i, streamed from the per-axis slabs.
+func (t *Tree) dist2(q geom.Vec3, i int32) float64 {
+	dx := q.X - float64(t.xs[i])
+	dy := q.Y - float64(t.ys[i])
+	dz := q.Z - float64(t.zs[i])
+	return dx*dx + dy*dy + dz*dz
+}
+
+// component returns point i's coordinate along axis as float64.
+func (t *Tree) component(i int32, axis int) float64 {
+	switch axis {
+	case 0:
+		return float64(t.xs[i])
+	case 1:
+		return float64(t.ys[i])
+	default:
+		return float64(t.zs[i])
+	}
 }
 
 // buildSpawnMin is the smallest subtree worth a fresh goroutine during
@@ -93,13 +120,22 @@ func buildSpawnDepth() int {
 // disjoint, deterministic slots — the resulting tree is bit-identical to
 // a sequential build (the Fig. 4b "construction" bar shrinks with cores,
 // nothing else changes).
+// Build quantizes pts into a fresh slab and
+// builds over it; BuildSlab builds zero-copy over an existing slab.
 func Build(pts []geom.Vec3) *Tree {
-	t := &Tree{pts: pts, root: -1}
-	if len(pts) == 0 {
+	return BuildSlab(cloud.SlabFromPoints(pts))
+}
+
+// BuildSlab constructs the tree directly over an SoA slab without
+// copying the coordinates. The slab must not be mutated afterwards.
+func BuildSlab(s *cloud.Slab) *Tree {
+	t := &Tree{slab: s, xs: s.Xs, ys: s.Ys, zs: s.Zs, root: -1}
+	n := s.Len()
+	if n == 0 {
 		return t
 	}
-	t.nodes = make([]node, len(pts))
-	idx := make([]int32, len(pts))
+	t.nodes = make([]node, n)
+	idx := make([]int32, n)
 	for i := range idx {
 		idx[i] = int32(i)
 	}
@@ -113,12 +149,16 @@ func Build(pts []geom.Vec3) *Tree {
 // the next mid slots, the right subtree after it. spawn > 0 allows
 // forking the left child onto its own goroutine.
 func (t *Tree) buildAt(idx []int32, at int32, spawn int) {
-	axis := widestAxis(t.pts, idx)
-	// Median split: sort by the chosen axis; ties are broken by index so
-	// construction is deterministic.
+	axis := widestAxis(t.xs, t.ys, t.zs, idx)
+	// Median split: sort by the chosen axis (a contiguous float32 load
+	// per comparison — the SoA layout's construction win); ties are
+	// broken by index so construction is deterministic. Comparing the
+	// float32 values directly orders identically to comparing their
+	// float64 dequantizations.
+	ax := axisSlice(t.xs, t.ys, t.zs, axis)
 	sort.Slice(idx, func(a, b int) bool {
-		pa := t.pts[idx[a]].Component(axis)
-		pb := t.pts[idx[b]].Component(axis)
+		pa := ax[idx[a]]
+		pb := ax[idx[b]]
 		if pa != pb {
 			return pa < pb
 		}
@@ -128,7 +168,7 @@ func (t *Tree) buildAt(idx []int32, at int32, spawn int) {
 	n := node{
 		point: idx[mid],
 		axis:  int8(axis),
-		split: t.pts[idx[mid]].Component(axis),
+		split: float64(ax[idx[mid]]),
 		left:  -1,
 		right: -1,
 	}
@@ -159,34 +199,47 @@ func (t *Tree) buildAt(idx []int32, at int32, spawn int) {
 	}
 }
 
-// widestAxis returns the axis with the largest coordinate spread over the
-// indexed points.
-func widestAxis(pts []geom.Vec3, idx []int32) int {
-	lo := pts[idx[0]]
-	hi := lo
+// axisSlice selects the per-axis coordinate slab.
+func axisSlice(xs, ys, zs []float32, axis int) []float32 {
+	switch axis {
+	case 0:
+		return xs
+	case 1:
+		return ys
+	default:
+		return zs
+	}
+}
+
+// widestAxis returns the axis with the largest coordinate spread over
+// the indexed points, scanning each axis slab independently (three
+// sequential float32 streams instead of one strided struct walk).
+func widestAxis(xs, ys, zs []float32, idx []int32) int {
+	lox, hix := xs[idx[0]], xs[idx[0]]
+	loy, hiy := ys[idx[0]], ys[idx[0]]
+	loz, hiz := zs[idx[0]], zs[idx[0]]
 	for _, i := range idx[1:] {
-		p := pts[i]
-		if p.X < lo.X {
-			lo.X = p.X
-		} else if p.X > hi.X {
-			hi.X = p.X
+		if v := xs[i]; v < lox {
+			lox = v
+		} else if v > hix {
+			hix = v
 		}
-		if p.Y < lo.Y {
-			lo.Y = p.Y
-		} else if p.Y > hi.Y {
-			hi.Y = p.Y
+		if v := ys[i]; v < loy {
+			loy = v
+		} else if v > hiy {
+			hiy = v
 		}
-		if p.Z < lo.Z {
-			lo.Z = p.Z
-		} else if p.Z > hi.Z {
-			hi.Z = p.Z
+		if v := zs[i]; v < loz {
+			loz = v
+		} else if v > hiz {
+			hiz = v
 		}
 	}
-	s := hi.Sub(lo)
+	sx, sy, sz := hix-lox, hiy-loy, hiz-loz
 	switch {
-	case s.X >= s.Y && s.X >= s.Z:
+	case sx >= sy && sx >= sz:
 		return 0
-	case s.Y >= s.Z:
+	case sy >= sz:
 		return 1
 	default:
 		return 2
@@ -194,10 +247,18 @@ func widestAxis(pts []geom.Vec3, idx []int32) int {
 }
 
 // Len returns the number of points in the tree.
-func (t *Tree) Len() int { return len(t.pts) }
+func (t *Tree) Len() int { return len(t.xs) }
 
-// Points exposes the backing point slice (read-only by convention).
-func (t *Tree) Points() []geom.Vec3 { return t.pts }
+// Slab exposes the backing SoA point slab (read-only by convention).
+func (t *Tree) Slab() *cloud.Slab { return t.slab }
+
+// At dequantizes point i (the value every search distance was computed
+// against).
+func (t *Tree) At(i int) geom.Vec3 { return t.slab.At(i) }
+
+// Points materializes the dequantized points as a fresh AoS slice — an
+// O(n) copy for diagnostics and tests; hot paths use Slab or At.
+func (t *Tree) Points() []geom.Vec3 { return t.slab.Points() }
 
 // Height returns the height of the tree (0 for a single node, -1 empty).
 func (t *Tree) Height() int { return t.height(t.root) }
@@ -233,7 +294,7 @@ func (t *Tree) nearest(ni int32, q geom.Vec3, best *Neighbor, stats *Stats) {
 	if stats != nil {
 		stats.NodesVisited++
 	}
-	d2 := q.Dist2(t.pts[n.point])
+	d2 := t.dist2(q, n.point)
 	if d2 < best.Dist2 {
 		*best = Neighbor{Index: int(n.point), Dist2: d2}
 	}
@@ -275,7 +336,7 @@ func (t *Tree) KNearestInto(q geom.Vec3, k int, buf []Neighbor, stats *Stats) []
 		stats.Queries++
 	}
 	h := maxHeap(buf[:0])
-	if cap(h) < k && k <= len(t.pts) {
+	if cap(h) < k && k <= len(t.xs) {
 		h = make(maxHeap, 0, k)
 	}
 	t.kNearest(t.root, q, k, &h, stats)
@@ -287,7 +348,7 @@ func (t *Tree) kNearest(ni int32, q geom.Vec3, k int, h *maxHeap, stats *Stats) 
 	if stats != nil {
 		stats.NodesVisited++
 	}
-	d2 := q.Dist2(t.pts[n.point])
+	d2 := t.dist2(q, n.point)
 	if len(*h) < k {
 		h.push(Neighbor{Index: int(n.point), Dist2: d2})
 	} else if d2 < (*h)[0].Dist2 {
@@ -338,7 +399,7 @@ func (t *Tree) radius(ni int32, q geom.Vec3, r2 float64, res *[]Neighbor, stats 
 	if stats != nil {
 		stats.NodesVisited++
 	}
-	d2 := q.Dist2(t.pts[n.point])
+	d2 := t.dist2(q, n.point)
 	if d2 <= r2 {
 		*res = append(*res, Neighbor{Index: int(n.point), Dist2: d2})
 	}

@@ -8,6 +8,9 @@ import (
 	"tigris/internal/geom"
 )
 
+// randPoints generates test points pre-snapped to float32 (the slab
+// quantization convention): the tree stores exactly these coordinates,
+// so float64 brute-force oracles over the same slice stay bit-identical.
 func randPoints(r *rand.Rand, n int) []geom.Vec3 {
 	pts := make([]geom.Vec3, n)
 	for i := range pts {
@@ -15,7 +18,7 @@ func randPoints(r *rand.Rand, n int) []geom.Vec3 {
 			X: r.Float64()*100 - 50,
 			Y: r.Float64()*100 - 50,
 			Z: r.Float64()*10 - 5,
-		}
+		}.Quantize32()
 	}
 	return pts
 }

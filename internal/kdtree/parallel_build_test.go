@@ -6,13 +6,15 @@ import (
 	"sort"
 	"testing"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 )
 
 // seqBuild is the original sequential append-order construction, kept as
 // the layout oracle for the parallel builder.
 func seqBuild(pts []geom.Vec3) *Tree {
-	t := &Tree{pts: pts}
+	s := cloud.SlabFromPoints(pts)
+	t := &Tree{slab: s, xs: s.Xs, ys: s.Ys, zs: s.Zs}
 	if len(pts) > 0 {
 		t.nodes = make([]node, 0, len(pts))
 	}
@@ -28,10 +30,11 @@ func seqBuildRec(t *Tree, idx []int32) int32 {
 	if len(idx) == 0 {
 		return -1
 	}
-	axis := widestAxis(t.pts, idx)
+	axis := widestAxis(t.xs, t.ys, t.zs, idx)
+	ax := axisSlice(t.xs, t.ys, t.zs, axis)
 	sort.Slice(idx, func(a, b int) bool {
-		pa := t.pts[idx[a]].Component(axis)
-		pb := t.pts[idx[b]].Component(axis)
+		pa := ax[idx[a]]
+		pb := ax[idx[b]]
 		if pa != pb {
 			return pa < pb
 		}
@@ -41,7 +44,7 @@ func seqBuildRec(t *Tree, idx []int32) int32 {
 	n := node{
 		point: idx[mid],
 		axis:  int8(axis),
-		split: t.pts[idx[mid]].Component(axis),
+		split: float64(ax[idx[mid]]),
 		left:  -1,
 		right: -1,
 	}

@@ -23,11 +23,13 @@ func (cloudAndQuery) Generate(r *rand.Rand, size int) reflect.Value {
 	n := 1 + r.Intn(200)
 	pts := make([]geom.Vec3, n)
 	for i := range pts {
+		// Pre-snapped to float32 so the tree stores exactly these values
+		// and the AoS property checks stay bit-identical.
 		pts[i] = geom.Vec3{
 			X: r.Float64()*40 - 20,
 			Y: r.Float64()*40 - 20,
 			Z: r.Float64()*8 - 4,
-		}
+		}.Quantize32()
 	}
 	return reflect.ValueOf(cloudAndQuery{
 		Pts:   pts,

@@ -9,7 +9,9 @@
 //
 //   - Each prepared frame's descriptors (internal/features, FPFH by
 //     default) are aggregated into one compact frame signature — the
-//     mean descriptor plus a 3-component projection of it.
+//     mean descriptor (stored quantized to uint8 with a per-signature
+//     affine code, an 8x shrink of the retained vector) plus a
+//     3-component projection of it.
 //   - The 3D projections are indexed through any registered
 //     search.Backend (the PR 3 registry), so signature retrieval runs on
 //     the same pluggable searcher stack as the pipeline's 3D queries.
@@ -82,6 +84,13 @@ type Config struct {
 	// near-revisit, so a huge relative motion means the registration
 	// locked onto the wrong structure.
 	MaxDeltaTranslation float64
+	// ExactSignatures disables the uint8 signature quantization and
+	// retains full float64 signature vectors — a validation knob for
+	// comparing the quantized detector's accepted-closure set against the
+	// exact one (the two match on the test circuits; quantization error
+	// is orders of magnitude below the inter-frame signature distances
+	// the candidate ranking discriminates).
+	ExactSignatures bool
 }
 
 func (c *Config) defaults() {
@@ -138,14 +147,96 @@ type Stats struct {
 	Observed, Proposed, Verified, Accepted int64
 }
 
-// signature is one frame's place fingerprint.
+// signature is one frame's place fingerprint. The mean descriptor is
+// held quantized (q) unless Config.ExactSignatures asked for the full
+// float64 vector (mean).
 type signature struct {
 	index int
-	// mean is the frame's mean descriptor (len = descriptor dim).
+	// q is the quantized mean descriptor (the default representation).
+	q QuantizedSignature
+	// mean is the exact mean descriptor, retained only under
+	// Config.ExactSignatures.
 	mean []float64
 	// key is the 3D projection indexed by the search backend.
 	key geom.Vec3
 }
+
+// dist returns the L2 distance between this signature's (dequantized)
+// vector and the query's dequantized vector.
+func (s *signature) dist(query []float64) float64 {
+	if s.mean != nil {
+		return l2dist(query, s.mean)
+	}
+	var sum float64
+	for i, v := range query {
+		d := v - s.q.At(i)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// QuantizedSignature is a signature vector quantized to uint8 codes with
+// a per-signature affine dequantization (value = Offset + Scale·code):
+// 1 byte per dimension instead of 8, with the code range stretched over
+// exactly this vector's [min, max]. A SLAM session retains one signature
+// per observed frame forever, so the 8x shrink bounds the place
+// recognition memory that grows without bound.
+type QuantizedSignature struct {
+	Codes  []uint8
+	Offset float64
+	Scale  float64
+}
+
+// QuantizeSignature quantizes v with a per-vector affine code.
+func QuantizeSignature(v []float64) QuantizedSignature {
+	q := QuantizedSignature{Codes: make([]uint8, len(v))}
+	if len(v) == 0 {
+		return q
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	q.Offset = lo
+	if hi > lo {
+		q.Scale = (hi - lo) / 255
+		inv := 255 / (hi - lo)
+		for i, x := range v {
+			// Round to nearest code; clamp against the float edge cases.
+			c := int(math.Round((x - lo) * inv))
+			if c < 0 {
+				c = 0
+			}
+			if c > 255 {
+				c = 255
+			}
+			q.Codes[i] = uint8(c)
+		}
+	}
+	return q
+}
+
+// At dequantizes dimension i.
+func (q QuantizedSignature) At(i int) float64 {
+	return q.Offset + q.Scale*float64(q.Codes[i])
+}
+
+// Dequantize materializes the dequantized vector.
+func (q QuantizedSignature) Dequantize() []float64 {
+	out := make([]float64, len(q.Codes))
+	for i := range out {
+		out[i] = q.At(i)
+	}
+	return out
+}
+
+// Bytes returns the retained payload size (codes + the affine pair).
+func (q QuantizedSignature) Bytes() int { return len(q.Codes) + 16 }
 
 // Detector accumulates frame signatures and proposes/verifies loop
 // candidates. Methods are safe for concurrent use (a pipelined streaming
@@ -156,7 +247,7 @@ type Detector struct {
 
 	mu     sync.Mutex
 	sigs   []signature
-	clouds map[int]*cloud.Cloud
+	clouds map[int]*cloud.Slab
 	// searcher indexes sigs[i].key positionally; rebuilt lazily when
 	// frames were added since the last proposal.
 	searcher search.Searcher
@@ -183,7 +274,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, clouds: make(map[int]*cloud.Cloud), lastHit: -1 << 30}, nil
+	return &Detector{cfg: cfg, clouds: make(map[int]*cloud.Slab), lastHit: -1 << 30}, nil
 }
 
 func backendName(cfg Config) string {
@@ -248,8 +339,19 @@ func Signature(d *features.Descriptors) (mean []float64, key geom.Vec3) {
 // frame afterwards; the detector takes ownership of c, which must not
 // be mutated afterwards (pass a clone if the pipeline keeps writing to
 // it). Frames must be observed in increasing index order.
-func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Cloud) []Candidate {
+//
+// Signatures are retained uint8-quantized (see QuantizedSignature); the
+// query side of every ranking is the freshly-computed mean passed
+// through the same quantize/dequantize round trip, so both sides of a
+// distance carry identical quantization treatment.
+func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Slab) []Candidate {
 	mean, key := Signature(desc)
+	var qsig QuantizedSignature
+	queryVec := mean
+	if mean != nil && !d.cfg.ExactSignatures {
+		qsig = QuantizeSignature(mean)
+		queryVec = qsig.Dequantize()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.Observed++
@@ -284,7 +386,7 @@ func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Cloud
 					continue
 				}
 				sig := &d.sigs[nb.Index]
-				dist := l2dist(mean, sig.mean)
+				dist := sig.dist(queryVec)
 				if d.cfg.MaxSignatureDist > 0 && dist > d.cfg.MaxSignatureDist {
 					continue
 				}
@@ -304,7 +406,13 @@ func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Cloud
 	}
 
 	if mean != nil {
-		d.sigs = append(d.sigs, signature{index: index, mean: mean, key: key})
+		stored := signature{index: index, key: key}
+		if d.cfg.ExactSignatures {
+			stored.mean = mean
+		} else {
+			stored.q = qsig
+		}
+		d.sigs = append(d.sigs, stored)
 		// Retain the cloud only for frames that entered the signature
 		// index: a signature-less frame (no descriptors) can never be
 		// proposed as either side of a closure, so keeping its points
@@ -335,8 +443,8 @@ func (d *Detector) Verify(cand Candidate, cfg registration.PipelineConfig) (Clos
 		return Closure{}, false
 	}
 
-	pf := registration.PrepareFrame(from.Clone(), cfg)
-	pt := registration.PrepareFrame(to.Clone(), cfg)
+	pf := registration.PrepareFrameSlab(from.Clone(), cfg)
+	pt := registration.PrepareFrameSlab(to.Clone(), cfg)
 	res := registration.Align(pf, pt, cfg)
 	pf.Release()
 	pt.Release()
@@ -378,6 +486,23 @@ func (d *Detector) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// SignatureBytes reports the retained signature payload across all
+// observed frames (the quantity the uint8 quantization shrinks 8x
+// against float64 vectors).
+func (d *Detector) SignatureBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b int64
+	for i := range d.sigs {
+		if d.sigs[i].mean != nil {
+			b += int64(len(d.sigs[i].mean)) * 8
+		} else {
+			b += int64(d.sigs[i].q.Bytes())
+		}
+	}
+	return b
 }
 
 // Frames reports how many frames have been observed.

@@ -3,6 +3,7 @@ package loop
 import (
 	"testing"
 
+	"tigris/internal/cloud"
 	"tigris/internal/dse"
 	"tigris/internal/registration"
 	"tigris/internal/synth"
@@ -85,8 +86,8 @@ func TestDetectorProposesAndVerifiesRevisit(t *testing.T) {
 
 	var accepted []Closure
 	for i, f := range seq.Frames {
-		c := f.Clone()
-		pf := registration.PrepareFrame(c, cfg)
+		c := cloud.SlabFromCloud(f)
+		pf := registration.PrepareFrameSlab(c, cfg)
 		cands := det.Observe(i, pf.Desc, c)
 		pf.Release()
 		for _, cand := range cands {

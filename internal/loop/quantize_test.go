@@ -1,0 +1,122 @@
+package loop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tigris/internal/cloud"
+	"tigris/internal/registration"
+)
+
+func TestQuantizeSignatureRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		v := make([]float64, 33)
+		for i := range v {
+			v[i] = r.Float64()*20 - 10
+		}
+		q := QuantizeSignature(v)
+		if len(q.Codes) != len(v) {
+			t.Fatalf("code count %d, want %d", len(q.Codes), len(v))
+		}
+		// Dequantization error is bounded by half a code step per
+		// dimension.
+		half := q.Scale/2 + 1e-12
+		for i, x := range v {
+			if d := math.Abs(q.At(i) - x); d > half {
+				t.Fatalf("dim %d: error %g exceeds half-step %g", i, d, half)
+			}
+		}
+		dq := q.Dequantize()
+		for i := range dq {
+			if dq[i] != q.At(i) {
+				t.Fatal("Dequantize disagrees with At")
+			}
+		}
+	}
+}
+
+func TestQuantizeSignatureDegenerate(t *testing.T) {
+	if q := QuantizeSignature(nil); len(q.Codes) != 0 || q.Bytes() != 16 {
+		t.Errorf("empty signature: %+v, Bytes %d", q, q.Bytes())
+	}
+	// A constant vector has zero range: every code dequantizes to the
+	// constant exactly.
+	q := QuantizeSignature([]float64{3.5, 3.5, 3.5})
+	for i := 0; i < 3; i++ {
+		if q.At(i) != 3.5 {
+			t.Fatalf("constant vector dim %d dequantized to %v", i, q.At(i))
+		}
+	}
+	if q.Bytes() != 3+16 {
+		t.Errorf("Bytes = %d, want 19", q.Bytes())
+	}
+}
+
+// TestQuantizedClosureSetUnchanged is the PR's acceptance test for the
+// uint8 signatures: over a drift-circuit sequence, the quantized detector
+// must accept exactly the same closure set (From, To pairs) as a detector
+// running exact float64 signatures, while retaining ~8x less signature
+// memory.
+func TestQuantizedClosureSetUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline verification")
+	}
+	perLap := 40
+	frames := perLap + 6
+	seq := circuitSequence(t, frames, perLap)
+	cfg := slamPipeline(t)
+
+	base := Config{
+		Backend:       "twostage",
+		MinSeparation: perLap - 2,
+		MaxCandidates: 2,
+	}
+	exact := base
+	exact.ExactSignatures = true
+
+	run := func(c Config) ([]Closure, *Detector) {
+		det, err := NewDetector(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted []Closure
+		for i, f := range seq.Frames {
+			s := cloud.SlabFromCloud(f)
+			pf := registration.PrepareFrameSlab(s, cfg)
+			cands := det.Observe(i, pf.Desc, s)
+			pf.Release()
+			for _, cand := range cands {
+				if cl, ok := det.Verify(cand, cfg); ok {
+					accepted = append(accepted, cl)
+					break
+				}
+			}
+		}
+		return accepted, det
+	}
+
+	quantized, qdet := run(base)
+	exactSet, _ := run(exact)
+
+	if len(quantized) == 0 {
+		t.Fatal("quantized detector accepted no closures on a closed circuit")
+	}
+	if len(quantized) != len(exactSet) {
+		t.Fatalf("closure counts differ: quantized %d, exact %d", len(quantized), len(exactSet))
+	}
+	for i := range quantized {
+		if quantized[i].From != exactSet[i].From || quantized[i].To != exactSet[i].To {
+			t.Errorf("closure %d: quantized %d->%d, exact %d->%d",
+				i, quantized[i].From, quantized[i].To, exactSet[i].From, exactSet[i].To)
+		}
+	}
+	// The retained signature memory must reflect the 8x code shrink:
+	// well under what float64 vectors would cost.
+	dim := 33 // FPFH
+	aosBytes := int64(frames * dim * 8)
+	if got := qdet.SignatureBytes(); got >= aosBytes/4 {
+		t.Errorf("quantized signature memory %d B not well below float64 %d B", got, aosBytes)
+	}
+}

@@ -1,0 +1,50 @@
+// Package memstat reports process-level memory figures for the bench
+// CLIs: Go heap occupancy from runtime.MemStats and the OS-observed peak
+// resident set, so JSON reports carry both the allocator's view and the
+// kernel's.
+package memstat
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// HeapInuseBytes returns the bytes in in-use heap spans right now (after
+// a GC, a close proxy for live heap).
+func HeapInuseBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// PeakRSSBytes returns the process's high-water resident set size
+// (VmHWM) from /proc/self/status, or 0 where the proc file is
+// unavailable (non-Linux). The peak covers the whole process lifetime,
+// not one benchmark interval.
+func PeakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

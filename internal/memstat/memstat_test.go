@@ -1,0 +1,25 @@
+package memstat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestHeapInuseBytesNonZero(t *testing.T) {
+	if HeapInuseBytes() == 0 {
+		t.Error("HeapInuse reported 0 for a running process")
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	got := PeakRSSBytes()
+	if runtime.GOOS == "linux" {
+		// Any Go process has multi-megabyte peak RSS; the parse must not
+		// come back empty or in the wrong unit.
+		if got < 1<<20 {
+			t.Errorf("VmHWM = %d B, implausibly small", got)
+		}
+	} else if got != 0 {
+		t.Errorf("non-Linux peak RSS should be 0, got %d", got)
+	}
+}

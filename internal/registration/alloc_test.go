@@ -3,6 +3,7 @@ package registration
 import (
 	"testing"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/search"
 	"tigris/internal/synth"
@@ -42,18 +43,19 @@ func TestRANSACSteadyStateAllocs(t *testing.T) {
 func TestICPSteadyStateAllocs(t *testing.T) {
 	skipUnderRace(t)
 	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 22))
-	src, dst := seq.Frames[1], seq.Frames[0]
-	target := search.NewKDSearcher(dst.Points)
+	src := cloud.SlabFromCloud(seq.Frames[1])
+	dst := cloud.SlabFromCloud(seq.Frames[0])
+	target := search.NewKDSearcherSlab(dst)
 	target.SetParallelism(1)
 	cfg := ICPConfig{MaxIterations: 4, Parallelism: 1}
 
 	// Warm the ICP scratch (and let its buffers grow to this pair's
 	// sizes).
 	for i := 0; i < 2; i++ {
-		ICP(src, target, nil, geom.IdentityTransform(), cfg)
+		ICP(src, target, geom.IdentityTransform(), cfg)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		ICP(src, target, nil, geom.IdentityTransform(), cfg)
+		ICP(src, target, geom.IdentityTransform(), cfg)
 	})
 	// Budget: ~15 word-sized allocations per iteration — the worker-pool
 	// closures and chunk-partial arrays of the batched search and the

@@ -26,15 +26,15 @@ import (
 // A PreparedFrame is not safe for concurrent use: its searchers carry
 // per-instance metrics, and FineTarget mutates lazily-built state.
 type PreparedFrame struct {
-	// Raw is the cloud as given to PrepareFrame; fine-tuning RPCE always
-	// refines with these points.
-	Raw *cloud.Cloud
-	// FE is the front-end cloud (== Raw unless VoxelLeaf downsampling is
-	// active). Its Normals are filled by PrepareFrame.
-	FE *cloud.Cloud
-	// FESearch indexes FE.Points; every front-end stage queried it.
+	// Raw is the frame's SoA float32 slab (the cloud as given, quantized
+	// once on ingest); fine-tuning RPCE always refines with these points.
+	Raw *cloud.Slab
+	// FE is the front-end slab (== Raw unless VoxelLeaf downsampling is
+	// active). Its normal slabs are filled by PrepareFrame.
+	FE *cloud.Slab
+	// FESearch indexes FE zero-copy; every front-end stage queried it.
 	FESearch search.Searcher
-	// Keypoints are indices into FE.Points, ordered by response.
+	// Keypoints are indices into FE, ordered by response.
 	Keypoints []int
 	// KeypointPts are the key-point positions (aligned with Keypoints and
 	// the descriptor rows).
@@ -66,12 +66,22 @@ type PreparedFrame struct {
 // streaming session calls it once per *frame* and reuses the result for
 // both roles the frame plays.
 func PrepareFrame(c *cloud.Cloud, cfg PipelineConfig) *PreparedFrame {
+	return PrepareFrameSlab(cloud.SlabFromCloud(c), cfg)
+}
+
+// PrepareFrameSlab is PrepareFrame for callers that already hold the
+// frame as an SoA slab (the streaming engine, the loop detector's
+// verification clones): no further quantization or copying happens — the
+// search indexes are built zero-copy over the slab, and the slab's normal
+// arrays receive the normal-estimation output. The detector takes
+// ownership of s (its normals are written in place).
+func PrepareFrameSlab(s *cloud.Slab, cfg PipelineConfig) *PreparedFrame {
 	start := time.Now()
-	f := &PreparedFrame{Raw: c, FE: c}
+	f := &PreparedFrame{Raw: s, FE: s}
 	if cfg.VoxelLeaf > 0 && !cfg.FrontEndOnRaw {
-		f.FE = cloud.VoxelDownsample(c, cfg.VoxelLeaf)
+		f.FE = cloud.VoxelDownsampleSlab(s, cfg.VoxelLeaf)
 	}
-	f.FESearch = newSearcher(f.FE.Points, cfg.Searcher)
+	f.FESearch = newSearcher(f.FE, cfg.Searcher)
 	f.Builds++
 
 	// Normal estimation, optionally with shell error injection (§4.2).
@@ -96,7 +106,7 @@ func PrepareFrame(c *cloud.Cloud, cfg PipelineConfig) *PreparedFrame {
 	f.Desc = features.ComputeDescriptors(f.FE, f.FESearch, f.Keypoints, cfg.Descriptor)
 	f.DescriptorTime = time.Since(t0)
 
-	f.KeypointPts = selectPoints(f.FE.Points, f.Keypoints)
+	f.KeypointPts = selectSlabPoints(f.FE, f.Keypoints)
 	f.PrepTotal = time.Since(start)
 	return f
 }
@@ -107,12 +117,12 @@ func PrepareFrame(c *cloud.Cloud, cfg PipelineConfig) *PreparedFrame {
 // first use and cached for every later pair that targets this frame.
 // Point-to-plane fine-tuning additionally needs raw-cloud normals, which
 // are likewise estimated once.
-func (f *PreparedFrame) FineTarget(cfg PipelineConfig) (search.Searcher, *cloud.Cloud) {
+func (f *PreparedFrame) FineTarget(cfg PipelineConfig) (search.Searcher, *cloud.Slab) {
 	if f.FE == f.Raw {
 		return f.FESearch, f.FE
 	}
 	if f.fineSearch == nil {
-		f.fineSearch = newSearcher(f.Raw.Points, cfg.Searcher)
+		f.fineSearch = newSearcher(f.Raw, cfg.Searcher)
 		f.Builds++
 	}
 	if cfg.ICP.Metric == PointToPlane && !f.fineNormalsDone {
@@ -121,6 +131,36 @@ func (f *PreparedFrame) FineTarget(cfg PipelineConfig) (search.Searcher, *cloud.
 		f.fineNormalsDone = true
 	}
 	return f.fineSearch, f.Raw
+}
+
+// StorageBytes returns the frame's point-storage footprint: the raw
+// slab plus, when downsampling produced a distinct front-end cloud, the
+// front-end slab. The search indexes alias these slabs (zero-copy
+// builds), so this is the frame's whole coordinate payload; the bench
+// reports it as point-storage bytes/frame.
+func (f *PreparedFrame) StorageBytes() int64 {
+	if f.Raw == nil {
+		return 0
+	}
+	b := f.Raw.Bytes()
+	if f.FE != nil && f.FE != f.Raw {
+		b += f.FE.Bytes()
+	}
+	return b
+}
+
+// AosStorageBytes returns what the same frame state would cost in the
+// pre-slab AoS float64 layout — the denominator of the bench's
+// layout-reduction ratio.
+func (f *PreparedFrame) AosStorageBytes() int64 {
+	if f.Raw == nil {
+		return 0
+	}
+	b := f.Raw.AosBytes()
+	if f.FE != nil && f.FE != f.Raw {
+		b += f.FE.AosBytes()
+	}
+	return b
 }
 
 // Searchers returns every search index this frame has built so far (the
@@ -222,7 +262,7 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	recycleCorr(corr, inliers)
 
 	// --- Fine-tuning phase (paper Fig. 2, right) ---
-	icpTarget, icpTargetCloud := dst.FineTarget(cfg)
+	icpTarget, _ := dst.FineTarget(cfg)
 	// The target index may have been built by the other pipeline stage
 	// under a different worker share (front-end reuse in a pipelined
 	// stream splits the pool between stages); re-pin its batch width to
@@ -242,7 +282,7 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	if icpCfg.Parallelism == 0 {
 		icpCfg.Parallelism = cfg.Searcher.EffectiveParallelism()
 	}
-	icpRes := ICP(src.Raw, rpceSearch, icpTargetCloud.Normals, initial, icpCfg)
+	icpRes := ICP(src.Raw, rpceSearch, initial, icpCfg)
 	res.ICP = icpRes
 	res.Stage.RPCE = icpRes.RPCETime
 	res.Stage.ErrorMinimization = icpRes.SolveTime

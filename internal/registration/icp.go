@@ -80,9 +80,12 @@ type ICPResult struct {
 
 // icpScratch holds every buffer one ICP call cycles through its
 // iterations: the moved source copy, the strided query set, the
-// nearest-neighbor results, and the gated correspondence arrays. Pooled
+// nearest-neighbor results, and the gated correspondence slabs. Pooled
 // across calls so a streaming session's fine-tuning runs with near-zero
-// steady-state allocations.
+// steady-state allocations. The correspondence pairs live in SoA float32
+// slabs (srcS/dstS) — half the bytes of the historical AoS gather — and
+// every downstream reduction dequantizes to float64 (see
+// transform_slab.go).
 type icpScratch struct {
 	cur    []geom.Vec3
 	qIdx   []int
@@ -90,39 +93,37 @@ type icpScratch struct {
 	nbs    []kdtree.Neighbor
 	candQ  []int
 	backQs []geom.Vec3
-	srcPts []geom.Vec3
-	dstPts []geom.Vec3
-	dstNs  []geom.Vec3
+	srcS   cloud.Slab
+	dstS   cloud.Slab
 }
 
 var icpScratchPool = sync.Pool{New: func() any { return new(icpScratch) }}
 
 // ICP runs iterative closest point from the initial guess. target is the
-// searcher indexing the target cloud (it must also expose the target
-// normals when the point-to-plane metric is selected). Each iteration's
+// searcher indexing the target cloud; its slab must carry the target
+// normals when the point-to-plane metric is selected. Each iteration's
 // RPCE runs as one NearestBatch against the target (and, for reciprocal
 // RPCE, a second batch of back-queries against a fresh source index), so
 // the dominant per-iteration cost parallelizes across the searcher's
 // worker pool while the correspondence list keeps its sequential order;
 // the per-point error accumulation inside transform estimation fans out
 // over cfg.Parallelism workers with bit-identical results at any setting.
-func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, initial geom.Transform, cfg ICPConfig) ICPResult {
+func ICP(src *cloud.Slab, target search.Searcher, initial geom.Transform, cfg ICPConfig) ICPResult {
 	cfg.defaults()
 	res := ICPResult{Transform: initial}
-	targetPts := target.Points()
+	tslab := target.Slab()
 
 	sc := icpScratchPool.Get().(*icpScratch)
 	defer icpScratchPool.Put(sc)
 
-	// The moved source copy: only the positions matter to RPCE and error
-	// minimization, so a bare point slice replaces the cloud copy
-	// Register historically made (identical arithmetic, zero steady-state
-	// allocation).
-	cur := append(sc.cur[:0], src.Points...)
-	sc.cur = cur
-	for i := range cur {
-		cur[i] = initial.Apply(cur[i])
+	// The moved source copy: only the positions matter to RPCE, so a bare
+	// float64 point slice carries the iteratively-updated positions (the
+	// accumulated transforms would drift if re-quantized every iteration).
+	cur := sc.cur[:0]
+	for i := 0; i < src.Len(); i++ {
+		cur = append(cur, initial.Apply(src.At(i)))
 	}
+	sc.cur = cur
 
 	// The strided query index set is fixed across iterations; the query
 	// positions change as cur moves.
@@ -135,6 +136,8 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		sc.qs = make([]geom.Vec3, len(qIdx))
 	}
 	qs := sc.qs[:len(qIdx)]
+
+	usePlane := cfg.Metric == PointToPlane && tslab.HasNormals()
 
 	prevRMSE := -1.0
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
@@ -172,24 +175,33 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 			}
 			backQs := sc.backQs[:len(candQ)]
 			for ci, qi := range candQ {
-				backQs[ci] = targetPts[nbs[qi].Index]
+				backQs[ci] = tslab.At(nbs[qi].Index)
 			}
 			backs = srcSearch.NearestBatch(backQs)
 		}
-		srcPts, dstPts, dstNs := sc.srcPts[:0], sc.dstPts[:0], sc.dstNs[:0]
+		// Gather surviving correspondences into the SoA scratch slabs the
+		// solvers stream: moved source positions quantize to float32 here
+		// (the slab layout's one-time precision step), target positions are
+		// already float32-exact.
+		srcS, dstS := &sc.srcS, &sc.dstS
+		srcS.Reset()
+		dstS.Reset()
+		if usePlane {
+			dstS.EnsureNormals()
+		}
 		for ci, qi := range candQ {
 			if cfg.Reciprocal && backs[ci].Index != qIdx[qi] {
 				continue
 			}
-			srcPts = append(srcPts, qs[qi])
-			dstPts = append(dstPts, targetPts[nbs[qi].Index])
-			if cfg.Metric == PointToPlane && targetNormals != nil {
-				dstNs = append(dstNs, targetNormals[nbs[qi].Index])
+			ti := nbs[qi].Index
+			srcS.Append(qs[qi])
+			dstS.Append(tslab.At(ti))
+			if usePlane {
+				dstS.AppendNormal(tslab.NormalAt(ti))
 			}
 		}
-		sc.srcPts, sc.dstPts, sc.dstNs = srcPts, dstPts, dstNs
 		res.RPCETime += time.Since(start)
-		if len(srcPts) < 6 {
+		if srcS.Len() < 6 {
 			return res // too little overlap to continue
 		}
 
@@ -197,10 +209,10 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 		start = time.Now()
 		var delta geom.Transform
 		var ok bool
-		if cfg.Metric == PointToPlane && dstNs != nil {
-			delta, ok = EstimatePointToPlanePar(srcPts, dstPts, dstNs, cfg.Parallelism)
+		if usePlane {
+			delta, ok = EstimatePointToPlaneSlabPar(srcS, dstS, cfg.Parallelism)
 		} else {
-			delta, ok = EstimateRigidTransformPar(srcPts, dstPts, cfg.Parallelism)
+			delta, ok = EstimateRigidTransformSlabPar(srcS, dstS, cfg.Parallelism)
 		}
 		res.SolveTime += time.Since(start)
 		if !ok {
@@ -212,7 +224,7 @@ func ICP(src *cloud.Cloud, target search.Searcher, targetNormals []geom.Vec3, in
 			cur[i] = delta.Apply(cur[i])
 		}
 
-		rmse := AlignmentRMSEPar(delta, srcPts, dstPts, cfg.Parallelism)
+		rmse := AlignmentRMSESlabPar(delta, srcS, dstS, cfg.Parallelism)
 		res.FinalRMSE = rmse
 
 		// Convergence criteria (Tbl. 1): small incremental motion or small

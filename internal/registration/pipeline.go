@@ -275,13 +275,13 @@ func (r *Result) OtherTime() time.Duration {
 	return o
 }
 
-// newSearcher builds the configured search backend over pts through the
-// registry. Construction errors (unknown name, bad option) are
-// programming/config errors at this depth — boundary code is expected to
-// have run SearcherConfig.Validate — so they panic with the underlying
-// message.
-func newSearcher(pts []geom.Vec3, cfg SearcherConfig) search.Searcher {
-	s, err := search.NewByName(cfg.BackendName(), pts, cfg.BackendOptions())
+// newSearcher builds the configured search backend zero-copy over the
+// frame slab through the registry. Construction errors (unknown name,
+// bad option) are programming/config errors at this depth — boundary
+// code is expected to have run SearcherConfig.Validate — so they panic
+// with the underlying message.
+func newSearcher(slab *cloud.Slab, cfg SearcherConfig) search.Searcher {
+	s, err := search.NewByNameSlab(cfg.BackendName(), slab, cfg.BackendOptions())
 	if err != nil {
 		panic(fmt.Sprintf("registration: %v (check configs at the boundary with SearcherConfig.Validate)", err))
 	}
@@ -400,10 +400,10 @@ func l2dist2Rows(a, b []float64) float64 {
 	return s
 }
 
-func selectPoints(pts []geom.Vec3, idx []int) []geom.Vec3 {
+func selectSlabPoints(s *cloud.Slab, idx []int) []geom.Vec3 {
 	out := make([]geom.Vec3, len(idx))
 	for i, j := range idx {
-		out[i] = pts[j]
+		out[i] = s.At(j)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/search"
 	"tigris/internal/synth"
@@ -93,28 +94,29 @@ func TestRANSACDegenerateFallback(t *testing.T) {
 // counts for both error metrics.
 func TestICPParallelErrorAccumulationMatchesSerial(t *testing.T) {
 	seq := synth.GenerateSequence(synth.QuickSequenceConfig(2, 81))
-	src, dst := seq.Frames[1], seq.Frames[0]
+	src := cloud.SlabFromCloud(seq.Frames[1])
+	dst := cloud.SlabFromCloud(seq.Frames[0])
 	if src.Len() <= accumChunk {
 		t.Fatalf("fixture too small to span chunks: %d points", src.Len())
 	}
 	for _, metric := range []ErrorMetric{PointToPoint, PointToPlane} {
-		target := search.NewKDSearcher(dst.Points)
-		target.SetParallelism(1)
-		var normals []geom.Vec3
+		tslab := dst.Clone()
 		if metric == PointToPlane {
 			// Cheap stand-in normals: the metric only needs a consistent
 			// per-target-point direction to exercise the LM accumulation.
-			normals = make([]geom.Vec3, dst.Len())
-			for i := range normals {
-				normals[i] = geom.Vec3{Z: 1}
+			tslab.EnsureNormals()
+			for i := 0; i < tslab.Len(); i++ {
+				tslab.SetNormal(i, geom.Vec3{Z: 1})
 			}
 		}
+		target := search.NewKDSearcherSlab(tslab)
+		target.SetParallelism(1)
 		base := ICPConfig{Metric: metric, MaxIterations: 8}
 
 		run := func(p int) ICPResult {
 			cfg := base
 			cfg.Parallelism = p
-			return ICP(src, target, normals, geom.IdentityTransform(), cfg)
+			return ICP(src, target, geom.IdentityTransform(), cfg)
 		}
 		want := run(1)
 		for _, p := range []int{2, 4, 8} {

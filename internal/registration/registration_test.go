@@ -25,21 +25,21 @@ func randTransformSmall(r *rand.Rand) geom.Transform {
 
 // structuredCloud builds a small scene with enough 3D structure for
 // registration to be well-posed (ground + two walls + a box).
-func structuredCloud(r *rand.Rand, n int) *cloud.Cloud {
-	c := cloud.New(n)
+func structuredCloud(r *rand.Rand, n int) *cloud.Slab {
+	pts := make([]geom.Vec3, 0, n)
 	for i := 0; i < n; i++ {
 		switch r.Intn(4) {
 		case 0: // ground
-			c.Points = append(c.Points, geom.Vec3{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10, Z: 0})
+			pts = append(pts, geom.Vec3{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10, Z: 0})
 		case 1: // wall x=8
-			c.Points = append(c.Points, geom.Vec3{X: 8, Y: r.Float64()*20 - 10, Z: r.Float64() * 4})
+			pts = append(pts, geom.Vec3{X: 8, Y: r.Float64()*20 - 10, Z: r.Float64() * 4})
 		case 2: // wall y=-6
-			c.Points = append(c.Points, geom.Vec3{X: r.Float64()*20 - 10, Y: -6, Z: r.Float64() * 4})
+			pts = append(pts, geom.Vec3{X: r.Float64()*20 - 10, Y: -6, Z: r.Float64() * 4})
 		default: // box
-			c.Points = append(c.Points, geom.Vec3{X: 2 + r.Float64(), Y: 1 + r.Float64(), Z: r.Float64() * 1.5})
+			pts = append(pts, geom.Vec3{X: 2 + r.Float64(), Y: 1 + r.Float64(), Z: r.Float64() * 1.5})
 		}
 	}
-	return c
+	return cloud.SlabFromPoints(pts)
 }
 
 func TestEstimateRigidTransformRecovers(t *testing.T) {
@@ -109,15 +109,16 @@ func TestEstimatePointToPlaneRecovers(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	// Points on three non-parallel planes fully constrain the transform.
 	c := structuredCloud(r, 600)
-	s := search.NewKDSearcher(c.Points)
+	s := search.NewKDSearcherSlab(c)
 	features.EstimateNormals(c, s, features.NormalConfig{SearchRadius: 1.5})
 	truth := randTransformSmall(r)
 	inv := truth.Inverse()
 	src := make([]geom.Vec3, c.Len())
 	for i := range src {
-		src[i] = inv.Apply(c.Points[i]) // so truth maps src back onto c
+		src[i] = inv.Apply(c.At(i)) // so truth maps src back onto c
 	}
-	got, ok := EstimatePointToPlane(src, c.Points, c.Normals)
+	cc := c.ToCloud()
+	got, ok := EstimatePointToPlane(src, cc.Points, cc.Normals)
 	if !ok {
 		t.Fatal("point-to-plane failed")
 	}
@@ -131,19 +132,20 @@ func TestICPConvergesOnStructuredCloud(t *testing.T) {
 	dst := structuredCloud(r, 3000)
 	truth := randTransformSmall(r)
 	inv := truth.Inverse()
-	src := cloud.New(dst.Len())
-	for _, p := range dst.Points {
-		src.Points = append(src.Points, inv.Apply(p))
+	srcPts := make([]geom.Vec3, 0, dst.Len())
+	for i := 0; i < dst.Len(); i++ {
+		srcPts = append(srcPts, inv.Apply(dst.At(i)))
 	}
-	target := search.NewKDSearcher(dst.Points)
+	src := cloud.SlabFromPoints(srcPts)
+	target := search.NewKDSearcherSlab(dst)
 
 	for _, metric := range []ErrorMetric{PointToPoint, PointToPlane} {
-		var normals []geom.Vec3
 		if metric == PointToPlane {
+			// Normals land in the shared target slab, flipping ICP's
+			// point-to-plane path on.
 			features.EstimateNormals(dst, target, features.NormalConfig{SearchRadius: 1.5})
-			normals = dst.Normals
 		}
-		res := ICP(src, target, normals, geom.IdentityTransform(), ICPConfig{
+		res := ICP(src, target, geom.IdentityTransform(), ICPConfig{
 			Metric:        metric,
 			MaxIterations: 50,
 		})
@@ -161,11 +163,11 @@ func TestICPStrideReducesWork(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	dst := structuredCloud(r, 2000)
 	src := dst.Clone()
-	target := search.NewKDSearcher(dst.Points)
+	target := search.NewKDSearcherSlab(dst)
 	before := target.Metrics().Queries
-	ICP(src, target, nil, geom.IdentityTransform(), ICPConfig{SourceStride: 4, MaxIterations: 2})
+	ICP(src, target, geom.IdentityTransform(), ICPConfig{SourceStride: 4, MaxIterations: 2})
 	afterStride := target.Metrics().Queries - before
-	ICP(src, target, nil, geom.IdentityTransform(), ICPConfig{SourceStride: 1, MaxIterations: 2})
+	ICP(src, target, geom.IdentityTransform(), ICPConfig{SourceStride: 1, MaxIterations: 2})
 	afterFull := target.Metrics().Queries - before - afterStride
 	if afterStride >= afterFull {
 		t.Errorf("stride 4 issued %d queries, full %d", afterStride, afterFull)

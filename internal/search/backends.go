@@ -3,7 +3,7 @@ package search
 import (
 	"fmt"
 
-	"tigris/internal/geom"
+	"tigris/internal/cloud"
 	"tigris/internal/twostage"
 )
 
@@ -13,14 +13,14 @@ import (
 // paths the pipeline used before the registry existed, bit for bit.
 
 func init() {
-	mustRegister(NewBackend(BackendCanonical, newCanonicalBackend))
-	mustRegister(NewBackend(BackendTwoStage, newTwoStageBackend))
-	mustRegister(NewBackend(BackendTwoStageApprox, newTwoStageApproxBackend))
-	mustRegister(NewBackend(BackendBruteForce, newBruteForceBackend))
-	mustRegister(NewBackend(BackendTrace, newTraceBackend))
+	mustRegister(NewSlabBackend(BackendCanonical, newCanonicalBackend))
+	mustRegister(NewSlabBackend(BackendTwoStage, newTwoStageBackend))
+	mustRegister(NewSlabBackend(BackendTwoStageApprox, newTwoStageApproxBackend))
+	mustRegister(NewSlabBackend(BackendBruteForce, newBruteForceBackend))
+	mustRegister(NewSlabBackend(BackendTrace, newTraceBackend))
 }
 
-func newCanonicalBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
+func newCanonicalBackend(slab *cloud.Slab, opts Options) (Searcher, error) {
 	if err := opts.checkKeys(OptParallelism); err != nil {
 		return nil, err
 	}
@@ -28,7 +28,7 @@ func newCanonicalBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := NewKDSearcher(pts)
+	s := NewKDSearcherSlab(slab)
 	s.SetParallelism(p)
 	return s, nil
 }
@@ -47,7 +47,7 @@ func twoStageConfigFromOptions(opts Options) (TwoStageConfig, error) {
 	return cfg, nil
 }
 
-func newTwoStageBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
+func newTwoStageBackend(slab *cloud.Slab, opts Options) (Searcher, error) {
 	if err := opts.checkKeys(OptParallelism, OptTopHeight); err != nil {
 		return nil, err
 	}
@@ -55,10 +55,10 @@ func newTwoStageBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTwoStageSearcher(pts, cfg), nil
+	return NewTwoStageSearcherSlab(slab, cfg), nil
 }
 
-func newTwoStageApproxBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
+func newTwoStageApproxBackend(slab *cloud.Slab, opts Options) (Searcher, error) {
 	if err := opts.checkKeys(OptParallelism, OptTopHeight, OptNNThreshold, OptRadiusThresholdFrac); err != nil {
 		return nil, err
 	}
@@ -81,10 +81,10 @@ func newTwoStageApproxBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 		frac = twostage.DefaultRadiusThresholdFrac
 	}
 	cfg.Approx = &twostage.ApproxOptions{Threshold: thd, RadiusThresholdFrac: frac}
-	return NewTwoStageSearcher(pts, cfg), nil
+	return NewTwoStageSearcherSlab(slab, cfg), nil
 }
 
-func newBruteForceBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
+func newBruteForceBackend(slab *cloud.Slab, opts Options) (Searcher, error) {
 	if err := opts.checkKeys(OptParallelism); err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func newBruteForceBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := NewBruteSearcher(pts)
+	s := NewBruteSearcherSlab(slab)
 	s.SetParallelism(p)
 	return s, nil
 }
@@ -100,7 +100,7 @@ func newBruteForceBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 // newTraceBackend builds the decorator: the "inner" and "sink" options
 // are consumed here, everything else passes through to the wrapped
 // backend's factory (which performs its own key validation).
-func newTraceBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
+func newTraceBackend(slab *cloud.Slab, opts Options) (Searcher, error) {
 	inner, err := opts.String(OptTraceInner, BackendCanonical)
 	if err != nil {
 		return nil, err
@@ -129,7 +129,7 @@ func newTraceBackend(pts []geom.Vec3, opts Options) (Searcher, error) {
 	delete(rest, OptTraceInner)
 	delete(rest, OptTraceSink)
 	delete(rest, OptTraceMaxBatches)
-	is, err := NewByName(inner, pts, rest)
+	is, err := NewByNameSlab(inner, slab, rest)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package search
 import (
 	"time"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/par"
@@ -15,18 +16,28 @@ import (
 // the fastest end-to-end choice for tiny clouds where tree construction
 // dominates query time. It registers as the "bruteforce" backend.
 type BruteSearcher struct {
-	pts         []geom.Vec3
+	slab        *cloud.Slab
 	stats       kdtree.Stats
 	metrics     Metrics
 	parallelism int
 }
 
-// NewBruteSearcher wraps pts without copying or indexing; BuildTime is
-// recorded (and is effectively zero).
+// NewBruteSearcher quantizes pts into a fresh SoA slab without building
+// any index; BuildTime records only the quantization pass.
 func NewBruteSearcher(pts []geom.Vec3) *BruteSearcher {
 	s := &BruteSearcher{parallelism: par.Workers(0)}
 	start := time.Now()
-	s.pts = pts
+	s.slab = cloud.SlabFromPoints(pts)
+	s.metrics.BuildTime = time.Since(start)
+	return s
+}
+
+// NewBruteSearcherSlab wraps an existing slab without copying or
+// indexing; BuildTime is recorded (and is effectively zero).
+func NewBruteSearcherSlab(slab *cloud.Slab) *BruteSearcher {
+	s := &BruteSearcher{parallelism: par.Workers(0)}
+	start := time.Now()
+	s.slab = slab
 	s.metrics.BuildTime = time.Since(start)
 	return s
 }
@@ -40,7 +51,7 @@ func (s *BruteSearcher) Parallelism() int { return s.parallelism }
 // Nearest implements Searcher.
 func (s *BruteSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
 	start := time.Now()
-	nb, ok := kdtree.BruteNearest(s.pts, q)
+	nb, ok := kdtree.BruteNearestSlab(s.slab, q)
 	s.count(&s.stats)
 	s.record(start)
 	return nb, ok
@@ -49,7 +60,7 @@ func (s *BruteSearcher) Nearest(q geom.Vec3) (kdtree.Neighbor, bool) {
 // KNearest implements Searcher.
 func (s *BruteSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 	start := time.Now()
-	res := kdtree.BruteKNearest(s.pts, q, k)
+	res := kdtree.BruteKNearestIntoSlab(s.slab, q, k, nil)
 	s.count(&s.stats)
 	s.record(start)
 	return res
@@ -58,7 +69,7 @@ func (s *BruteSearcher) KNearest(q geom.Vec3, k int) []kdtree.Neighbor {
 // Radius implements Searcher.
 func (s *BruteSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 	start := time.Now()
-	res := kdtree.BruteRadius(s.pts, q, r)
+	res := kdtree.BruteRadiusIntoSlab(s.slab, q, r, nil)
 	s.count(&s.stats)
 	s.record(start)
 	return res
@@ -76,7 +87,7 @@ func (s *BruteSearcher) NearestBatchInto(qs []geom.Vec3, buf []kdtree.Neighbor) 
 	out := growNeighbors(buf, len(qs))
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
-			nb, ok := kdtree.BruteNearest(s.pts, qs[i])
+			nb, ok := kdtree.BruteNearestSlab(s.slab, qs[i])
 			if !ok {
 				nb = missNeighbor()
 			}
@@ -97,7 +108,7 @@ func (s *BruteSearcher) KNearestBatch(qs []geom.Vec3, k int) [][]kdtree.Neighbor
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
 			out[i] = knnPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
-				return kdtree.BruteKNearestInto(s.pts, qs[i], k, buf)
+				return kdtree.BruteKNearestIntoSlab(s.slab, qs[i], k, buf)
 			})
 			s.count(shard)
 		},
@@ -114,7 +125,7 @@ func (s *BruteSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighb
 	par.Sharded(len(qs), s.parallelism,
 		func(shard *kdtree.Stats, i int) {
 			out[i] = radiusPooled(func(buf []kdtree.Neighbor) []kdtree.Neighbor {
-				return kdtree.BruteRadiusInto(s.pts, qs[i], r, buf)
+				return kdtree.BruteRadiusIntoSlab(s.slab, qs[i], r, buf)
 			})
 			s.count(shard)
 		},
@@ -127,11 +138,11 @@ func (s *BruteSearcher) RadiusBatch(qs []geom.Vec3, r float64) [][]kdtree.Neighb
 // every point's distance.
 func (s *BruteSearcher) count(stats *kdtree.Stats) {
 	stats.Queries++
-	stats.NodesVisited += int64(len(s.pts))
+	stats.NodesVisited += int64(s.slab.Len())
 }
 
-// Points implements Searcher.
-func (s *BruteSearcher) Points() []geom.Vec3 { return s.pts }
+// Slab implements Searcher.
+func (s *BruteSearcher) Slab() *cloud.Slab { return s.slab }
 
 // Metrics implements Searcher.
 func (s *BruteSearcher) Metrics() *Metrics {

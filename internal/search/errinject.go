@@ -1,6 +1,7 @@
 package search
 
 import (
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 )
@@ -89,8 +90,8 @@ func (s *KthNNSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
 // Parallelism implements Searcher by delegation.
 func (s *KthNNSearcher) Parallelism() int { return s.Inner.Parallelism() }
 
-// Points implements Searcher.
-func (s *KthNNSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+// Slab implements Searcher.
+func (s *KthNNSearcher) Slab() *cloud.Slab { return s.Inner.Slab() }
 
 // Metrics implements Searcher.
 func (s *KthNNSearcher) Metrics() *Metrics { return s.Inner.Metrics() }
@@ -164,8 +165,8 @@ func (s *ShellSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
 // Parallelism implements Searcher by delegation.
 func (s *ShellSearcher) Parallelism() int { return s.Inner.Parallelism() }
 
-// Points implements Searcher.
-func (s *ShellSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+// Slab implements Searcher.
+func (s *ShellSearcher) Slab() *cloud.Slab { return s.Inner.Slab() }
 
 // Metrics implements Searcher.
 func (s *ShellSearcher) Metrics() *Metrics { return s.Inner.Metrics() }

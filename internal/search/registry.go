@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 )
 
@@ -179,6 +180,17 @@ type Backend interface {
 	New(pts []geom.Vec3, opts Options) (Searcher, error)
 }
 
+// SlabBackend is the optional zero-copy capability: a backend that can
+// build directly over an SoA float32 slab without materializing an AoS
+// point slice. Every built-in backend implements it; NewByNameSlab
+// routes through it when available and falls back to New on the
+// (dequantized) materialized points otherwise.
+type SlabBackend interface {
+	Backend
+	// NewSlab builds a searcher zero-copy over the (possibly empty) slab.
+	NewSlab(s *cloud.Slab, opts Options) (Searcher, error)
+}
+
 // backendFunc adapts a plain factory function to Backend.
 type backendFunc struct {
 	name string
@@ -193,6 +205,28 @@ func (b backendFunc) New(pts []geom.Vec3, opts Options) (Searcher, error) {
 // NewBackend wraps a factory function as a registrable Backend.
 func NewBackend(name string, fn func(pts []geom.Vec3, opts Options) (Searcher, error)) Backend {
 	return backendFunc{name: name, fn: fn}
+}
+
+// slabBackendFunc adapts a slab-native factory to SlabBackend; the AoS
+// entry point quantizes into a fresh slab first, so both paths construct
+// identical searchers.
+type slabBackendFunc struct {
+	name string
+	fn   func(s *cloud.Slab, opts Options) (Searcher, error)
+}
+
+func (b slabBackendFunc) Name() string { return b.name }
+func (b slabBackendFunc) New(pts []geom.Vec3, opts Options) (Searcher, error) {
+	return b.fn(cloud.SlabFromPoints(pts), opts)
+}
+func (b slabBackendFunc) NewSlab(s *cloud.Slab, opts Options) (Searcher, error) {
+	return b.fn(s, opts)
+}
+
+// NewSlabBackend wraps a slab-native factory function as a registrable
+// SlabBackend.
+func NewSlabBackend(name string, fn func(s *cloud.Slab, opts Options) (Searcher, error)) SlabBackend {
+	return slabBackendFunc{name: name, fn: fn}
 }
 
 var (
@@ -255,6 +289,30 @@ func NewByName(name string, pts []geom.Vec3, opts Options) (Searcher, error) {
 			name, strings.Join(Backends(), ", "))
 	}
 	s, err := b.New(pts, opts)
+	if err != nil {
+		return nil, fmt.Errorf("search: backend %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// NewByNameSlab is NewByName building zero-copy over an SoA slab — the
+// pipeline's hot construction path (one quantization on frame ingest,
+// no further copies). Backends without the SlabBackend capability get
+// the materialized dequantized points; since those are float32-exact,
+// a capability-less backend that re-quantizes indexes identical values.
+func NewByNameSlab(name string, slab *cloud.Slab, opts Options) (Searcher, error) {
+	b, ok := LookupBackend(name)
+	if !ok {
+		return nil, fmt.Errorf("search: unknown backend %q (registered: %s)",
+			name, strings.Join(Backends(), ", "))
+	}
+	var s Searcher
+	var err error
+	if sb, slabCap := b.(SlabBackend); slabCap {
+		s, err = sb.NewSlab(slab, opts)
+	} else {
+		s, err = b.New(slab.Points(), opts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("search: backend %q: %w", name, err)
 	}

@@ -42,11 +42,11 @@ func sortedStrings(s []string) bool {
 
 // TestRegisterBackendErrors covers duplicate and empty names.
 func TestRegisterBackendErrors(t *testing.T) {
-	dup := NewBackend(BackendCanonical, newCanonicalBackend)
+	dup := NewSlabBackend(BackendCanonical, newCanonicalBackend)
 	if err := RegisterBackend(dup); err == nil || !strings.Contains(err.Error(), "already registered") {
 		t.Fatalf("duplicate registration error = %v", err)
 	}
-	if err := RegisterBackend(NewBackend("", newCanonicalBackend)); err == nil {
+	if err := RegisterBackend(NewSlabBackend("", newCanonicalBackend)); err == nil {
 		t.Fatal("empty-name registration must fail")
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"math"
 	"time"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
 	"tigris/internal/par"
@@ -103,8 +104,10 @@ type Searcher interface {
 	SetParallelism(n int)
 	// Parallelism reports the resolved batch worker count.
 	Parallelism() int
-	// Points exposes the indexed point slice.
-	Points() []geom.Vec3
+	// Slab exposes the indexed SoA point store (read-only by
+	// convention). Consumers dequantize with Slab().At(i); results of
+	// every query were computed against exactly those values.
+	Slab() *cloud.Slab
 	// Metrics returns the accumulated instrumentation.
 	Metrics() *Metrics
 }
@@ -117,12 +120,19 @@ type KDSearcher struct {
 	parallelism int
 }
 
-// NewKDSearcher builds a canonical KD-tree over pts, recording build time.
-// Batch parallelism defaults to runtime.NumCPU().
+// NewKDSearcher builds a canonical KD-tree over pts (quantized into a
+// fresh SoA slab), recording build time. Batch parallelism defaults to
+// runtime.NumCPU().
 func NewKDSearcher(pts []geom.Vec3) *KDSearcher {
+	return NewKDSearcherSlab(cloud.SlabFromPoints(pts))
+}
+
+// NewKDSearcherSlab builds a canonical KD-tree zero-copy over an
+// existing SoA slab.
+func NewKDSearcherSlab(slab *cloud.Slab) *KDSearcher {
 	s := &KDSearcher{parallelism: par.Workers(0)}
 	start := time.Now()
-	s.tree = kdtree.Build(pts)
+	s.tree = kdtree.BuildSlab(slab)
 	s.metrics.BuildTime = time.Since(start)
 	return s
 }
@@ -157,8 +167,8 @@ func (s *KDSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 	return res
 }
 
-// Points implements Searcher.
-func (s *KDSearcher) Points() []geom.Vec3 { return s.tree.Points() }
+// Slab implements Searcher.
+func (s *KDSearcher) Slab() *cloud.Slab { return s.tree.Slab() }
 
 // Metrics implements Searcher.
 func (s *KDSearcher) Metrics() *Metrics {
@@ -197,14 +207,21 @@ type TwoStageConfig struct {
 	Parallelism int
 }
 
-// NewTwoStageSearcher builds a two-stage tree over pts.
+// NewTwoStageSearcher builds a two-stage tree over pts (quantized into a
+// fresh SoA slab).
 func NewTwoStageSearcher(pts []geom.Vec3, cfg TwoStageConfig) *TwoStageSearcher {
+	return NewTwoStageSearcherSlab(cloud.SlabFromPoints(pts), cfg)
+}
+
+// NewTwoStageSearcherSlab builds a two-stage tree zero-copy over an
+// existing SoA slab.
+func NewTwoStageSearcherSlab(slab *cloud.Slab, cfg TwoStageConfig) *TwoStageSearcher {
 	s := &TwoStageSearcher{parallelism: par.Workers(cfg.Parallelism)}
 	start := time.Now()
 	if cfg.TopHeight < 0 {
-		s.tree = twostage.BuildWithLeafSize(pts, 128)
+		s.tree = twostage.BuildWithLeafSizeSlab(slab, 128)
 	} else {
-		s.tree = twostage.Build(pts, cfg.TopHeight)
+		s.tree = twostage.BuildSlab(slab, cfg.TopHeight)
 	}
 	s.metrics.BuildTime = time.Since(start)
 	if cfg.Approx != nil {
@@ -295,8 +312,8 @@ func (s *TwoStageSearcher) Radius(q geom.Vec3, r float64) []kdtree.Neighbor {
 	return res
 }
 
-// Points implements Searcher.
-func (s *TwoStageSearcher) Points() []geom.Vec3 { return s.tree.Points() }
+// Slab implements Searcher.
+func (s *TwoStageSearcher) Slab() *cloud.Slab { return s.tree.Slab() }
 
 // Metrics implements Searcher.
 func (s *TwoStageSearcher) Metrics() *Metrics {

@@ -10,6 +10,9 @@ import (
 	"tigris/internal/twostage"
 )
 
+// randPoints generates test points pre-snapped to float32 (the slab
+// quantization convention), so exact backends match AoS oracles
+// bit-for-bit.
 func randPoints(r *rand.Rand, n int) []geom.Vec3 {
 	pts := make([]geom.Vec3, n)
 	for i := range pts {
@@ -17,7 +20,7 @@ func randPoints(r *rand.Rand, n int) []geom.Vec3 {
 			X: r.Float64()*60 - 30,
 			Y: r.Float64()*60 - 30,
 			Z: r.Float64()*6 - 3,
-		}
+		}.Quantize32()
 	}
 	return pts
 }
@@ -183,8 +186,8 @@ func TestInjectionPassThrough(t *testing.T) {
 	if a != b {
 		t.Error("Shell should not distort NN search")
 	}
-	if len(kth.Points()) != 200 || len(shell.Points()) != 200 {
-		t.Error("Points pass-through broken")
+	if kth.Slab().Len() != 200 || shell.Slab().Len() != 200 {
+		t.Error("Slab pass-through broken")
 	}
 }
 

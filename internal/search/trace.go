@@ -2,6 +2,7 @@ package search
 
 import (
 	"sync"
+	"tigris/internal/cloud"
 
 	"tigris/internal/geom"
 	"tigris/internal/kdtree"
@@ -261,8 +262,8 @@ func (s *TraceSearcher) SetParallelism(n int) { s.Inner.SetParallelism(n) }
 // Parallelism implements Searcher by delegation.
 func (s *TraceSearcher) Parallelism() int { return s.Inner.Parallelism() }
 
-// Points implements Searcher.
-func (s *TraceSearcher) Points() []geom.Vec3 { return s.Inner.Points() }
+// Slab implements Searcher.
+func (s *TraceSearcher) Slab() *cloud.Slab { return s.Inner.Slab() }
 
 // Metrics implements Searcher.
 func (s *TraceSearcher) Metrics() *Metrics { return s.Inner.Metrics() }

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"crypto/tls"
+	"fmt"
+	"os"
+)
+
+// TLSConfig carries the optional TLS serving material. Both paths must be
+// set together: a cert without its key (or vice versa) is a deployment
+// mistake worth failing fast on rather than silently serving plaintext.
+type TLSConfig struct {
+	// CertFile is the PEM server certificate (leaf first, then any
+	// intermediates).
+	CertFile string
+	// KeyFile is the PEM private key matching CertFile.
+	KeyFile string
+}
+
+// Enabled reports whether TLS serving was requested at all.
+func (c TLSConfig) Enabled() bool { return c.CertFile != "" || c.KeyFile != "" }
+
+// Validate checks the configuration without binding a socket: both paths
+// present, both files readable, and the pair parseable as a matching
+// certificate/key. A nil error with Enabled() false means plaintext.
+func (c TLSConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.CertFile == "" {
+		return fmt.Errorf("serve: -tls-key given without -tls-cert")
+	}
+	if c.KeyFile == "" {
+		return fmt.Errorf("serve: -tls-cert given without -tls-key")
+	}
+	for _, f := range []string{c.CertFile, c.KeyFile} {
+		if _, err := os.Stat(f); err != nil {
+			return fmt.Errorf("serve: tls material: %w", err)
+		}
+	}
+	if _, err := tls.LoadX509KeyPair(c.CertFile, c.KeyFile); err != nil {
+		return fmt.Errorf("serve: tls key pair: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeSelfSigned writes a throwaway self-signed cert/key pair and
+// returns their paths.
+func writeSelfSigned(t *testing.T) (certFile, keyFile string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "tigris-test"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1)},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certFile, keyFile
+}
+
+func TestTLSConfigValidate(t *testing.T) {
+	certFile, keyFile := writeSelfSigned(t)
+
+	if err := (TLSConfig{}).Validate(); err != nil {
+		t.Errorf("plaintext config rejected: %v", err)
+	}
+	if (TLSConfig{}).Enabled() {
+		t.Error("empty config reports enabled")
+	}
+
+	ok := TLSConfig{CertFile: certFile, KeyFile: keyFile}
+	if !ok.Enabled() {
+		t.Error("full config reports disabled")
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  TLSConfig
+	}{
+		{"cert without key", TLSConfig{CertFile: certFile}},
+		{"key without cert", TLSConfig{KeyFile: keyFile}},
+		{"missing cert file", TLSConfig{CertFile: filepath.Join(t.TempDir(), "no.pem"), KeyFile: keyFile}},
+		{"missing key file", TLSConfig{CertFile: certFile, KeyFile: filepath.Join(t.TempDir(), "no.pem")}},
+		{"swapped pair", TLSConfig{CertFile: keyFile, KeyFile: certFile}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

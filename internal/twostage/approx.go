@@ -104,7 +104,7 @@ func (t *Tree) nearestApprox(c Child, q geom.Vec3, best *kdtree.Neighbor, leader
 					if stats != nil {
 						stats.LeafPointsViewed++
 					}
-					if d2 := q.Dist2(t.pts[ld.res.Index]); d2 < best.Dist2 {
+					if d2 := t.dist2(q, int32(ld.res.Index)); d2 < best.Dist2 {
 						*best = kdtree.Neighbor{Index: ld.res.Index, Dist2: d2}
 					}
 				}
@@ -117,7 +117,7 @@ func (t *Tree) nearestApprox(c Child, q geom.Vec3, best *kdtree.Neighbor, leader
 		}
 		local := kdtree.Neighbor{Index: -1, Dist2: math.MaxFloat64}
 		for _, pi := range set {
-			d2 := q.Dist2(t.pts[pi])
+			d2 := t.dist2(q, pi)
 			if d2 < local.Dist2 {
 				local = kdtree.Neighbor{Index: int(pi), Dist2: d2}
 			}
@@ -136,7 +136,7 @@ func (t *Tree) nearestApprox(c Child, q geom.Vec3, best *kdtree.Neighbor, leader
 		if stats != nil {
 			stats.TopNodesVisited++
 		}
-		if d2 := q.Dist2(t.pts[n.Point]); d2 < best.Dist2 {
+		if d2 := t.dist2(q, n.Point); d2 < best.Dist2 {
 			*best = kdtree.Neighbor{Index: int(n.Point), Dist2: d2}
 		}
 		diff := q.Component(int(n.Axis)) - n.Split
@@ -211,7 +211,7 @@ func (t *Tree) radiusApprox(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neig
 					stats.LeafPointsViewed += int64(len(ld.res))
 				}
 				for _, nb := range ld.res {
-					if d2 := q.Dist2(t.pts[nb.Index]); d2 <= r2 {
+					if d2 := t.dist2(q, int32(nb.Index)); d2 <= r2 {
 						*res = append(*res, kdtree.Neighbor{Index: nb.Index, Dist2: d2})
 					}
 				}
@@ -224,7 +224,7 @@ func (t *Tree) radiusApprox(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neig
 		}
 		var local []kdtree.Neighbor
 		for _, pi := range set {
-			if d2 := q.Dist2(t.pts[pi]); d2 <= r2 {
+			if d2 := t.dist2(q, pi); d2 <= r2 {
 				nb := kdtree.Neighbor{Index: int(pi), Dist2: d2}
 				local = append(local, nb)
 				*res = append(*res, nb)
@@ -241,7 +241,7 @@ func (t *Tree) radiusApprox(c Child, q geom.Vec3, r2 float64, res *[]kdtree.Neig
 		if stats != nil {
 			stats.TopNodesVisited++
 		}
-		if d2 := q.Dist2(t.pts[n.Point]); d2 <= r2 {
+		if d2 := t.dist2(q, n.Point); d2 <= r2 {
 			*res = append(*res, kdtree.Neighbor{Index: int(n.Point), Dist2: d2})
 		}
 		diff := q.Component(int(n.Axis)) - n.Split

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"tigris/internal/cloud"
 	"tigris/internal/geom"
 )
 
@@ -15,7 +16,8 @@ func seqBuild(pts []geom.Vec3, topHeight int) *Tree {
 	if topHeight < 0 {
 		topHeight = 0
 	}
-	t := &Tree{pts: pts, height: topHeight}
+	s := cloud.SlabFromPoints(pts)
+	t := &Tree{slab: s, xs: s.Xs, ys: s.Ys, zs: s.Zs, height: topHeight}
 	idx := make([]int32, len(pts))
 	for i := range idx {
 		idx[i] = int32(i)
@@ -35,10 +37,11 @@ func seqBuildRec(t *Tree, idx []int32, depth int) Child {
 		t.leaves = append(t.leaves, set)
 		return encodeLeaf(id)
 	}
-	axis := widestAxis(t.pts, idx)
+	axis := widestAxis(t.xs, t.ys, t.zs, idx)
+	ax := axisSlice(t.xs, t.ys, t.zs, axis)
 	sort.Slice(idx, func(a, b int) bool {
-		pa := t.pts[idx[a]].Component(axis)
-		pb := t.pts[idx[b]].Component(axis)
+		pa := ax[idx[a]]
+		pb := ax[idx[b]]
 		if pa != pb {
 			return pa < pb
 		}
@@ -49,7 +52,7 @@ func seqBuildRec(t *Tree, idx []int32, depth int) Child {
 	t.nodes = append(t.nodes, Node{
 		Point: idx[mid],
 		Axis:  int8(axis),
-		Split: t.pts[idx[mid]].Component(axis),
+		Split: float64(ax[idx[mid]]),
 		Left:  ChildNone,
 		Right: ChildNone,
 	})
