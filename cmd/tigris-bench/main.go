@@ -39,10 +39,41 @@ import (
 	"tigris/internal/cloud"
 	"tigris/internal/dse"
 	"tigris/internal/memstat"
+	"tigris/internal/obs"
 	"tigris/internal/registration"
 	"tigris/internal/stream"
 	"tigris/internal/synth"
 )
+
+// LatencyPercentiles is one stage's tail-latency digest in milliseconds,
+// extracted from the run's internal/obs histograms. StageMs carries the
+// per-pair averages; these carry the distribution — p99/max against p50
+// is the pipelining jitter a mean hides.
+type LatencyPercentiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// latencyPercentiles renders a recorder's summaries in milliseconds,
+// keyed by obs stage name.
+func latencyPercentiles(rec *obs.Recorder) map[string]LatencyPercentiles {
+	sums := rec.Summaries()
+	out := make(map[string]LatencyPercentiles, len(sums))
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for stage, sum := range sums {
+		out[stage] = LatencyPercentiles{
+			Count: sum.Count,
+			P50:   ms(sum.P50),
+			P95:   ms(sum.P95),
+			P99:   ms(sum.P99),
+			Max:   ms(sum.Max),
+		}
+	}
+	return out
+}
 
 // RunReport is one mode's measured outcome at one parallelism setting.
 type RunReport struct {
@@ -69,6 +100,10 @@ type RunReport struct {
 	// StageMs is the average per-pair stage breakdown in milliseconds
 	// (the Fig. 4a rows plus the streaming engine's prep/align shares).
 	StageMs map[string]float64 `json:"stage_ms"`
+	// LatencyPercentiles is the per-stage tail-latency digest (p50, p95,
+	// p99, max in milliseconds) from the same obs histograms a serving
+	// deployment scrapes, keyed by obs stage name.
+	LatencyPercentiles map[string]LatencyPercentiles `json:"latency_percentiles"`
 }
 
 // Report is the full benchmark output.
@@ -222,13 +257,23 @@ func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration
 	warm := cloneFrames(seq)
 	registration.Register(warm[1], warm[0], cfg)
 
+	// Recording starts after warm-up so the digest reflects steady state.
+	// The same recorder serves every mode: registration's per-stage taps
+	// fire through cfg.Obs, whole-frame samples through obs.StageFrame.
+	rec := obs.NewRecorder()
+	cfg.Obs = rec
+
 	frames := cloneFrames(seq)
 	pairs := len(frames) - 1
 	r := RunReport{Mode: mode, Parallelism: parallelism, Frames: len(frames), Pairs: pairs, StageMs: map[string]float64{}}
 
 	// Point-storage accounting on a representative prepared frame (every
-	// frame in the synthetic sequence has the same point budget).
-	pf := registration.PrepareFrame(frames[0].Clone(), cfg)
+	// frame in the synthetic sequence has the same point budget). Runs
+	// outside the timed region, so detach the recorder: the digest must
+	// hold only measured samples.
+	probeCfg := cfg
+	probeCfg.Obs = nil
+	pf := registration.PrepareFrame(frames[0].Clone(), probeCfg)
 	r.PointStorageBytesPerFrame = pf.StorageBytes()
 	r.AosPointStorageBytesPerFrame = pf.AosStorageBytes()
 	pf.Release()
@@ -244,12 +289,13 @@ func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration
 	case "perpair":
 		for i := 0; i+1 < len(frames); i++ {
 			res := registration.Register(frames[i+1], frames[i], cfg)
+			rec.Observe(obs.StageFrame, res.Total)
 			stage = addStages(stage, res.Stage)
 			prepTotal += res.Stage.NormalEstimation + res.Stage.KeypointDetection + res.Stage.DescriptorCalculation
 			alignTotal += res.Stage.KPCE + res.Stage.Rejection + res.Stage.RPCE + res.Stage.ErrorMinimization
 		}
 	case "unpipelined", "pipelined":
-		eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: mode == "pipelined"})
+		eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: mode == "pipelined", Obs: rec})
 		for _, f := range frames {
 			if _, err := eng.Push(f); err != nil {
 				return r, err
@@ -289,6 +335,7 @@ func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration
 	r.StageMs["rejection"] = ms(stage.Rejection)
 	r.StageMs["rpce"] = ms(stage.RPCE)
 	r.StageMs["error_minimization"] = ms(stage.ErrorMinimization)
+	r.LatencyPercentiles = latencyPercentiles(rec)
 	return r, nil
 }
 

@@ -10,15 +10,28 @@
 //	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
 //	             [-backend NAME] [-session-ttl D] [-auth-token TOKEN]
 //	             [-tls-cert CERT.pem -tls-key KEY.pem]
+//	             [-log-format text|json] [-pprof-addr ADDR]
 //	tigris-serve -selftest [-backend NAME]
+//	tigris-serve -version
 //
 // -backend sets the default search backend (a registry name, see GET
 // /v1/backends) for sessions that do not pick their own; -session-ttl
 // evicts sessions idle longer than the given duration (e.g. 30m; 0 keeps
 // sessions forever); -auth-token requires `Authorization: Bearer TOKEN`
-// on every /v1/* endpoint (/healthz stays open for probes); -tls-cert and
-// -tls-key (both required together) serve HTTPS with the given PEM
-// material — the pair is validated before the socket binds.
+// on every /v1/* endpoint (/healthz and /metrics stay open for probes
+// and scrapers); -tls-cert and -tls-key (both required together) serve
+// HTTPS with the given PEM material — the pair is validated before the
+// socket binds.
+//
+// Observability: Prometheus metrics are always on at GET /metrics
+// (per-stage latency histograms, request/session/frame counters,
+// limiter gauges — see internal/serve). -log-format selects the
+// structured request-log encoding on stderr (text by default; json for
+// log shippers). -pprof-addr mounts net/http/pprof on a separate
+// listener so profiling stays off the service port (and outside its
+// auth/TLS story); leave it empty to keep profiling off. -version
+// prints the binary's embedded build/VCS identity (also served at GET
+// /v1/buildinfo) and exits.
 //
 // Session lifecycle (see internal/serve for the endpoint contract):
 //
@@ -41,11 +54,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strings"
 
 	"tigris/internal/cloud"
 	"tigris/internal/serve"
@@ -61,12 +76,28 @@ func main() {
 	authToken := flag.String("auth-token", "", "require this bearer token on every /v1/* endpoint (\"\" = open access)")
 	tlsCert := flag.String("tls-cert", "", "PEM server certificate; serve HTTPS (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
+	logFormat := flag.String("log-format", "text", "request log encoding on stderr: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (\"\" = profiling off)")
+	version := flag.Bool("version", false, "print build info (module, go toolchain, VCS revision) and exit")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, stream two synthetic frames over HTTP, verify, exit")
 	flag.Parse()
 
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(serve.BuildInfo())
+		return
+	}
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	tlsCfg := serve.TLSConfig{CertFile: *tlsCert, KeyFile: *tlsKey}
 	if err := tlsCfg.Validate(); err != nil {
-		log.Fatal(err)
+		fatal(logger, "invalid TLS config", err)
 	}
 
 	srv := serve.New(serve.Config{
@@ -75,6 +106,7 @@ func main() {
 		DefaultBackend: *backend,
 		SessionTTL:     *sessionTTL,
 		AuthToken:      *authToken,
+		Logger:         logger,
 	})
 
 	if *selftest {
@@ -83,22 +115,57 @@ func main() {
 			name = "twostage" // smoke a non-default backend through the registry
 		}
 		if err := runSelftest(srv, name); err != nil {
-			log.Fatalf("selftest FAILED: %v", err)
+			fatal(logger, "selftest FAILED", err)
 		}
 		fmt.Println("selftest ok")
 		return
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+
 	if tlsCfg.Enabled() {
-		log.Printf("tigris-serve listening on %s (TLS)", *addr)
+		logger.Info("listening", "addr", *addr, "tls", true)
 		if err := http.ListenAndServeTLS(*addr, tlsCfg.CertFile, tlsCfg.KeyFile, srv); err != nil {
-			log.Fatal(err)
+			fatal(logger, "server exited", err)
 		}
 		return
 	}
-	log.Printf("tigris-serve listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "tls", false)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+		fatal(logger, "server exited", err)
+	}
+}
+
+// newLogger builds the process logger in the requested encoding.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "error", err)
+	os.Exit(1)
+}
+
+// servePprof mounts net/http/pprof on its own listener, keeping the
+// profiling surface off the service port (and outside its auth story).
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener exited", "error", err)
 	}
 }
 
@@ -223,6 +290,65 @@ func runSelftest(srv *serve.Server, backend string) error {
 	fmt.Fprintf(os.Stderr, "odometry step %.3f m (truth %.3f m)\n",
 		vecNorm(d.T), truth.TranslationNorm())
 
+	// The stats endpoint must carry the per-stage latency digest for the
+	// frames just pushed.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/stats", base, created.ID))
+	if err != nil {
+		return err
+	}
+	var stats struct {
+		FramesPushed int `json:"frames_pushed"`
+		Latency      map[string]struct {
+			Count int     `json:"count"`
+			P99   float64 `json:"p99"`
+		} `json:"latency_ms"`
+	}
+	if err := decodeAndClose(resp, &stats); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if stats.FramesPushed != 2 {
+		return fmt.Errorf("stats frames_pushed = %d, want 2", stats.FramesPushed)
+	}
+	if fl, ok := stats.Latency["frame"]; !ok || fl.Count != 2 {
+		return fmt.Errorf("stats latency_ms missing frame digest (got %v)", stats.Latency)
+	}
+	fmt.Fprintf(os.Stderr, "stats: frame p99 %.3f ms over %d stages\n",
+		stats.Latency["frame"].P99, len(stats.Latency))
+
+	// The scrape surface must expose the same activity as Prometheus
+	// series: counters, scrape-time gauges, and per-stage histograms.
+	body, err := fetchText(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		"tigris_frames_pushed_total 2",
+		"tigris_sessions_active 1",
+		`tigris_stage_latency_seconds_bucket{stage="frame",le="+Inf"} 2`,
+		`tigris_http_requests_total{route="/v1/sessions/{id}/frames",code="202"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "metrics: %d lines\n", strings.Count(body, "\n"))
+
+	// Build identity must round-trip.
+	resp, err = http.Get(base + "/v1/buildinfo")
+	if err != nil {
+		return err
+	}
+	var bi struct {
+		Go string `json:"go"`
+	}
+	if err := decodeAndClose(resp, &bi); err != nil {
+		return fmt.Errorf("buildinfo: %w", err)
+	}
+	if bi.Go == "" {
+		return fmt.Errorf("buildinfo: empty go toolchain")
+	}
+	fmt.Fprintf(os.Stderr, "buildinfo: %s\n", bi.Go)
+
 	// Delete the session.
 	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", base, created.ID), nil)
 	if err := expectStatus(http.DefaultClient.Do(req)); err != nil {
@@ -246,6 +372,23 @@ func createAndDelete(base, body string) error {
 	}
 	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", base, created.ID), nil)
 	return expectStatus(http.DefaultClient.Do(req))
+}
+
+// fetchText GETs a URL and returns its body as a string.
+func fetchText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
 }
 
 func vecNorm(v [3]float64) float64 {

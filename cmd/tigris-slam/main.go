@@ -35,16 +35,47 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"time"
 
 	"tigris/internal/dse"
 	"tigris/internal/geom"
 	"tigris/internal/loop"
 	"tigris/internal/memstat"
+	"tigris/internal/obs"
 	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/stream"
 	"tigris/internal/synth"
 )
+
+// LatencyPercentiles is one stage's tail-latency digest in milliseconds
+// from the run's internal/obs histograms — the same shape tigris-bench
+// emits, so the two reports' latency columns line up.
+type LatencyPercentiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// latencyPercentiles renders a recorder's summaries in milliseconds,
+// keyed by obs stage name.
+func latencyPercentiles(rec *obs.Recorder) map[string]LatencyPercentiles {
+	sums := rec.Summaries()
+	out := make(map[string]LatencyPercentiles, len(sums))
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for stage, sum := range sums {
+		out[stage] = LatencyPercentiles{
+			Count: sum.Count,
+			P50:   ms(sum.P50),
+			P95:   ms(sum.P95),
+			P99:   ms(sum.P99),
+			Max:   ms(sum.Max),
+		}
+	}
+	return out
+}
 
 // ClosureReport is one verified loop closure in the JSON report.
 type ClosureReport struct {
@@ -89,6 +120,11 @@ type Report struct {
 	AosPointStorageBytesPerFrame int64  `json:"aos_point_storage_bytes_per_frame"`
 	HeapInuseBytes               uint64 `json:"heap_inuse_bytes"`
 	PeakRSSBytes                 int64  `json:"peak_rss_bytes"`
+
+	// LatencyPercentiles is the per-stage tail-latency digest (p50, p95,
+	// p99, max in milliseconds) for the streaming run, including the SLAM
+	// stages (loop_observe, loop_verify, posegraph_solve).
+	LatencyPercentiles map[string]LatencyPercentiles `json:"latency_percentiles"`
 
 	Closures  []ClosureReport `json:"closures"`
 	LoopStats struct {
@@ -208,7 +244,8 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 	rep.DriftYawDeg = driftYawDeg
 	rep.DriftScale = driftScale
 
-	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Loop: loopCfg})
+	rec := obs.NewRecorder()
+	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Loop: loopCfg, Obs: rec})
 	for _, f := range seq.Frames {
 		if _, err := eng.Push(f.Clone()); err != nil {
 			log.Fatalf("push: %v", err)
@@ -251,6 +288,7 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 	if err != nil {
 		log.Fatalf("optimize: %v", err)
 	}
+	rec.Observe(obs.StagePoseGraph, res.SolveTime)
 	rep.Optimization.InitialCost = res.InitialCost
 	rep.Optimization.FinalCost = res.FinalCost
 	rep.Optimization.Iterations = res.Iterations
@@ -264,6 +302,7 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 	rep.HeapInuseBytes = memstat.HeapInuseBytes()
 	rep.PeakRSSBytes = memstat.PeakRSSBytes()
 
+	rep.LatencyPercentiles = latencyPercentiles(rec)
 	rep.Odometry = score(traj.Poses, seq.Poses)
 	rep.Drifted = score(driftedPoses, seq.Poses)
 	rep.Optimized = score(optPoses, seq.Poses)

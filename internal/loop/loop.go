@@ -38,6 +38,7 @@ import (
 	"tigris/internal/cloud"
 	"tigris/internal/features"
 	"tigris/internal/geom"
+	"tigris/internal/obs"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 )
@@ -91,6 +92,12 @@ type Config struct {
 	// is orders of magnitude below the inter-frame signature distances
 	// the candidate ranking discriminates).
 	ExactSignatures bool
+	// Obs, when non-nil, records the signature-ranking span (the
+	// obs.StageLoopObserve series: aggregation, index maintenance, and
+	// candidate ranking — the cheap per-frame half of place recognition;
+	// verification is timed by the caller, which owns the pipeline
+	// config). Recording never changes proposals; nil records nothing.
+	Obs *obs.Recorder
 }
 
 func (c *Config) defaults() {
@@ -345,6 +352,8 @@ func Signature(d *features.Descriptors) (mean []float64, key geom.Vec3) {
 // through the same quantize/dequantize round trip, so both sides of a
 // distance carry identical quantization treatment.
 func (d *Detector) Observe(index int, desc *features.Descriptors, c *cloud.Slab) []Candidate {
+	span := d.cfg.Obs.Start(obs.StageLoopObserve)
+	defer span.End()
 	mean, key := Signature(desc)
 	var qsig QuantizedSignature
 	queryVec := mean

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical stage names the pipeline records under. One shared
+// vocabulary keeps the per-session stats JSON, the /metrics stage
+// labels, and the BENCH latency_percentiles columns mutually
+// comparable: the same name means the same span everywhere.
+const (
+	// Per-frame front-end (registration.PrepareFrame) and its sub-stages.
+	StagePrep        = "prep"
+	StageNormals     = "normal_estimation"
+	StageKeypoints   = "keypoint_detection"
+	StageDescriptors = "descriptor_calculation"
+	// Pair-level back end (registration.Align) and its sub-stages.
+	StageAlign     = "align"
+	StageKPCE      = "kpce"
+	StageRejection = "rejection"
+	StageRPCE      = "rpce"
+	StageSolve     = "error_minimization"
+	// Whole-frame latency: front-end plus alignment, the number a serving
+	// SLO is written against.
+	StageFrame = "frame"
+	// Pipeline hand-off waits (stream.Engine): time a pushed cloud sat in
+	// the input queue before its front-end started, and time a prepared
+	// frame waited for the alignment stage. Non-trivial values mean the
+	// pipeline is stalling on a stage, not on compute.
+	StageQueueWaitPrep  = "queue_wait_prep"
+	StageQueueWaitAlign = "queue_wait_align"
+	// Loop-closure stage: signature aggregation + candidate ranking
+	// (cheap, every frame) and candidate verification (expensive, rare).
+	StageLoopObserve = "loop_observe"
+	StageLoopVerify  = "loop_verify"
+	// Pose-graph optimization (the SLAM back end solve).
+	StagePoseGraph = "posegraph_solve"
+)
+
+// Recorder is the pipeline-facing telemetry handle: a set of named
+// per-stage latency histograms. A nil *Recorder is valid and records
+// nothing — the default for library users, and the reason observability
+// is deterministically inert: every call site works identically with
+// recording on or off.
+//
+// Observe on an existing stage is lock-free and allocation-free (one
+// sync.Map load plus a sharded histogram record); a stage's histogram
+// is created once on first use. Recorders can be chained with Tee so a
+// per-session recorder also feeds a server-global one, and published
+// into a Registry so the same histograms appear on /metrics.
+type Recorder struct {
+	reg    *Registry // nil for standalone recorders
+	family string    // Prometheus family name when published
+	next   *Recorder // optional tee target
+
+	hists sync.Map // stage name -> *Histogram
+
+	mu     sync.Mutex
+	stages []string // creation-ordered stage names, for Summaries
+}
+
+// NewRecorder returns a standalone recorder (histograms not exposed on
+// any registry — read them back with Summaries).
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewPublishedRecorder returns a recorder whose stage histograms are
+// registered in reg under family{stage="<name>"}, so everything the
+// pipeline records is scrapeable as Prometheus series.
+func NewPublishedRecorder(reg *Registry, family string) *Recorder {
+	return &Recorder{reg: reg, family: family}
+}
+
+// Tee chains next after r: every Observe records into both r and next
+// (and next's own tee, recursively). Returns r for construction
+// chaining. Must be called before the recorder is shared.
+func (r *Recorder) Tee(next *Recorder) *Recorder {
+	r.next = next
+	return r
+}
+
+// histogram returns the stage's histogram, creating it on first use.
+func (r *Recorder) histogram(stage string) *Histogram {
+	if h, ok := r.hists.Load(stage); ok {
+		return h.(*Histogram)
+	}
+	var h *Histogram
+	if r.reg != nil {
+		h = r.reg.Histogram(r.family + `{stage="` + stage + `"}`)
+	} else {
+		h = NewHistogram()
+	}
+	if actual, loaded := r.hists.LoadOrStore(stage, h); loaded {
+		return actual.(*Histogram)
+	}
+	r.mu.Lock()
+	r.stages = append(r.stages, stage)
+	r.mu.Unlock()
+	return h
+}
+
+// Observe records one duration sample for a stage. Safe on a nil
+// receiver (no-op) and for concurrent use.
+func (r *Recorder) Observe(stage string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.histogram(stage).Record(d)
+	r.next.Observe(stage, d)
+}
+
+// Span is an open interval started by Start. The zero value (from a nil
+// recorder) is valid: End is a no-op returning 0.
+type Span struct {
+	r     *Recorder
+	stage string
+	t0    time.Time
+}
+
+// Start opens a span for a stage. On a nil recorder the returned span
+// does nothing — call sites need no branches.
+func (r *Recorder) Start(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, stage: stage, t0: time.Now()}
+}
+
+// End closes the span, records its duration, and returns it.
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.r.Observe(s.stage, d)
+	return d
+}
+
+// Summaries returns every recorded stage's percentile digest, keyed by
+// stage name. Safe on a nil receiver (returns nil).
+func (r *Recorder) Summaries() map[string]Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	stages := append([]string(nil), r.stages...)
+	r.mu.Unlock()
+	out := make(map[string]Summary, len(stages))
+	for _, st := range stages {
+		if h, ok := r.hists.Load(st); ok {
+			out[st] = h.(*Histogram).Summary()
+		}
+	}
+	return out
+}
+
+// Stages returns the recorded stage names, sorted, for deterministic
+// iteration over Summaries. Safe on a nil receiver.
+func (r *Recorder) Stages() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	stages := append([]string(nil), r.stages...)
+	r.mu.Unlock()
+	sort.Strings(stages)
+	return stages
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"tigris/internal/geom"
 	"tigris/internal/linalg"
@@ -140,6 +141,10 @@ type Result struct {
 	// — an ill-conditioned graph), so callers can tell an optimized
 	// trajectory from an untouched one.
 	Converged bool
+	// SolveTime is the optimization's wall time — the solve is a heavy
+	// stage like any pipeline stage, so services record it through the
+	// same latency histograms (the obs.StagePoseGraph series).
+	SolveTime time.Duration
 }
 
 // ErrGraph is returned for structurally invalid graphs.
@@ -171,9 +176,10 @@ func (g *Graph) Optimize(opts Options) ([]geom.Transform, Result, error) {
 			return nil, res, fmt.Errorf("%w: edge %d-%d outside %d nodes", ErrGraph, e.I, e.J, n)
 		}
 	}
+	solveStart := time.Now()
 	poses := append([]geom.Transform(nil), g.Poses...)
 	if n == 1 || len(g.Edges) == 0 {
-		return poses, Result{Converged: true}, nil
+		return poses, Result{Converged: true, SolveTime: time.Since(solveStart)}, nil
 	}
 
 	ne := len(g.Edges)
@@ -291,6 +297,7 @@ func (g *Graph) Optimize(opts Options) ([]geom.Transform, Result, error) {
 		}
 	}
 	res.FinalCost = cost
+	res.SolveTime = time.Since(solveStart)
 	return poses, res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"tigris/internal/cloud"
 	"tigris/internal/features"
 	"tigris/internal/geom"
+	"tigris/internal/obs"
 	"tigris/internal/search"
 )
 
@@ -108,6 +109,13 @@ func PrepareFrameSlab(s *cloud.Slab, cfg PipelineConfig) *PreparedFrame {
 
 	f.KeypointPts = selectSlabPoints(f.FE, f.Keypoints)
 	f.PrepTotal = time.Since(start)
+	// Telemetry tap: the stage durations above were measured regardless;
+	// with a recorder configured they also become latency samples. A nil
+	// recorder makes all four calls no-ops.
+	cfg.Obs.Observe(obs.StageNormals, f.NormalTime)
+	cfg.Obs.Observe(obs.StageKeypoints, f.KeypointTime)
+	cfg.Obs.Observe(obs.StageDescriptors, f.DescriptorTime)
+	cfg.Obs.Observe(obs.StagePrep, f.PrepTotal)
 	return f
 }
 
@@ -294,5 +302,12 @@ func Align(src, dst *PreparedFrame, cfg PipelineConfig) Result {
 	res.KDSearchTime = featSearchTime
 	res.KDBuildTime = featBuildTime
 	res.Total = time.Since(start)
+	// Telemetry tap for the pair stages and the ICP sub-spans (no-ops on
+	// a nil recorder).
+	cfg.Obs.Observe(obs.StageKPCE, res.Stage.KPCE)
+	cfg.Obs.Observe(obs.StageRejection, res.Stage.Rejection)
+	cfg.Obs.Observe(obs.StageRPCE, icpRes.RPCETime)
+	cfg.Obs.Observe(obs.StageSolve, icpRes.SolveTime)
+	cfg.Obs.Observe(obs.StageAlign, res.Total)
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"tigris/internal/cloud"
 	"tigris/internal/features"
 	"tigris/internal/geom"
+	"tigris/internal/obs"
 	"tigris/internal/search"
 )
 
@@ -209,6 +210,14 @@ type PipelineConfig struct {
 	ICP        ICPConfig
 	Searcher   SearcherConfig
 	Inject     Injection
+
+	// Obs, when non-nil, receives every stage's wall time as a latency
+	// sample (internal/obs): PrepareFrame records the per-cloud front-end
+	// stages, Align the pair stages and its ICP sub-spans. Recording is
+	// allocation-free and never influences results — trajectories are
+	// bit-identical with Obs set or nil — so services leave it on
+	// permanently; nil (the default) records nothing.
+	Obs *obs.Recorder
 
 	// MaxInitialTranslation / MaxInitialRotation bound the front-end's
 	// initial estimate. Consecutive LiDAR frames (10 Hz) cannot move

@@ -8,13 +8,27 @@
 // # Endpoints
 //
 //	GET    /healthz                        liveness probe
+//	GET    /metrics                        Prometheus text exposition
 //	GET    /v1/backends                    registered search-backend names
+//	GET    /v1/buildinfo                   binary build/VCS identity (JSON)
 //	POST   /v1/sessions                    create a session (JSON config)
 //	POST   /v1/sessions/{id}/frames        push one TIGRIS-CLOUD frame
 //	GET    /v1/sessions/{id}/trajectory    accumulated trajectory (JSON)
 //	GET    /v1/sessions/{id}/loops         verified loop closures (JSON)
 //	GET    /v1/sessions/{id}/stats         session work counters (JSON)
 //	DELETE /v1/sessions/{id}               close and remove the session
+//
+// # Observability
+//
+// Telemetry is always on and allocation-free (internal/obs). Every
+// session records per-stage latencies into its own recorder — surfaced
+// as latency_ms percentiles on GET /v1/sessions/{id}/stats — teed into a
+// server-global recorder published on GET /metrics as the
+// tigris_stage_latency_seconds{stage=...} histogram family, alongside
+// request/session/frame counters and limiter/queue-depth gauges.
+// /metrics and /healthz stay outside the auth gate so probes and
+// scrapers need no credentials. With Config.Logger set, every request is
+// logged (method, route, session, status, bytes, duration).
 //
 // Frame pushes return the assigned frame index immediately (the engine
 // pipelines the heavy work); `?wait=1` on a push or trajectory request
@@ -37,7 +51,10 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,12 +64,17 @@ import (
 	"tigris/internal/dse"
 	"tigris/internal/geom"
 	"tigris/internal/loop"
+	"tigris/internal/obs"
 	"tigris/internal/par"
 	"tigris/internal/posegraph"
 	"tigris/internal/registration"
 	"tigris/internal/search"
 	"tigris/internal/stream"
 )
+
+// stageLatencyFamily is the Prometheus family the pipeline's per-stage
+// latency histograms publish under (one series per obs stage name).
+const stageLatencyFamily = "tigris_stage_latency_seconds"
 
 // maxFrameBytes bounds one uploaded frame (ASCII clouds run ~60 bytes
 // per point, so this admits multi-million-point frames).
@@ -86,6 +108,11 @@ type Config struct {
 	// "serve lacks auth" follow-up asks for). /healthz stays open so
 	// liveness probes need no credentials.
 	AuthToken string
+	// Logger, when non-nil, receives one structured record per request
+	// (method, route pattern, session id, status, bytes, duration). Routes
+	// are normalized patterns, not raw paths, so log cardinality stays
+	// bounded whatever clients send.
+	Logger *slog.Logger
 }
 
 // session pairs an engine with its idle-eviction bookkeeping. lastUsed is
@@ -93,6 +120,7 @@ type Config struct {
 // that touches the session.
 type session struct {
 	eng      *stream.Engine
+	rec      *obs.Recorder // per-session stage latencies, teed into the global recorder
 	lastUsed time.Time
 }
 
@@ -101,6 +129,17 @@ type Server struct {
 	mux     *http.ServeMux
 	limiter stream.Limiter
 	cfg     Config
+
+	// Telemetry: reg backs GET /metrics; globalRec is the published
+	// recorder every session's recorder tees into, so /metrics carries
+	// fleet-wide per-stage histograms while per-session percentiles go
+	// out through the session's stats JSON.
+	reg             *obs.Registry
+	globalRec       *obs.Recorder
+	cSessionsOpened *obs.Counter
+	cSessionsClosed *obs.Counter
+	cFramesPushed   *obs.Counter
+	cPointsPushed   *obs.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -113,17 +152,54 @@ type Server struct {
 // Config.SessionTTL is set, starts the idle-eviction janitor (stopped by
 // Close).
 func New(cfg Config) *Server {
+	reg := obs.NewRegistry()
 	s := &Server{
-		mux:      http.NewServeMux(),
-		limiter:  stream.NewLimiter(par.Workers(cfg.MaxConcurrent)),
-		cfg:      cfg,
-		sessions: make(map[string]*session),
+		mux:             http.NewServeMux(),
+		limiter:         stream.NewLimiter(par.Workers(cfg.MaxConcurrent)),
+		cfg:             cfg,
+		reg:             reg,
+		globalRec:       obs.NewPublishedRecorder(reg, stageLatencyFamily),
+		cSessionsOpened: reg.Counter("tigris_sessions_created_total"),
+		cSessionsClosed: reg.Counter("tigris_sessions_closed_total"),
+		cFramesPushed:   reg.Counter("tigris_frames_pushed_total"),
+		cPointsPushed:   reg.Counter("tigris_points_pushed_total"),
+		sessions:        make(map[string]*session),
 	}
+	// Scrape-time gauges: live values owned by the session table and the
+	// limiter, computed fresh per scrape instead of mirrored on writes.
+	reg.GaugeFunc("tigris_sessions_active", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	reg.GaugeFunc("tigris_frames_pending", func() float64 {
+		var n int
+		for _, ses := range s.snapshotSessions() {
+			n += ses.eng.Pending()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("tigris_loop_closures_accepted", func() float64 {
+		var n int64
+		for _, ses := range s.snapshotSessions() {
+			n += ses.eng.Stats().Loop.Accepted
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("tigris_limiter_in_use", func() float64 { return float64(len(s.limiter)) })
+	reg.GaugeFunc("tigris_limiter_capacity", func() float64 { return float64(cap(s.limiter)) })
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
 	s.mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"backends": search.Backends()})
+	})
+	s.mux.HandleFunc("GET /v1/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, BuildInfo())
 	})
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.withSession(s.handlePush))
@@ -138,9 +214,117 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler, enforcing bearer-token auth on the
-// /v1/* surface when Config.AuthToken is set.
+// snapshotSessions copies the live session pointers so scrape-time
+// aggregation can query engines without holding the server mutex.
+func (s *Server) snapshotSessions() []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		out = append(out, ses)
+	}
+	return out
+}
+
+// Metrics exposes the server's registry (the /metrics backing store) so
+// embedding programs can add their own series or scrape in-process.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// BuildInfo reports the running binary's identity from the embedded
+// build metadata: module path and version, Go toolchain, and — when the
+// binary was built inside a checkout — VCS revision, commit time, and
+// dirty flag. Served on GET /v1/buildinfo and printed by `tigris-serve
+// -version`.
+func BuildInfo() map[string]any {
+	out := map[string]any{
+		"go": runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["module"] = bi.Main.Path
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision":
+			out["revision"] = st.Value
+		case "vcs.time":
+			out["vcs_time"] = st.Value
+		case "vcs.modified":
+			out["dirty"] = st.Value == "true"
+		}
+	}
+	return out
+}
+
+// statusWriter captures the response status and body size for the
+// request log and the per-route request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// routeLabel normalizes a request path to its route pattern plus the
+// session id (empty when the route has none). Patterns — never raw
+// paths — feed the request counter's route label and the request log, so
+// label cardinality stays bounded whatever clients send.
+func routeLabel(path string) (route, sessionID string) {
+	switch path {
+	case "/healthz", "/metrics", "/v1/backends", "/v1/buildinfo", "/v1/sessions":
+		return path, ""
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/sessions/"); ok {
+		id, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "":
+			return "/v1/sessions/{id}", id
+		case "frames", "trajectory", "loops", "stats":
+			return "/v1/sessions/{id}/" + sub, id
+		}
+	}
+	return "other", ""
+}
+
+// ServeHTTP implements http.Handler: bearer-token auth on the /v1/*
+// surface when Config.AuthToken is set (with /healthz and /metrics left
+// open for probes and scrapers), a per-route/status request counter on
+// the metrics registry, and one structured log record per request when
+// Config.Logger is set.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.serveAuthed(sw, r)
+	route, sid := routeLabel(r.URL.Path)
+	s.reg.Counter(`tigris_http_requests_total{route="` + route + `",code="` + strconv.Itoa(sw.status) + `"}`).Inc()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"session", sid,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1e3,
+		)
+	}
+}
+
+// serveAuthed enforces the bearer-token gate, then routes.
+func (s *Server) serveAuthed(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.AuthToken != "" && strings.HasPrefix(r.URL.Path, "/v1/") {
 		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.cfg.AuthToken)) != 1 {
@@ -214,6 +398,7 @@ func (s *Server) EvictIdle(now time.Time) []string {
 	s.mu.Unlock()
 	for _, e := range engines {
 		e.Close()
+		s.cSessionsClosed.Inc()
 	}
 	return ids
 }
@@ -309,19 +494,26 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "loop config: %v", err)
 		return
 	}
+	// The session records stage latencies into its own recorder (read
+	// back as latency_ms on the stats endpoint) teed into the global
+	// published recorder, so /metrics aggregates across sessions without
+	// per-session label cardinality.
+	rec := obs.NewRecorder().Tee(s.globalRec)
 	eng := stream.New(stream.Config{
 		Pipeline:       cfg,
 		Pipelined:      pipelined,
 		Limiter:        s.limiter,
 		Loop:           loopCfg,
 		LoopEdgeWeight: loopWeight,
+		Obs:            rec,
 	})
 
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = &session{eng: eng, lastUsed: time.Now()}
+	s.sessions[id] = &session{eng: eng, rec: rec, lastUsed: time.Now()}
 	s.mu.Unlock()
+	s.cSessionsOpened.Inc()
 
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":        id,
@@ -397,27 +589,26 @@ func (s *Server) pipelineConfig(req sessionRequest) (registration.PipelineConfig
 	return cfg, nil
 }
 
-// withSession resolves the {id} path segment to its engine, bumping the
+// withSession resolves the {id} path segment to its session, bumping the
 // session's idle-eviction clock.
-func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *stream.Engine)) http.HandlerFunc {
+func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		ses, ok := s.sessions[r.PathValue("id")]
-		var eng *stream.Engine
 		if ok {
 			ses.lastUsed = time.Now()
-			eng = ses.eng
 		}
 		s.mu.Unlock()
 		if !ok {
 			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 			return
 		}
-		fn(w, r, eng)
+		fn(w, r, ses)
 	}
 }
 
-func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, ses *session) {
+	eng := ses.eng
 	c, err := cloud.Read(http.MaxBytesReader(w, r.Body, maxFrameBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
@@ -429,6 +620,8 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, eng *stream.
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	s.cFramesPushed.Inc()
+	s.cPointsPushed.Add(int64(c.Len()))
 	resp := map[string]any{"frame": idx, "points": c.Len()}
 	if wantWait(r) {
 		eng.Drain()
@@ -441,7 +634,8 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, eng *stream.
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
-func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request, ses *session) {
+	eng := ses.eng
 	if wantWait(r) {
 		eng.Drain()
 	}
@@ -492,7 +686,8 @@ type wireClosure struct {
 	SignatureDist   float64       `json:"signature_dist"`
 }
 
-func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
+func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request, ses *session) {
+	eng := ses.eng
 	if wantWait(r) {
 		eng.Drain()
 	}
@@ -522,8 +717,35 @@ func (s *Server) handleLoops(w http.ResponseWriter, r *http.Request, eng *stream
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream.Engine) {
-	st := eng.Stats()
+// wireLatency is one stage's latency digest in the stats response.
+type wireLatency struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// latencyDigest renders a recorder's per-stage summaries as
+// milliseconds, keyed by obs stage name.
+func latencyDigest(rec *obs.Recorder) map[string]wireLatency {
+	sums := rec.Summaries()
+	out := make(map[string]wireLatency, len(sums))
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for stage, sum := range sums {
+		out[stage] = wireLatency{
+			Count: sum.Count,
+			P50:   ms(sum.P50),
+			P95:   ms(sum.P95),
+			P99:   ms(sum.P99),
+			Max:   ms(sum.Max),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ses *session) {
+	st := ses.eng.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"frames_pushed":     st.FramesPushed,
 		"frames_prepared":   st.FramesPrepared,
@@ -538,6 +760,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *stream
 		"loops_verified":    st.Loop.Verified,
 		"loops_accepted":    st.Loop.Accepted,
 		"loop_ms":           float64(st.LoopTime.Microseconds()) / 1e3,
+		"latency_ms":        latencyDigest(ses.rec),
 	})
 }
 
@@ -552,6 +775,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ses.eng.Close()
+	s.cSessionsClosed.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "frames": ses.eng.Trajectory().Len()})
 }
 

@@ -35,6 +35,7 @@ import (
 	"tigris/internal/cloud"
 	"tigris/internal/geom"
 	"tigris/internal/loop"
+	"tigris/internal/obs"
 	"tigris/internal/par"
 	"tigris/internal/posegraph"
 	"tigris/internal/registration"
@@ -114,6 +115,16 @@ type Config struct {
 	// edges in the optimized pose graph (default 10): one globally
 	// accurate constraint against many locally consistent drifting ones.
 	LoopEdgeWeight float64
+	// Obs, when non-nil, receives the session's latency telemetry
+	// (internal/obs): every registration stage (threaded through the
+	// pipeline config), whole-frame latency (obs.StageFrame), the
+	// pipeline hand-off waits (obs.StageQueueWaitPrep /
+	// obs.StageQueueWaitAlign — non-trivial values mean the pipeline is
+	// stalling, not computing), the loop-closure stage's observe/verify
+	// spans, and the pose-graph solve. Recording is allocation-free and
+	// deterministically inert: trajectories, closures, and optimized
+	// poses are bit-identical with Obs set or nil.
+	Obs *obs.Recorder
 }
 
 // FrameResult records one frame's outcome in the trajectory.
@@ -151,7 +162,10 @@ func (t Trajectory) Len() int { return len(t.Poses) }
 // are the reuse proof: after N frames, FramesPrepared and
 // DescriptorBuilds are N (a per-pair loop would have prepared 2(N−1)
 // clouds), and TreeBuilds is N plus one fine-tuning index per target
-// frame when downsampling is active.
+// frame when downsampling is active. The scalar counters are maintained
+// on lock-free atomics (internal/obs), so a server polling Stats
+// concurrently with running stages reads them without contending on the
+// engine mutex.
 type Stats struct {
 	FramesPushed     int64
 	FramesPrepared   int64
@@ -180,17 +194,33 @@ type Engine struct {
 	// goroutines).
 	pushMu sync.Mutex
 
+	// rec is the session's telemetry sink (Config.Obs; nil records
+	// nothing). It is also threaded into the pipeline config handed to
+	// every stage, so registration's per-stage taps land here.
+	rec *obs.Recorder
+
+	// Work counters, on lock-free atomics so Stats can be polled
+	// concurrently with running stages (the /stats endpoint does) without
+	// touching the engine mutex. searchStats (a struct of durations)
+	// stays under mu: it is merged only when frames retire.
+	cFramesPushed     obs.Counter
+	cFramesPrepared   obs.Counter
+	cPairsAligned     obs.Counter
+	cTreeBuilds       obs.Counter
+	cDescriptorBuilds obs.Counter
+	cLoopTimeNs       obs.Counter
+
 	// mu guards everything below.
-	mu     sync.Mutex
-	cond   *sync.Cond
-	traj   Trajectory
-	stats  Stats
-	pushed int
-	done   int
-	closed bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	traj        Trajectory
+	searchStats search.Metrics
+	pushed      int
+	done        int
+	closed      bool
 
 	// Pipelined mode.
-	in chan *cloud.Cloud
+	in chan queuedCloud
 	wg sync.WaitGroup
 
 	// Adaptive stage split (pipelined mode). The concurrent stages would
@@ -232,6 +262,20 @@ type loopTask struct {
 	cands []loop.Candidate
 }
 
+// queuedCloud is a raw frame in flight to the front-end worker, stamped
+// at enqueue so the hand-off wait (obs.StageQueueWaitPrep) is visible.
+type queuedCloud struct {
+	c   *cloud.Cloud
+	enq time.Time
+}
+
+// queuedFrame is a prepared frame in flight to the alignment worker,
+// stamped at enqueue (obs.StageQueueWaitAlign).
+type queuedFrame struct {
+	pf  *registration.PreparedFrame
+	enq time.Time
+}
+
 // ErrClosed is returned by Push after Close.
 var ErrClosed = errors.New("stream: engine closed")
 
@@ -244,8 +288,15 @@ var ErrClosed = errors.New("stream: engine closed")
 func New(cfg Config) *Engine {
 	e := &Engine{cfg: cfg, stages: 2}
 	e.cond = sync.NewCond(&e.mu)
+	e.rec = cfg.Obs
+	// Thread the recorder into every registration stage's config so the
+	// per-stage taps (normals, keypoints, KPCE, ICP, ...) land in the
+	// session's histograms.
+	e.cfg.Pipeline.Obs = cfg.Obs
 	if cfg.Loop != nil {
-		det, err := loop.NewDetector(*cfg.Loop)
+		lc := *cfg.Loop
+		lc.Obs = cfg.Obs
+		det, err := loop.NewDetector(lc)
 		if err != nil {
 			panic(fmt.Sprintf("stream: %v (validate loop configs at the boundary with loop.Config.Validate)", err))
 		}
@@ -261,10 +312,10 @@ func New(cfg Config) *Engine {
 		// EWMAs take over once the stages have been observed.
 		e.pool = par.NewPool(cfg.Pipeline.Searcher.EffectiveParallelism())
 		e.resplitLocked()
-		e.in = make(chan *cloud.Cloud, depth)
+		e.in = make(chan queuedCloud, depth)
 		// Capacity 1 is the pipeline register between the two stages:
 		// the front-end worker may run one frame ahead of alignment.
-		preparedCh := make(chan *registration.PreparedFrame, 1)
+		preparedCh := make(chan queuedFrame, 1)
 		e.wg.Add(2)
 		go e.prepWorker(preparedCh)
 		go e.alignWorker(preparedCh)
@@ -321,11 +372,11 @@ func (e *Engine) Push(c *cloud.Cloud) (int, error) {
 	}
 	idx := e.pushed
 	e.pushed++
-	e.stats.FramesPushed++
 	e.mu.Unlock()
+	e.cFramesPushed.Inc()
 
 	if e.cfg.Pipelined {
-		e.in <- c
+		e.in <- queuedCloud{c: c, enq: time.Now()}
 		return idx, nil
 	}
 	e.process(c)
@@ -402,10 +453,8 @@ func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
 	cfg, workers := e.stageConfig(stagePrep)
 	pf := registration.PrepareFrame(c, cfg)
 	e.observeStage(stagePrep, pf.PrepTotal, workers)
-	e.mu.Lock()
-	e.stats.FramesPrepared++
-	e.stats.DescriptorBuilds++
-	e.mu.Unlock()
+	e.cFramesPrepared.Inc()
+	e.cDescriptorBuilds.Inc()
 	return pf
 }
 
@@ -443,10 +492,11 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 	}
 	e.traj.Poses = append(e.traj.Poses, fr.Pose)
 	e.traj.Frames = append(e.traj.Frames, fr)
-	if prev != nil {
-		e.stats.PairsAligned++
-	}
 	e.mu.Unlock()
+	if prev != nil {
+		e.cPairsAligned.Inc()
+	}
+	e.rec.Observe(obs.StageFrame, fr.PrepTime+fr.AlignTime)
 
 	e.observeLoop(fr.Index, pf)
 
@@ -466,9 +516,9 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 func (e *Engine) release(f *registration.PreparedFrame) {
 	m := f.SearchMetrics()
 	e.mu.Lock()
-	e.stats.Search.Merge(m)
-	e.stats.TreeBuilds += int64(f.Builds)
+	e.searchStats.Merge(m)
 	e.mu.Unlock()
+	e.cTreeBuilds.Add(int64(f.Builds))
 	f.Release()
 }
 
@@ -521,6 +571,11 @@ func (e *Engine) observeLoop(index int, pf *registration.PreparedFrame) {
 func (e *Engine) verifyLoop(cands []loop.Candidate) {
 	e.cfg.Limiter.acquire()
 	cfg, workers := e.stageConfig(stageLoop)
+	// Verification reruns the registration pipeline internally; detach the
+	// recorder so its KPCE/ICP sub-stages don't pollute the odometry
+	// per-stage histograms. The whole verification lands in one
+	// obs.StageLoopVerify sample below instead.
+	cfg.Obs = nil
 	start := time.Now()
 	var accepted *loop.Closure
 	for _, cand := range cands {
@@ -532,13 +587,14 @@ func (e *Engine) verifyLoop(cands []loop.Candidate) {
 	elapsed := time.Since(start)
 	e.observeStage(stageLoop, elapsed, workers)
 	e.cfg.Limiter.release()
+	e.cLoopTimeNs.Add(int64(elapsed))
+	e.rec.Observe(obs.StageLoopVerify, elapsed)
 
-	e.mu.Lock()
-	e.stats.LoopTime += elapsed
 	if accepted != nil {
+		e.mu.Lock()
 		e.closures = append(e.closures, *accepted)
+		e.mu.Unlock()
 	}
-	e.mu.Unlock()
 }
 
 // loopWorker is pipeline stage 3: loop-candidate verification.
@@ -553,24 +609,30 @@ func (e *Engine) loopWorker() {
 	}
 }
 
-// prepWorker is pipeline stage 1: the per-frame front-end.
-func (e *Engine) prepWorker(out chan<- *registration.PreparedFrame) {
+// prepWorker is pipeline stage 1: the per-frame front-end. The recorded
+// queue wait — enqueue at Push to receive here — is the input backlog: it
+// grows when the caller outruns the front-end.
+func (e *Engine) prepWorker(out chan<- queuedFrame) {
 	defer e.wg.Done()
 	defer close(out)
-	for c := range e.in {
-		out <- e.prepare(c)
+	for qc := range e.in {
+		e.rec.Observe(obs.StageQueueWaitPrep, time.Since(qc.enq))
+		out <- queuedFrame{pf: e.prepare(qc.c), enq: time.Now()}
 	}
 }
 
 // alignWorker is pipeline stage 2: pair alignment and trajectory
 // accumulation. While it aligns frame N against N−1, prepWorker is
-// already deep in frame N+1 — the two-stage overlap.
-func (e *Engine) alignWorker(in <-chan *registration.PreparedFrame) {
+// already deep in frame N+1 — the two-stage overlap. The recorded queue
+// wait — prepared-frame enqueue to receive here — is the hand-off stall:
+// it grows when alignment is the bottleneck stage.
+func (e *Engine) alignWorker(in <-chan queuedFrame) {
 	defer e.wg.Done()
 	var prev *registration.PreparedFrame
-	for pf := range in {
-		e.commit(pf, prev)
-		prev = pf
+	for qf := range in {
+		e.rec.Observe(obs.StageQueueWaitAlign, time.Since(qf.enq))
+		e.commit(qf.pf, prev)
+		prev = qf.pf
 	}
 	if prev != nil {
 		e.release(prev)
@@ -657,8 +719,16 @@ func (e *Engine) Trajectory() Trajectory {
 // tree-build counts are folded in when frames retire, so they trail the
 // trajectory by up to two in-flight frames until Close.
 func (e *Engine) Stats() Stats {
+	st := Stats{
+		FramesPushed:     e.cFramesPushed.Value(),
+		FramesPrepared:   e.cFramesPrepared.Value(),
+		PairsAligned:     e.cPairsAligned.Value(),
+		TreeBuilds:       e.cTreeBuilds.Value(),
+		DescriptorBuilds: e.cDescriptorBuilds.Value(),
+		LoopTime:         time.Duration(e.cLoopTimeNs.Value()),
+	}
 	e.mu.Lock()
-	st := e.stats
+	st.Search = e.searchStats
 	e.mu.Unlock()
 	if e.det != nil {
 		st.Loop = e.det.Stats()
@@ -712,5 +782,7 @@ func (e *Engine) OptimizedPoses(opts posegraph.Options) ([]geom.Transform, poseg
 			TransWeight: w, RotWeight: w, Robust: true,
 		})
 	}
-	return g.Optimize(opts)
+	poses, res, err := g.Optimize(opts)
+	e.rec.Observe(obs.StagePoseGraph, res.SolveTime)
+	return poses, res, err
 }
