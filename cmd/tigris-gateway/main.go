@@ -1,0 +1,154 @@
+// Command tigris-gateway runs the fleet front door: a reverse proxy
+// that spreads tigris-serve sessions across N worker processes with
+// pluggable routing policies, per-client token-bucket admission
+// control, worker health checking with graceful drain/re-shard, and
+// TLS termination.
+//
+// Usage:
+//
+//	tigris-gateway -workers URL[,URL...] [-addr :8088]
+//	               [-policy round-robin|least-loaded|affinity]
+//	               [-admit-rate R] [-admit-burst B]
+//	               [-health-interval D] [-auth-token TOKEN]
+//	               [-worker-auth-token TOKEN]
+//	               [-tls-cert CERT.pem -tls-key KEY.pem]
+//	               [-log-format text|json]
+//
+// -workers lists the worker base URLs (comma-separated; at least one).
+// -policy picks session placement (see internal/gateway). -admit-rate
+// grants each client that many session-creates/frame-pushes per second
+// (token bucket of capacity -admit-burst); refusals are 429 with
+// Retry-After. -auth-token gates the mutating /gateway/* admin surface;
+// client bearer tokens for /v1/* pass through to the workers, and
+// -worker-auth-token is what the gateway itself presents on migration
+// traffic when workers run with -auth-token. -tls-cert/-tls-key
+// terminate TLS at the gateway, so plain-HTTP workers can stay on a
+// private network behind an encrypted front door.
+//
+// Operations:
+//
+//	curl localhost:8088/gateway/workers          # fleet status
+//	curl -X POST 'localhost:8088/gateway/drain?worker=0'
+//	                                             # migrate sessions off worker 0
+//	curl localhost:8088/metrics                  # gateway telemetry
+//
+// On SIGTERM/SIGINT the gateway shuts its listener down gracefully;
+// sessions keep living on the workers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tigris/internal/gateway"
+	"tigris/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8088", "listen address")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (required)")
+	policy := flag.String("policy", "round-robin", "session routing policy: round-robin, least-loaded, or affinity")
+	admitRate := flag.Float64("admit-rate", 0, "per-client admitted requests/sec (token bucket; 0 = admission off)")
+	admitBurst := flag.Int("admit-burst", 0, "admission bucket capacity (0 = max(1, ceil(rate)))")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "worker health-check and load-poll period (0 = off)")
+	authToken := flag.String("auth-token", "", "require this bearer token on the /gateway/* admin surface")
+	workerAuthToken := flag.String("worker-auth-token", "", "bearer token the gateway presents to workers on migration traffic")
+	tlsCert := flag.String("tls-cert", "", "PEM server certificate; terminate TLS at the gateway (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
+	logFormat := flag.String("log-format", "text", "request log encoding on stderr: text or json")
+	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *workers == "" {
+		fatal(logger, "missing -workers", fmt.Errorf("at least one worker URL is required"))
+	}
+	pol, err := gateway.ParsePolicy(*policy)
+	if err != nil {
+		fatal(logger, "invalid -policy", err)
+	}
+	tlsCfg := serve.TLSConfig{CertFile: *tlsCert, KeyFile: *tlsKey}
+	if err := tlsCfg.Validate(); err != nil {
+		fatal(logger, "invalid TLS config", err)
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Workers:         splitList(*workers),
+		Policy:          pol,
+		AdmitRate:       *admitRate,
+		AdmitBurst:      *admitBurst,
+		HealthInterval:  *healthInterval,
+		AuthToken:       *authToken,
+		WorkerAuthToken: *workerAuthToken,
+		Logger:          logger,
+	})
+	if err != nil {
+		fatal(logger, "gateway config", err)
+	}
+	defer gw.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: gw}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+		sig := <-sigc
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("listener shutdown", "error", err)
+		}
+	}()
+
+	logger.Info("gateway listening",
+		"addr", *addr, "workers", splitList(*workers), "policy", string(pol), "tls", tlsCfg.Enabled())
+	if tlsCfg.Enabled() {
+		err = httpSrv.ListenAndServeTLS(tlsCfg.CertFile, tlsCfg.KeyFile)
+	} else {
+		err = httpSrv.ListenAndServe()
+	}
+	if err != nil && err != http.ErrServerClosed {
+		fatal(logger, "gateway exited", err)
+	}
+	<-done
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "error", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //
 //	tigris-serve [-addr :8089] [-parallel N] [-max-concurrent N]
 //	             [-backend NAME] [-session-ttl D] [-auth-token TOKEN]
+//	             [-max-pending N]
 //	             [-tls-cert CERT.pem -tls-key KEY.pem]
 //	             [-log-format text|json] [-pprof-addr ADDR]
 //	tigris-serve -selftest [-backend NAME]
@@ -19,9 +20,18 @@
 // evicts sessions idle longer than the given duration (e.g. 30m; 0 keeps
 // sessions forever); -auth-token requires `Authorization: Bearer TOKEN`
 // on every /v1/* endpoint (/healthz and /metrics stay open for probes
-// and scrapers); -tls-cert and -tls-key (both required together) serve
-// HTTPS with the given PEM material — the pair is validated before the
-// socket binds.
+// and scrapers); -max-pending refuses frame pushes with 503 Service
+// Unavailable (Retry-After header + JSON body) once that many frames
+// are queued across all sessions, so fleet gateways and load generators
+// get a principled backoff signal instead of unbounded queueing;
+// -tls-cert and -tls-key (both required together) serve HTTPS with the
+// given PEM material — the pair is validated before the socket binds.
+//
+// On SIGTERM or SIGINT the server shuts down gracefully: the listener
+// stops accepting requests, in-flight requests finish, every session's
+// queued frames are drained to committed trajectory state, and only
+// then do the engines stop — the worker lifecycle a fleet gateway's
+// drain/re-shard path depends on.
 //
 // Observability: Prometheus metrics are always on at GET /metrics
 // (per-stage latency histograms, request/session/frame counters,
@@ -51,6 +61,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,7 +71,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"tigris/internal/cloud"
 	"tigris/internal/serve"
@@ -73,6 +87,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent heavy stages across all sessions (0 = CPU count)")
 	backend := flag.String("backend", "", "default search backend for sessions (registry name; \"\" = canonical)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
+	maxPending := flag.Int("max-pending", 0, "refuse frame pushes with 503 + Retry-After when this many frames are already pending (0 = never refuse)")
 	authToken := flag.String("auth-token", "", "require this bearer token on every /v1/* endpoint (\"\" = open access)")
 	tlsCert := flag.String("tls-cert", "", "PEM server certificate; serve HTTPS (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
@@ -106,6 +121,7 @@ func main() {
 		DefaultBackend: *backend,
 		SessionTTL:     *sessionTTL,
 		AuthToken:      *authToken,
+		MaxPending:     *maxPending,
 		Logger:         logger,
 	})
 
@@ -125,17 +141,39 @@ func main() {
 		go servePprof(logger, *pprofAddr)
 	}
 
-	if tlsCfg.Enabled() {
-		logger.Info("listening", "addr", *addr, "tls", true)
-		if err := http.ListenAndServeTLS(*addr, tlsCfg.CertFile, tlsCfg.KeyFile, srv); err != nil {
-			fatal(logger, "server exited", err)
+	// Graceful shutdown: SIGTERM/SIGINT stops the listener (in-flight
+	// requests finish), then drains every session's queued frames before
+	// tearing the engines down — so a gateway draining this worker sees
+	// all committed state land, never an abrupt kill.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+		sig := <-sigc
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("listener shutdown", "error", err)
 		}
-		return
+		logger.Info("draining sessions")
+		srv.Drain()
+		srv.Close()
+		logger.Info("drained, exiting")
+	}()
+
+	logger.Info("listening", "addr", *addr, "tls", tlsCfg.Enabled())
+	if tlsCfg.Enabled() {
+		err = httpSrv.ListenAndServeTLS(tlsCfg.CertFile, tlsCfg.KeyFile)
+	} else {
+		err = httpSrv.ListenAndServe()
 	}
-	logger.Info("listening", "addr", *addr, "tls", false)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err != nil && err != http.ErrServerClosed {
 		fatal(logger, "server exited", err)
 	}
+	<-done
 }
 
 // newLogger builds the process logger in the requested encoding.

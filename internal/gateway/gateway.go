@@ -1,0 +1,891 @@
+// Package gateway implements the fleet tier in front of tigris-serve:
+// a reverse proxy that spreads sessions across N worker processes, the
+// piece that takes the registration service from one process to a
+// horizontally sharded fleet.
+//
+// A session is created on exactly one worker — chosen by the configured
+// routing policy — and every later request for it is proxied to that
+// worker, so a session's trajectory is bit-identical to what a single
+// worker would have produced. The gateway mints its own session ids
+// ("g1", "g2", ...) and rewrites paths on the way through, so worker-
+// local ids ("s1" on two different workers) never collide at the front
+// door.
+//
+// # Routing policies
+//
+//   - round-robin: session creates rotate across available workers.
+//   - least-loaded: creates go to the worker with the fewest pending
+//     frames (scraped from the worker's /metrics), tie-broken by the
+//     gateway's own live session count, then worker index.
+//   - affinity: highest-random-weight (rendezvous) hash of the gateway
+//     session id over the available workers — a deterministic placement
+//     that moves the minimum number of sessions when the worker set
+//     changes.
+//
+// # Admission control
+//
+// With Config.AdmitRate set, each client (keyed by bearer token, then
+// X-Client-ID, then remote IP) gets a token bucket; session creates and
+// frame pushes that find the bucket empty are refused with 429, a
+// Retry-After header, and a JSON body — the same overload shape the
+// workers' own -max-pending 503s use, so client backoff is uniform.
+//
+// # Health, drain, and re-shard
+//
+// A background loop (Config.HealthInterval) probes every worker's
+// /healthz and scrapes its /metrics for load signals. An unhealthy
+// worker receives no new sessions; requests for sessions it holds are
+// answered 502 until it recovers (state that was never migrated cannot
+// be invented). The graceful path is DrainWorker (POST /gateway/drain):
+// the worker is fenced from new sessions, and each session it holds is
+// migrated — its committed trajectory is drained (?wait=1) and carried
+// over as a prefix, a replacement session is created on another worker
+// with origin = the last committed pose, and the old session deleted.
+// Clients keep their session id; trajectory responses stitch the prefix
+// and the new worker's frames, so killing the drained worker afterwards
+// loses nothing that was ever committed.
+//
+// # Observability
+//
+// The gateway records through internal/obs like the workers do: GET
+// /metrics exposes per-route proxy latency histograms
+// (tigris_gateway_proxy_seconds{stage=...}), request counters by route
+// and status, admission rejections, migrations, and per-worker health/
+// session/routed gauges. Every proxied response carries an
+// X-Tigris-Worker header naming the worker that served it, which is how
+// the load generator measures the fleet's load split.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tigris/internal/obs"
+)
+
+// proxyLatencyFamily is the Prometheus family the gateway's per-route
+// proxy latency histograms publish under.
+const proxyLatencyFamily = "tigris_gateway_proxy_seconds"
+
+// workerHeader names the worker that served a proxied response.
+const workerHeader = "X-Tigris-Worker"
+
+// maxCreateBody bounds a buffered session-create request body (it must
+// be buffered: creates fail over across workers, and re-shard needs the
+// original config to recreate the session).
+const maxCreateBody = 1 << 20
+
+// Config parameterizes the gateway.
+type Config struct {
+	// Workers are the worker base URLs (e.g. http://127.0.0.1:8089).
+	// At least one is required.
+	Workers []string
+	// Policy selects the session-placement policy (default round-robin).
+	Policy Policy
+	// AdmitRate enables per-client token-bucket admission control:
+	// tokens per second granted to each client (0 disables admission).
+	AdmitRate float64
+	// AdmitBurst is the bucket capacity (default max(1, ceil(AdmitRate))).
+	AdmitBurst int
+	// HealthInterval is the worker health-check and load-poll period
+	// (0 disables the background loop; PollWorkers can still be called).
+	HealthInterval time.Duration
+	// AuthToken, when non-empty, gates the mutating /gateway/* admin
+	// surface (drain). The /v1/* surface is pass-through: the client's
+	// Authorization header is forwarded to the worker, which enforces
+	// its own token.
+	AuthToken string
+	// WorkerAuthToken is the bearer token the gateway presents on the
+	// upstream calls it originates itself (drain migration traffic).
+	// Leave empty when workers run without -auth-token.
+	WorkerAuthToken string
+	// Client is the upstream HTTP client (nil = http.DefaultTransport
+	// with no timeout; pushes with ?wait=1 are long-lived).
+	Client *http.Client
+	// Logger, when non-nil, receives request and lifecycle records.
+	Logger *slog.Logger
+}
+
+// worker is one upstream tigris-serve process.
+type worker struct {
+	url string
+	idx int
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+
+	// Load signals scraped from the worker's /metrics by PollWorkers.
+	polledPending  atomic.Int64
+	polledSessions atomic.Int64
+	// gwSessions is the gateway's own live count of sessions mapped
+	// here — always current, unlike the polled signals.
+	gwSessions atomic.Int64
+
+	cRouted *obs.Counter
+}
+
+// available reports whether new sessions may be placed on the worker.
+func (w *worker) available() bool { return w.healthy.Load() && !w.draining.Load() }
+
+// gwSession is the gateway's record of one client-visible session.
+// mu orders proxied requests against migration: handlers hold RLock for
+// the duration of their upstream call, migration holds Lock — so a
+// migration never runs between a push being accepted by the old worker
+// and its commit being visible to the drain's trajectory snapshot.
+type gwSession struct {
+	id string
+
+	mu         sync.RWMutex
+	w          *worker
+	remoteID   string
+	createBody []byte // original create request (re-shard recreates from it)
+	// Committed state carried over from drained workers: trajectory
+	// frames (indices already global) and verified loop closures.
+	prefix         []map[string]any
+	prefixClosures []map[string]any
+	migrations     int
+}
+
+// Gateway is the fleet front door. It implements http.Handler.
+type Gateway struct {
+	mux    *http.ServeMux
+	cfg    Config
+	client *http.Client
+	logger *slog.Logger
+
+	reg            *obs.Registry
+	rec            *obs.Recorder
+	cAdmitRejected *obs.Counter
+	cMigrated      *obs.Counter
+	cNoWorker      *obs.Counter
+
+	admit   *admitTable
+	workers []*worker
+	rr      atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[string]*gwSession
+	nextID   int
+
+	stopHealth chan struct{}
+}
+
+// New creates a gateway fronting the configured workers and, when
+// Config.HealthInterval is set, starts the health/load poll loop
+// (stopped by Close). Workers start out presumed healthy; the first
+// poll corrects that.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("gateway: no workers configured")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyRoundRobin
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	for _, wu := range cfg.Workers {
+		u, err := url.Parse(wu)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("gateway: bad worker URL %q (want http[s]://host:port)", wu)
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	reg := obs.NewRegistry()
+	g := &Gateway{
+		mux:            http.NewServeMux(),
+		cfg:            cfg,
+		client:         client,
+		logger:         cfg.Logger,
+		reg:            reg,
+		rec:            obs.NewPublishedRecorder(reg, proxyLatencyFamily),
+		cAdmitRejected: reg.Counter("tigris_gateway_admission_rejected_total"),
+		cMigrated:      reg.Counter("tigris_gateway_sessions_migrated_total"),
+		cNoWorker:      reg.Counter("tigris_gateway_no_worker_total"),
+		admit:          newAdmitTable(cfg.AdmitRate, cfg.AdmitBurst),
+		sessions:       make(map[string]*gwSession),
+	}
+	for i, wu := range cfg.Workers {
+		wu = strings.TrimRight(wu, "/")
+		wk := &worker{
+			url:     wu,
+			idx:     i,
+			cRouted: reg.Counter(`tigris_gateway_routed_total{worker="` + wu + `"}`),
+		}
+		wk.healthy.Store(true)
+		g.workers = append(g.workers, wk)
+		g.registerWorkerGauges(wk)
+	}
+	reg.GaugeFunc("tigris_gateway_sessions_active", func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(len(g.sessions))
+	})
+
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.reg.WritePrometheus(w)
+	})
+	g.mux.HandleFunc("GET /gateway/workers", g.handleWorkers)
+	g.mux.HandleFunc("POST /gateway/drain", g.handleDrain)
+	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
+	g.mux.HandleFunc("GET /v1/backends", g.proxyFleet("/v1/backends"))
+	g.mux.HandleFunc("GET /v1/buildinfo", g.proxyFleet("/v1/buildinfo"))
+	g.mux.HandleFunc("POST /v1/sessions/{id}/frames", g.withSession(g.handlePush))
+	g.mux.HandleFunc("GET /v1/sessions/{id}/trajectory", g.withSession(g.handleTrajectory))
+	g.mux.HandleFunc("GET /v1/sessions/{id}/loops", g.withSession(g.handleLoops))
+	g.mux.HandleFunc("GET /v1/sessions/{id}/stats", g.withSession(g.handleStats))
+	g.mux.HandleFunc("DELETE /v1/sessions/{id}", g.withSession(g.handleDelete))
+
+	if cfg.HealthInterval > 0 {
+		g.stopHealth = make(chan struct{})
+		go g.healthLoop(g.stopHealth)
+	}
+	return g, nil
+}
+
+// registerWorkerGauges publishes one worker's live state as labeled
+// Prometheus gauges.
+func (g *Gateway) registerWorkerGauges(wk *worker) {
+	label := `{worker="` + wk.url + `"}`
+	g.reg.GaugeFunc("tigris_gateway_worker_healthy"+label, func() float64 {
+		if wk.healthy.Load() {
+			return 1
+		}
+		return 0
+	})
+	g.reg.GaugeFunc("tigris_gateway_worker_draining"+label, func() float64 {
+		if wk.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	g.reg.GaugeFunc("tigris_gateway_worker_sessions"+label, func() float64 {
+		return float64(wk.gwSessions.Load())
+	})
+	g.reg.GaugeFunc("tigris_gateway_worker_pending_frames"+label, func() float64 {
+		return float64(wk.polledPending.Load())
+	})
+}
+
+// Metrics exposes the gateway's registry (the /metrics backing store).
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// Close stops the health loop. The gateway holds no session state worth
+// draining — sessions live on the workers.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopHealth != nil {
+		close(g.stopHealth)
+		g.stopHealth = nil
+	}
+}
+
+// statusWriter captures status and size for the request counter/log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// routeLabel normalizes a request path to a bounded route pattern.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/backends", "/v1/buildinfo", "/v1/sessions",
+		"/gateway/workers", "/gateway/drain":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/sessions/"); ok {
+		_, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "":
+			return "/v1/sessions/{id}"
+		case "frames", "trajectory", "loops", "stats":
+			return "/v1/sessions/{id}/" + sub
+		}
+	}
+	return "other"
+}
+
+// ServeHTTP implements http.Handler: admin-surface auth, per-route
+// request counting, and request logging.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	g.serveAuthed(sw, r)
+	route := routeLabel(r.URL.Path)
+	g.reg.Counter(`tigris_gateway_requests_total{route="` + route + `",code="` + strconv.Itoa(sw.status) + `"}`).Inc()
+	if g.logger != nil {
+		g.logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1e3,
+		)
+	}
+}
+
+// serveAuthed gates the mutating admin surface behind Config.AuthToken,
+// then routes. /v1/* passes through untouched — the client's bearer
+// token travels with the proxied request and the worker enforces it.
+func (g *Gateway) serveAuthed(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.AuthToken != "" && strings.HasPrefix(r.URL.Path, "/gateway/") {
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || token != g.cfg.AuthToken {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="tigris-gateway"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+	}
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, wk := range g.workers {
+		if wk.healthy.Load() {
+			healthy++
+		}
+	}
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"status":          map[bool]string{true: "ok", false: "no healthy workers"}[healthy > 0],
+		"workers":         len(g.workers),
+		"workers_healthy": healthy,
+	})
+}
+
+// WorkerStatus is one worker's row in the /gateway/workers listing.
+type WorkerStatus struct {
+	URL           string `json:"url"`
+	Healthy       bool   `json:"healthy"`
+	Draining      bool   `json:"draining"`
+	Sessions      int64  `json:"sessions"`
+	PendingFrames int64  `json:"pending_frames"`
+}
+
+// Workers reports each worker's live status (the /gateway/workers body).
+func (g *Gateway) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, len(g.workers))
+	for i, wk := range g.workers {
+		out[i] = WorkerStatus{
+			URL:           wk.url,
+			Healthy:       wk.healthy.Load(),
+			Draining:      wk.draining.Load(),
+			Sessions:      wk.gwSessions.Load(),
+			PendingFrames: wk.polledPending.Load(),
+		}
+	}
+	return out
+}
+
+func (g *Gateway) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": g.Workers()})
+}
+
+func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
+	ref := r.URL.Query().Get("worker")
+	if ref == "" {
+		httpError(w, http.StatusBadRequest, "missing ?worker=<url or index>")
+		return
+	}
+	wk := g.findWorker(ref)
+	if wk == nil {
+		httpError(w, http.StatusNotFound, "no worker %q", ref)
+		return
+	}
+	migrated, err := g.DrainWorker(ref)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":    err.Error(),
+			"worker":   wk.url,
+			"migrated": migrated,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"worker": wk.url, "migrated": migrated})
+}
+
+// findWorker resolves a worker by URL or decimal index.
+func (g *Gateway) findWorker(ref string) *worker {
+	for _, wk := range g.workers {
+		if wk.url == strings.TrimRight(ref, "/") {
+			return wk
+		}
+	}
+	if i, err := strconv.Atoi(ref); err == nil && i >= 0 && i < len(g.workers) {
+		return g.workers[i]
+	}
+	return nil
+}
+
+// session resolves a gateway session id.
+func (g *Gateway) session(id string) *gwSession {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sessions[id]
+}
+
+// dropSession removes a session mapping (worker-side 404 or delete).
+func (g *Gateway) dropSession(ses *gwSession) {
+	g.mu.Lock()
+	if _, ok := g.sessions[ses.id]; ok {
+		delete(g.sessions, ses.id)
+		ses.w.gwSessions.Add(-1)
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) withSession(fn func(http.ResponseWriter, *http.Request, *gwSession)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ses := g.session(r.PathValue("id"))
+		if ses == nil {
+			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+			return
+		}
+		fn(w, r, ses)
+	}
+}
+
+// doUpstream issues one request to a worker, forwarding auth and
+// content-type headers. pathAndQuery must start with "/".
+func (g *Gateway) doUpstream(wk *worker, method, pathAndQuery, auth string, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, wk.url+pathAndQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return g.client.Do(req)
+}
+
+// clientAuth returns the Authorization header to present upstream: the
+// client's own header when set, else the gateway's worker token.
+func (g *Gateway) clientAuth(r *http.Request) string {
+	if a := r.Header.Get("Authorization"); a != "" {
+		return a
+	}
+	if g.cfg.WorkerAuthToken != "" {
+		return "Bearer " + g.cfg.WorkerAuthToken
+	}
+	return ""
+}
+
+// workerAuth is the Authorization header for gateway-originated calls.
+func (g *Gateway) workerAuth() string {
+	if g.cfg.WorkerAuthToken != "" {
+		return "Bearer " + g.cfg.WorkerAuthToken
+	}
+	return ""
+}
+
+// subPath rebuilds the worker-side path for a session-scoped request.
+func subPath(remoteID, sub, rawQuery string) string {
+	p := "/v1/sessions/" + remoteID
+	if sub != "" {
+		p += "/" + sub
+	}
+	if rawQuery != "" {
+		p += "?" + rawQuery
+	}
+	return p
+}
+
+// copyResponse relays an upstream response: status, the headers that
+// matter (Content-Type, Retry-After), the worker identity, and body.
+func copyResponse(w http.ResponseWriter, resp *http.Response, wk *worker) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(workerHeader, wk.url)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleCreate places a new session on a worker chosen by the routing
+// policy, failing over to the next candidate on worker errors.
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !g.admitOK(w, r) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCreateBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading session config: %v", err)
+		return
+	}
+
+	g.mu.Lock()
+	g.nextID++
+	id := fmt.Sprintf("g%d", g.nextID)
+	g.mu.Unlock()
+
+	span := g.rec.Start("create")
+	wk, remoteID, respBody, status, err := g.createUpstream(id, body, g.clientAuth(r))
+	span.End()
+	if err != nil {
+		g.cNoWorker.Inc()
+		writeOverload(w, http.StatusServiceUnavailable, 1, "%v", err)
+		return
+	}
+	if status != http.StatusCreated {
+		// Client-side error (bad config): forward the worker's verdict.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(workerHeader, wk.url)
+		w.WriteHeader(status)
+		_, _ = w.Write(respBody)
+		return
+	}
+
+	ses := &gwSession{id: id, w: wk, remoteID: remoteID, createBody: body}
+	g.mu.Lock()
+	g.sessions[id] = ses
+	g.mu.Unlock()
+	wk.gwSessions.Add(1)
+	wk.cRouted.Inc()
+
+	// Rewrite the worker-local id to the gateway id and surface the
+	// placement, so clients (and the load generator) can see the split.
+	var created map[string]any
+	if err := json.Unmarshal(respBody, &created); err != nil {
+		created = map[string]any{}
+	}
+	created["id"] = id
+	created["worker"] = wk.url
+	w.Header().Set(workerHeader, wk.url)
+	writeJSON(w, http.StatusCreated, created)
+}
+
+// createUpstream tries policy-ordered candidates until one accepts the
+// session. Workers that refuse with 5xx or fail to connect are skipped
+// (connection failures also mark the worker unhealthy); a 4xx is the
+// client's problem and is returned as-is.
+func (g *Gateway) createUpstream(id string, body []byte, auth string) (*worker, string, []byte, int, error) {
+	tried := make(map[*worker]bool)
+	for range g.workers {
+		wk := g.pick(id, func(c *worker) bool { return tried[c] })
+		if wk == nil {
+			break
+		}
+		tried[wk] = true
+		resp, err := g.doUpstream(wk, http.MethodPost, "/v1/sessions", auth, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			g.markUnhealthy(wk, err)
+			continue
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return wk, "", respBody, resp.StatusCode, nil
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(respBody, &created); err != nil || created.ID == "" {
+			continue
+		}
+		return wk, created.ID, respBody, http.StatusCreated, nil
+	}
+	return nil, "", nil, 0, fmt.Errorf("no available worker for session create")
+}
+
+// handlePush proxies a frame push to the session's worker. The session
+// read-lock is held across the upstream call so a concurrent drain
+// cannot migrate the session mid-push.
+func (g *Gateway) handlePush(w http.ResponseWriter, r *http.Request, ses *gwSession) {
+	if !g.admitOK(w, r) {
+		return
+	}
+	ses.mu.RLock()
+	defer ses.mu.RUnlock()
+	wk, prefixLen := ses.w, len(ses.prefix)
+	if !wk.healthy.Load() {
+		httpError(w, http.StatusBadGateway, "worker %s holding session %s is down", wk.url, ses.id)
+		return
+	}
+	span := g.rec.Start("frames")
+	resp, err := g.doUpstream(wk, http.MethodPost, subPath(ses.remoteID, "frames", r.URL.RawQuery),
+		g.clientAuth(r), r.Header.Get("Content-Type"), r.Body)
+	span.End()
+	if err != nil {
+		g.markUnhealthy(wk, err)
+		httpError(w, http.StatusBadGateway, "worker %s: %v", wk.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		g.forwardEvicted(w, resp, ses, wk)
+		return
+	}
+	if resp.StatusCode == http.StatusAccepted && prefixLen > 0 {
+		// Re-sharded session: worker-local frame indices shift by the
+		// carried-over prefix.
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+			if f, ok := out["frame"].(float64); ok {
+				out["frame"] = f + float64(prefixLen)
+			}
+			w.Header().Set(workerHeader, wk.url)
+			writeJSON(w, resp.StatusCode, out)
+			return
+		}
+		httpError(w, http.StatusBadGateway, "worker %s: bad push response", wk.url)
+		return
+	}
+	copyResponse(w, resp, wk)
+}
+
+// forwardEvicted relays a worker-side 404 — the session was evicted
+// (idle TTL) or otherwise lost on the worker — and drops the gateway
+// mapping, so the client sees a clean 404 now and on every later
+// request, never a silent re-route onto a fresh session.
+func (g *Gateway) forwardEvicted(w http.ResponseWriter, resp *http.Response, ses *gwSession, wk *worker) {
+	g.dropSession(ses)
+	if g.logger != nil {
+		g.logger.Warn("session gone on worker (evicted?); mapping dropped",
+			"session", ses.id, "worker", wk.url)
+	}
+	copyResponse(w, resp, wk)
+}
+
+// handleTrajectory proxies a trajectory read, stitching the carried-over
+// prefix in front of the current worker's frames for re-sharded
+// sessions.
+func (g *Gateway) handleTrajectory(w http.ResponseWriter, r *http.Request, ses *gwSession) {
+	ses.mu.RLock()
+	defer ses.mu.RUnlock()
+	wk := ses.w
+	if !wk.healthy.Load() {
+		httpError(w, http.StatusBadGateway, "worker %s holding session %s is down", wk.url, ses.id)
+		return
+	}
+	span := g.rec.Start("trajectory")
+	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "trajectory", r.URL.RawQuery),
+		g.clientAuth(r), "", nil)
+	span.End()
+	if err != nil {
+		g.markUnhealthy(wk, err)
+		httpError(w, http.StatusBadGateway, "worker %s: %v", wk.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		g.forwardEvicted(w, resp, ses, wk)
+		return
+	}
+	if resp.StatusCode != http.StatusOK || len(ses.prefix) == 0 {
+		copyResponse(w, resp, wk)
+		return
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		httpError(w, http.StatusBadGateway, "worker %s: bad trajectory response: %v", wk.url, err)
+		return
+	}
+	suffix, _ := out["trajectory"].([]any)
+	stitched := make([]any, 0, len(ses.prefix)+len(suffix))
+	for _, fr := range ses.prefix {
+		stitched = append(stitched, fr)
+	}
+	for i, fr := range suffix {
+		if m, ok := fr.(map[string]any); ok {
+			m["index"] = float64(len(ses.prefix) + i)
+		}
+		stitched = append(stitched, fr)
+	}
+	out["trajectory"] = stitched
+	out["frames"] = len(stitched)
+	out["migrations"] = ses.migrations
+	w.Header().Set(workerHeader, wk.url)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLoops proxies the loop-closure listing, shifting worker-local
+// frame indices and prepending closures committed before a re-shard.
+func (g *Gateway) handleLoops(w http.ResponseWriter, r *http.Request, ses *gwSession) {
+	ses.mu.RLock()
+	defer ses.mu.RUnlock()
+	wk := ses.w
+	if !wk.healthy.Load() {
+		httpError(w, http.StatusBadGateway, "worker %s holding session %s is down", wk.url, ses.id)
+		return
+	}
+	span := g.rec.Start("loops")
+	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "loops", r.URL.RawQuery),
+		g.clientAuth(r), "", nil)
+	span.End()
+	if err != nil {
+		g.markUnhealthy(wk, err)
+		httpError(w, http.StatusBadGateway, "worker %s: %v", wk.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		g.forwardEvicted(w, resp, ses, wk)
+		return
+	}
+	if resp.StatusCode != http.StatusOK || len(ses.prefix) == 0 {
+		copyResponse(w, resp, wk)
+		return
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		httpError(w, http.StatusBadGateway, "worker %s: bad loops response: %v", wk.url, err)
+		return
+	}
+	suffix, _ := out["closures"].([]any)
+	all := make([]any, 0, len(ses.prefixClosures)+len(suffix))
+	for _, cl := range ses.prefixClosures {
+		all = append(all, cl)
+	}
+	for _, cl := range suffix {
+		if m, ok := cl.(map[string]any); ok {
+			for _, k := range []string{"from", "to"} {
+				if v, ok := m[k].(float64); ok {
+					m[k] = v + float64(len(ses.prefix))
+				}
+			}
+		}
+		all = append(all, cl)
+	}
+	out["closures"] = all
+	w.Header().Set(workerHeader, wk.url)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request, ses *gwSession) {
+	ses.mu.RLock()
+	defer ses.mu.RUnlock()
+	wk := ses.w
+	if !wk.healthy.Load() {
+		httpError(w, http.StatusBadGateway, "worker %s holding session %s is down", wk.url, ses.id)
+		return
+	}
+	span := g.rec.Start("stats")
+	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "stats", r.URL.RawQuery),
+		g.clientAuth(r), "", nil)
+	span.End()
+	if err != nil {
+		g.markUnhealthy(wk, err)
+		httpError(w, http.StatusBadGateway, "worker %s: %v", wk.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		g.forwardEvicted(w, resp, ses, wk)
+		return
+	}
+	copyResponse(w, resp, wk)
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request, ses *gwSession) {
+	ses.mu.RLock()
+	defer ses.mu.RUnlock()
+	wk := ses.w
+	g.dropSession(ses)
+	span := g.rec.Start("delete")
+	resp, err := g.doUpstream(wk, http.MethodDelete, subPath(ses.remoteID, "", ""), g.clientAuth(r), "", nil)
+	span.End()
+	if err != nil {
+		g.markUnhealthy(wk, err)
+		httpError(w, http.StatusBadGateway, "worker %s: %v (gateway mapping removed)", wk.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if json.NewDecoder(resp.Body).Decode(&out) == nil {
+		out["id"] = ses.id
+		w.Header().Set(workerHeader, wk.url)
+		writeJSON(w, resp.StatusCode, out)
+		return
+	}
+	copyResponse(w, resp, wk)
+}
+
+// proxyFleet proxies a fleet-wide informational endpoint to the first
+// healthy worker (they all answer identically).
+func (g *Gateway) proxyFleet(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, wk := range g.workers {
+			if !wk.healthy.Load() {
+				continue
+			}
+			resp, err := g.doUpstream(wk, http.MethodGet, path, g.clientAuth(r), "", nil)
+			if err != nil {
+				g.markUnhealthy(wk, err)
+				continue
+			}
+			defer resp.Body.Close()
+			copyResponse(w, resp, wk)
+			return
+		}
+		writeOverload(w, http.StatusServiceUnavailable, 1, "no healthy worker")
+	}
+}
+
+// markUnhealthy records a connection-level failure against a worker.
+func (g *Gateway) markUnhealthy(wk *worker, err error) {
+	if wk.healthy.Swap(false) && g.logger != nil {
+		g.logger.Warn("worker marked unhealthy", "worker", wk.url, "error", err.Error())
+	}
+}
+
+// --- shared response helpers -------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeOverload mirrors internal/serve's overload-rejection shape:
+// Retry-After header plus a JSON body repeating the estimate.
+func writeOverload(w http.ResponseWriter, status, retrySecs int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
+	writeJSON(w, status, map[string]any{
+		"error":               fmt.Sprintf(format, args...),
+		"retry_after_seconds": retrySecs,
+	})
+}

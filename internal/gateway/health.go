@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// healthProbeTimeout bounds one health/load probe so a hung worker
+// cannot stall the poll loop.
+const healthProbeTimeout = 2 * time.Second
+
+// healthLoop polls worker health and load until Close.
+func (g *Gateway) healthLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	g.PollWorkers()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			g.PollWorkers()
+		}
+	}
+}
+
+// PollWorkers probes every worker once, concurrently: /healthz decides
+// liveness, and a healthy worker's /metrics is scraped for the load
+// signals the least-loaded policy routes on (tigris_frames_pending,
+// tigris_sessions_active). Exposed so deployments and tests can force a
+// refresh between scheduled polls.
+func (g *Gateway) PollWorkers() {
+	var wg sync.WaitGroup
+	for _, wk := range g.workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			g.pollWorker(wk)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) pollWorker(wk *worker) {
+	ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+	defer cancel()
+	alive := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.url+"/healthz", nil)
+	if err == nil {
+		if resp, err := g.client.Do(req); err == nil {
+			alive = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+	}
+	was := wk.healthy.Swap(alive)
+	if was != alive && g.logger != nil {
+		if alive {
+			g.logger.Info("worker recovered", "worker", wk.url)
+		} else {
+			g.logger.Warn("worker unhealthy", "worker", wk.url)
+		}
+	}
+	if !alive {
+		return
+	}
+	// Load signals: scrape the worker's own Prometheus exposition.
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, wk.url+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := metricValue(line, "tigris_frames_pending"); ok {
+			wk.polledPending.Store(int64(v))
+		}
+		if v, ok := metricValue(line, "tigris_sessions_active"); ok {
+			wk.polledSessions.Store(int64(v))
+		}
+	}
+}
+
+// metricValue parses one Prometheus text-exposition line if it is an
+// unlabeled sample of the named series.
+func metricValue(line, name string) (float64, bool) {
+	rest, ok := strings.CutPrefix(line, name+" ")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

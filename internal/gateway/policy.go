@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Policy names a session-placement strategy.
+type Policy string
+
+const (
+	// PolicyRoundRobin rotates session creates across available workers.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyLeastLoaded places each session on the worker with the
+	// fewest pending frames (scraped from its /metrics by the health
+	// poller), tie-broken by the gateway's own live session count, then
+	// by worker index — so placement is deterministic given the polled
+	// state.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyAffinity hashes the gateway session id over the available
+	// workers with highest-random-weight (rendezvous) hashing: the same
+	// id always lands on the same worker while the worker set is
+	// stable, and a worker-set change moves only the sessions that
+	// hashed to the lost worker.
+	PolicyAffinity Policy = "affinity"
+)
+
+// Policies lists the selectable policy names.
+func Policies() []string {
+	return []string{string(PolicyRoundRobin), string(PolicyLeastLoaded), string(PolicyAffinity)}
+}
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("unknown routing policy %q (want one of %v)", s, Policies())
+}
+
+// hrwScore is the rendezvous-hash weight of placing a session id on a
+// worker: FNV-1a over "id|workerURL". Exported shape (id, url) → uint64
+// is pinned by tests so placement stays stable across refactors.
+func hrwScore(sessionID, workerURL string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sessionID))
+	_, _ = h.Write([]byte{'|'})
+	_, _ = h.Write([]byte(workerURL))
+	return h.Sum64()
+}
+
+// pick returns the policy's worker choice among available workers not
+// excluded by skip (nil = none excluded). Returns nil when no worker
+// qualifies.
+func (g *Gateway) pick(sessionID string, skip func(*worker) bool) *worker {
+	cands := make([]*worker, 0, len(g.workers))
+	for _, wk := range g.workers {
+		if wk.available() && (skip == nil || !skip(wk)) {
+			cands = append(cands, wk)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch g.cfg.Policy {
+	case PolicyLeastLoaded:
+		best := cands[0]
+		for _, wk := range cands[1:] {
+			bp, wp := best.polledPending.Load(), wk.polledPending.Load()
+			bs, ws := best.gwSessions.Load(), wk.gwSessions.Load()
+			if wp < bp || (wp == bp && (ws < bs || (ws == bs && wk.idx < best.idx))) {
+				best = wk
+			}
+		}
+		return best
+	case PolicyAffinity:
+		best := cands[0]
+		bestScore := hrwScore(sessionID, best.url)
+		for _, wk := range cands[1:] {
+			if s := hrwScore(sessionID, wk.url); s > bestScore || (s == bestScore && wk.idx < best.idx) {
+				best, bestScore = wk, s
+			}
+		}
+		return best
+	default: // round-robin
+		return cands[int((g.rr.Add(1)-1)%uint64(len(cands)))]
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -108,6 +109,14 @@ type Config struct {
 	// "serve lacks auth" follow-up asks for). /healthz stays open so
 	// liveness probes need no credentials.
 	AuthToken string
+	// MaxPending, when > 0, bounds the total uncommitted frames across
+	// all sessions: a push arriving with the backlog at the cap is
+	// refused with 503 Service Unavailable instead of queueing behind an
+	// unbounded wait. The response carries a Retry-After header and a
+	// JSON body with the same estimate — derived from the observed
+	// whole-frame p50 and the limiter capacity — so gateways and load
+	// generators can back off on evidence rather than guesses.
+	MaxPending int
 	// Logger, when non-nil, receives one structured record per request
 	// (method, route pattern, session id, status, bytes, duration). Routes
 	// are normalized patterns, not raw paths, so log cardinality stays
@@ -140,6 +149,7 @@ type Server struct {
 	cSessionsClosed *obs.Counter
 	cFramesPushed   *obs.Counter
 	cPointsPushed   *obs.Counter
+	cOverloadReject *obs.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -163,6 +173,7 @@ func New(cfg Config) *Server {
 		cSessionsClosed: reg.Counter("tigris_sessions_closed_total"),
 		cFramesPushed:   reg.Counter("tigris_frames_pushed_total"),
 		cPointsPushed:   reg.Counter("tigris_points_pushed_total"),
+		cOverloadReject: reg.Counter("tigris_overload_rejected_total"),
 		sessions:        make(map[string]*session),
 	}
 	// Scrape-time gauges: live values owned by the session table and the
@@ -336,6 +347,17 @@ func (s *Server) serveAuthed(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Drain blocks until every live session has committed all pushed frames
+// (and finished any queued loop-closure verifications). Graceful
+// shutdown calls it after the HTTP listener stops accepting requests, so
+// in-flight work lands in trajectories before Close tears the engines
+// down — the worker half of the gateway's drain/re-shard story.
+func (s *Server) Drain() {
+	for _, ses := range s.snapshotSessions() {
+		ses.eng.Drain()
+	}
+}
+
 // Close stops the janitor and shuts every session down (used by tests and
 // graceful shutdown).
 func (s *Server) Close() {
@@ -429,6 +451,12 @@ type sessionRequest struct {
 	VoxelLeaf *float64 `json:"voxel_leaf"`
 	// Loop enables and tunes the SLAM layer's loop-closure stage.
 	Loop *loopRequest `json:"loop"`
+	// Origin, when set, anchors the session's first frame at the given
+	// absolute pose instead of identity. The fleet gateway uses this to
+	// re-shard a session under drain: the replacement session on the new
+	// worker is created with origin = the last committed pose of its
+	// predecessor, so the stitched trajectory stays continuous.
+	Origin *wireTransform `json:"origin"`
 }
 
 // loopRequest is the JSON shape of the session's loop-closure options.
@@ -498,11 +526,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// back as latency_ms on the stats endpoint) teed into the global
 	// published recorder, so /metrics aggregates across sessions without
 	// per-session label cardinality.
+	var origin *geom.Transform
+	if req.Origin != nil {
+		tr := req.Origin.transform()
+		origin = &tr
+	}
 	rec := obs.NewRecorder().Tee(s.globalRec)
 	eng := stream.New(stream.Config{
 		Pipeline:       cfg,
 		Pipelined:      pipelined,
 		Limiter:        s.limiter,
+		Origin:         origin,
 		Loop:           loopCfg,
 		LoopEdgeWeight: loopWeight,
 		Obs:            rec,
@@ -607,8 +641,64 @@ func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *sessio
 	}
 }
 
+// totalPending sums uncommitted frames across every live session.
+func (s *Server) totalPending() int {
+	var n int
+	for _, ses := range s.snapshotSessions() {
+		n += ses.eng.Pending()
+	}
+	return n
+}
+
+// retryAfterSeconds estimates how long a refused client should wait
+// before retrying: the time for the limiter to work the backlog down to
+// half the cap at the observed whole-frame p50 (1 s when no frame has
+// been measured yet), clamped to [1 s, 60 s].
+func (s *Server) retryAfterSeconds(pending int) int {
+	capacity := cap(s.limiter)
+	if capacity < 1 {
+		capacity = 1
+	}
+	p50 := time.Second
+	if sum, ok := s.globalRec.Summaries()[obs.StageFrame]; ok && sum.P50 > 0 {
+		p50 = sum.P50
+	}
+	excess := pending - s.cfg.MaxPending/2
+	if excess < 1 {
+		excess = 1
+	}
+	secs := int(math.Ceil(p50.Seconds() * float64(excess) / float64(capacity)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeOverload emits the shared overload-rejection shape: a Retry-After
+// header plus a JSON body repeating the estimate, so gateway retry and
+// loadgen backoff can be driven by the server's own backlog model. The
+// gateway's admission 429s mirror this shape.
+func writeOverload(w http.ResponseWriter, status, retrySecs int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
+	writeJSON(w, status, map[string]any{
+		"error":               fmt.Sprintf(format, args...),
+		"retry_after_seconds": retrySecs,
+	})
+}
+
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request, ses *session) {
 	eng := ses.eng
+	if s.cfg.MaxPending > 0 {
+		if pending := s.totalPending(); pending >= s.cfg.MaxPending {
+			s.cOverloadReject.Inc()
+			writeOverload(w, http.StatusServiceUnavailable, s.retryAfterSeconds(pending),
+				"server overloaded: %d frames pending (cap %d)", pending, s.cfg.MaxPending)
+			return
+		}
+	}
 	c, err := cloud.Read(http.MaxBytesReader(w, r.Body, maxFrameBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
@@ -790,6 +880,12 @@ type wireTransform struct {
 
 func wireTransformOf(tr geom.Transform) wireTransform {
 	return wireTransform{R: [9]float64(tr.R), T: [3]float64{tr.T.X, tr.T.Y, tr.T.Z}}
+}
+
+// transform converts the wire shape back to a geom.Transform (the
+// inverse of wireTransformOf; used by the session-origin field).
+func (wt wireTransform) transform() geom.Transform {
+	return geom.Transform{R: geom.Mat3(wt.R), T: geom.Vec3{X: wt.T[0], Y: wt.T[1], Z: wt.T[2]}}
 }
 
 // wireFrame is one frame's record in the trajectory response.
