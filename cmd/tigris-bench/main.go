@@ -136,6 +136,7 @@ func main() {
 	tag := flag.String("tag", "local", "report tag (e.g. pr4) recorded in the JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the streaming runs' span trees as Chrome trace-event JSON here (Perfetto-loadable)")
 	flag.Parse()
 
 	cfg, ok := findDesignPoint(*designPoint)
@@ -208,6 +209,13 @@ func main() {
 		Beams:            *beams,
 		Azimuth:          *azimuth,
 	}
+	// One flight recorder across every streaming run: each engine mints
+	// its own trace id, so runs stay distinguishable inside the one file.
+	var flight *obs.FlightRecorder
+	if *traceOut != "" {
+		flight = obs.NewFlightRecorder(8192, 4)
+	}
+
 	modes := []string{"perpair", "unpipelined", "pipelined"}
 	if *mode != "all" {
 		modes = []string{*mode}
@@ -216,7 +224,7 @@ func main() {
 		runCfg := cfg
 		runCfg.Searcher.Parallelism = par
 		for _, m := range modes {
-			r, err := runMode(m, par, seq, runCfg)
+			r, err := runMode(m, par, seq, runCfg, flight)
 			if err != nil {
 				log.Fatalf("%v", err)
 			}
@@ -233,6 +241,20 @@ func main() {
 			log.Printf("memprofile: %v", err)
 		}
 		memFile.Close()
+	}
+
+	if flight != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta := map[string]any{"tool": "tigris-bench", "frames": seq.Len()}
+		if err := obs.WriteChromeTrace(f, flight.Export(), meta); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -253,7 +275,7 @@ func main() {
 // time, allocation deltas, and the per-stage breakdown. Each mode clones
 // the frames (the pipeline writes normals into its inputs) and warms up
 // with one pair so steady-state pools are populated before measuring.
-func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration.PipelineConfig) (RunReport, error) {
+func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration.PipelineConfig, flight *obs.FlightRecorder) (RunReport, error) {
 	warm := cloneFrames(seq)
 	registration.Register(warm[1], warm[0], cfg)
 
@@ -295,7 +317,7 @@ func runMode(mode string, parallelism int, seq *synth.Sequence, cfg registration
 			alignTotal += res.Stage.KPCE + res.Stage.Rejection + res.Stage.RPCE + res.Stage.ErrorMinimization
 		}
 	case "unpipelined", "pipelined":
-		eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: mode == "pipelined", Obs: rec})
+		eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: mode == "pipelined", Obs: rec, Flight: flight})
 		for _, f := range frames {
 			if _, err := eng.Push(f); err != nil {
 				return r, err

@@ -31,13 +31,18 @@
 //	curl -X POST 'localhost:8088/gateway/drain?worker=0'
 //	                                             # migrate sessions off worker 0
 //	curl localhost:8088/metrics                  # gateway telemetry
+//	curl localhost:8088/gateway/decisions        # routing-decision trace
+//	curl localhost:8088/gateway/trace/g1         # stitched session trace (Chrome JSON)
+//	curl localhost:8088/gateway/buildinfo        # gateway build identity
 //
-// On SIGTERM/SIGINT the gateway shuts its listener down gracefully;
+// -version prints the same build info to stdout and exits. On
+// SIGTERM/SIGINT the gateway shuts its listener down gracefully;
 // sessions keep living on the workers.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -64,7 +69,15 @@ func main() {
 	tlsCert := flag.String("tls-cert", "", "PEM server certificate; terminate TLS at the gateway (requires -tls-key)")
 	tlsKey := flag.String("tls-key", "", "PEM private key matching -tls-cert")
 	logFormat := flag.String("log-format", "text", "request log encoding on stderr: text or json")
+	version := flag.Bool("version", false, "print build info (module, go toolchain, VCS revision) and exit")
 	flag.Parse()
+
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(serve.BuildInfo())
+		return
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {

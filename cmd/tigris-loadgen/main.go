@@ -24,23 +24,37 @@
 // same schedule, mix, and synthetic frames.
 //
 // The JSON record lands at -out (default BENCH_serve.json; "-" for
-// stdout only) tagged with -tag. Exit status is nonzero if any session
-// failed.
+// stdout only) tagged with -tag. -rate-ladder "2,5,10" sweeps the run
+// across ascending arrival rates instead of the single -rate; the
+// output is then a JSON array with one record per step (the saturation
+// curve in one invocation). Each record carries per-profile latency
+// splits and trace-id exemplars: the slowest observations of each
+// family with the X-Tigris-Trace id the fleet answered with, chaseable
+// via /gateway/trace/{id}. -trace-out FILE additionally probes one
+// traced session after the run and writes its stitched gateway trace
+// (Chrome trace-event JSON, Perfetto-loadable). -version prints build
+// info and exits. Exit status is nonzero if any session failed.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"tigris/internal/cloud"
 	"tigris/internal/gateway"
 	"tigris/internal/loadgen"
 	"tigris/internal/serve"
+	"tigris/internal/synth"
 )
 
 func main() {
@@ -62,7 +76,16 @@ func main() {
 	authToken := flag.String("auth-token", "", "bearer token presented on every request")
 	out := flag.String("out", "BENCH_serve.json", "output JSON path (\"-\" = stdout only)")
 	tag := flag.String("tag", "", "tag recorded in the output")
+	rateLadder := flag.String("rate-ladder", "", "comma-separated arrival rates to sweep instead of -rate; the output becomes a JSON array with one record per step")
+	traceOut := flag.String("trace-out", "", "after the run, probe one traced session through the target and write its stitched gateway trace (Chrome trace-event JSON) here")
+	version := flag.Bool("version", false, "print build info (module, go toolchain, VCS revision) and exit")
 	flag.Parse()
+
+	if *version {
+		b, _ := json.MarshalIndent(serve.BuildInfo(), "", "  ")
+		fmt.Println(string(b))
+		return
+	}
 
 	if (*url == "") == (*fleet <= 0) {
 		fmt.Fprintln(os.Stderr, "exactly one of -url or -fleet is required")
@@ -93,7 +116,7 @@ func main() {
 		profiles = loadgen.DefaultProfiles()
 	}
 
-	res, err := loadgen.Run(loadgen.Config{
+	cfg := loadgen.Config{
 		Target:    target,
 		Sessions:  *sessions,
 		Rate:      *rate,
@@ -102,28 +125,163 @@ func main() {
 		Seed:      *seed,
 		Profiles:  profiles,
 		AuthToken: *authToken,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
-	res.Tag = *tag
 
-	printSummary(res)
+	var results []*loadgen.Result
+	if *rateLadder != "" {
+		rates, err := parseRates(*rateLadder)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		results, err = loadgen.RunLadder(cfg, rates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = []*loadgen.Result{res}
+	}
+	failed := false
+	for _, res := range results {
+		res.Tag = *tag
+		printSummary(res)
+		failed = failed || res.SessionsFailed > 0
+	}
+
+	// A single run keeps the historical one-object BENCH_serve.json
+	// shape; a ladder is a JSON array, one record per rate step.
+	var outDoc any = results[0]
+	if *rateLadder != "" {
+		outDoc = results
+	}
+	b, _ := json.MarshalIndent(outDoc, "", "  ")
 	if *out != "-" {
-		b, _ := json.MarshalIndent(res, "", "  ")
 		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	} else {
-		b, _ := json.MarshalIndent(res, "", "  ")
 		fmt.Println(string(b))
 	}
-	if res.SessionsFailed > 0 {
+
+	if *traceOut != "" {
+		if err := traceProbe(target, *authToken, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace probe:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// parseRates parses the -rate-ladder list.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(p, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-rate-ladder: bad rate %q", p)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-rate-ladder: no rates")
+	}
+	return rates, nil
+}
+
+// traceProbe drives one fresh session through the target — create, two
+// tiny frames with ?wait=1, trajectory — and saves the trace the fleet
+// recorded for it: the gateway's stitched /gateway/trace/{id} document
+// when the target is a gateway, or the worker's /debug/trace/{id} when
+// it is a bare worker. The session is left alive so its flight recorder
+// stays queryable; CI validates the written file as Chrome trace JSON.
+func traceProbe(target, authToken, path string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	do := func(method, p, contentType string, body []byte) (*http.Response, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, target+p, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if authToken != "" {
+			req.Header.Set("Authorization", "Bearer "+authToken)
+		}
+		return client.Do(req)
+	}
+
+	resp, err := do(http.MethodPost, "/v1/sessions", "application/json", []byte(`{"parallelism":1}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID    string `json:"id"`
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		return fmt.Errorf("create: bad response %s", body)
+	}
+
+	seq := synth.GenerateSequence(synth.SequenceConfig{
+		Scene:     synth.SceneConfig{Seed: 42, Length: 120},
+		Lidar:     synth.LidarConfig{Beams: 8, AzimuthSteps: 90, Seed: 42},
+		NumFrames: 2,
+	})
+	for _, c := range seq.Frames {
+		var buf bytes.Buffer
+		if err := cloud.Write(&buf, c); err != nil {
+			return err
+		}
+		resp, err := do(http.MethodPost, "/v1/sessions/"+created.ID+"/frames?wait=1", "application/octet-stream", buf.Bytes())
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("push: status %d", resp.StatusCode)
+		}
+	}
+
+	// Gateway ids start "g", worker ids "s" — pick the matching surface.
+	tracePath := "/gateway/trace/" + created.ID
+	if !strings.HasPrefix(created.ID, "g") {
+		tracePath = "/debug/trace/" + created.ID
+	}
+	resp, err = do(http.MethodGet, tracePath, "", nil)
+	if err != nil {
+		return err
+	}
+	doc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", tracePath, resp.StatusCode, doc)
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
 }
 
 // startFleet stands up n in-process workers behind an in-process

@@ -19,8 +19,12 @@
 //	tigris-slam [-frames N] [-lap N] [-radius R] [-beams N] [-azimuth N]
 //	            [-dp DPn] [-backend NAME] [-loop-backend NAME] [-parallel N]
 //	            [-drift-yaw DEG] [-drift-scale S] [-pipelined]
-//	            [-out FILE] [-tag NAME]
+//	            [-out FILE] [-tag NAME] [-trace-out FILE]
 //	tigris-slam -selftest
+//
+// -trace-out writes the run's span tree (whole-frame spans with their
+// per-stage children, plus loop and pose-graph spans) as Chrome
+// trace-event JSON loadable in Perfetto.
 //
 // The JSON report is committed as BENCH_<tag>.json alongside the
 // tigris-bench reports; CI runs a small configuration, validates the
@@ -167,6 +171,7 @@ func main() {
 	minSep := flag.Int("min-separation", 0, "loop temporal gate in frames (0 = lap length - 2)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	tag := flag.String("tag", "local", "report tag (e.g. pr5) recorded in the JSON")
+	traceOut := flag.String("trace-out", "", "write the run's span tree as Chrome trace-event JSON here (Perfetto-loadable)")
 	selftest := flag.Bool("selftest", false, "run a small configuration, assert the loop is found and ATE improves, exit non-zero on failure")
 	flag.Parse()
 
@@ -204,7 +209,12 @@ func main() {
 		Trajectory: synth.CircuitTrajectory{Radius: *radius, FramesPerLap: *perLap},
 	})
 
-	rep := run(seq, cfg, loopCfg, *pipelined, *parallel, *driftYaw, *driftScale)
+	var flight *obs.FlightRecorder
+	if *traceOut != "" {
+		flight = obs.NewFlightRecorder(4096, 4)
+	}
+
+	rep := run(seq, cfg, loopCfg, *pipelined, *parallel, *driftYaw, *driftScale, flight)
 	rep.Tag = *tag
 	rep.DesignPoint = *designPoint
 	rep.FramesPerLap = *perLap
@@ -214,6 +224,20 @@ func main() {
 			log.Fatalf("selftest FAILED: %v", err)
 		}
 		fmt.Println("selftest ok")
+	}
+
+	if flight != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta := map[string]any{"tool": "tigris-slam", "frames": rep.Frames}
+		if err := obs.WriteChromeTrace(f, flight.Export(), meta); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -232,7 +256,7 @@ func main() {
 
 // run streams the sequence through a loop-enabled engine, builds the
 // drifted pose graph, optimizes, and scores all three trajectories.
-func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Config, pipelined bool, parallel int, driftYawDeg, driftScale float64) Report {
+func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Config, pipelined bool, parallel int, driftYawDeg, driftScale float64, flight *obs.FlightRecorder) Report {
 	var rep Report
 	rep.Name = "tigris-slam"
 	rep.GoVersion = runtime.Version()
@@ -245,7 +269,7 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 	rep.DriftScale = driftScale
 
 	rec := obs.NewRecorder()
-	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Loop: loopCfg, Obs: rec})
+	eng := stream.New(stream.Config{Pipeline: cfg, Pipelined: pipelined, Loop: loopCfg, Obs: rec, Flight: flight})
 	for _, f := range seq.Frames {
 		if _, err := eng.Push(f.Clone()); err != nil {
 			log.Fatalf("push: %v", err)
@@ -289,6 +313,17 @@ func run(seq *synth.Sequence, cfg registration.PipelineConfig, loopCfg *loop.Con
 		log.Fatalf("optimize: %v", err)
 	}
 	rec.Observe(obs.StagePoseGraph, res.SolveTime)
+	if flight != nil {
+		// The back-end solve runs outside the engine; give it a root span
+		// of its own so the trace covers the whole SLAM run.
+		flight.Record(obs.SpanEvent{
+			Trace: eng.TraceID(),
+			Frame: -1,
+			Stage: obs.StagePoseGraph,
+			Start: time.Now().Add(-res.SolveTime).UnixNano(),
+			Dur:   int64(res.SolveTime),
+		})
+	}
 	rep.Optimization.InitialCost = res.InitialCost
 	rep.Optimization.FinalCost = res.FinalCost
 	rep.Optimization.Iterations = res.Iterations

@@ -75,7 +75,7 @@ func (g *Gateway) migrate(ses *gwSession, from *worker) (bool, error) {
 
 	// Drain the old worker's committed state: ?wait=1 blocks until every
 	// pushed frame is committed, so nothing in flight is lost.
-	resp, err := g.doUpstream(from, http.MethodGet, subPath(ses.remoteID, "trajectory", "wait=1"), g.workerAuth(), "", nil)
+	resp, err := g.doUpstream(from, http.MethodGet, subPath(ses.remoteID, "trajectory", "wait=1"), g.workerAuth(), "", ses.trace, nil)
 	if err != nil {
 		return false, fmt.Errorf("draining trajectory: %w", err)
 	}
@@ -96,7 +96,7 @@ func (g *Gateway) migrate(ses *gwSession, from *worker) (bool, error) {
 	var loops struct {
 		Closures []map[string]any `json:"closures"`
 	}
-	if resp, err := g.doUpstream(from, http.MethodGet, subPath(ses.remoteID, "loops", "wait=1"), g.workerAuth(), "", nil); err == nil {
+	if resp, err := g.doUpstream(from, http.MethodGet, subPath(ses.remoteID, "loops", "wait=1"), g.workerAuth(), "", ses.trace, nil); err == nil {
 		if resp.StatusCode == http.StatusOK {
 			_ = json.NewDecoder(resp.Body).Decode(&loops)
 		}
@@ -121,7 +121,11 @@ func (g *Gateway) migrate(ses *gwSession, from *worker) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	newWk, newRemoteID, respBody, status, err := g.createUpstream(ses.id, newBody, g.workerAuth())
+	newWk, newRemoteID, respBody, status, decs, err := g.createUpstream(ses.id, "migrate", ses.trace, newBody, g.workerAuth())
+	ses.decisions = append(ses.decisions, decs...)
+	if n := len(ses.decisions); n > maxSessionDecisions {
+		ses.decisions = ses.decisions[n-maxSessionDecisions:]
+	}
 	if err != nil {
 		return false, fmt.Errorf("recreating session: %w", err)
 	}
@@ -129,8 +133,21 @@ func (g *Gateway) migrate(ses *gwSession, from *worker) (bool, error) {
 		return false, fmt.Errorf("recreating session: worker %s answered %d: %s", newWk.url, status, respBody)
 	}
 
+	// Capture the old worker's span tree before the session (and its
+	// flight recorder) disappears: the retiring epoch's events become a
+	// trace prefix, stitched into /gateway/trace exactly like the
+	// trajectory prefix. Pid = worker epoch so Perfetto shows each
+	// worker's frames on its own process row.
+	if doc, ok := g.fetchWorkerTrace(from, ses.remoteID, ses.trace); ok {
+		epoch := ses.migrations + 1
+		for i := range doc.TraceEvents {
+			doc.TraceEvents[i].Pid = epoch
+		}
+		ses.prefixTrace = append(ses.prefixTrace, doc.TraceEvents...)
+	}
+
 	// Retire the old session (best-effort: the worker is going away).
-	if resp, err := g.doUpstream(from, http.MethodDelete, subPath(ses.remoteID, "", ""), g.workerAuth(), "", nil); err == nil {
+	if resp, err := g.doUpstream(from, http.MethodDelete, subPath(ses.remoteID, "", ""), g.workerAuth(), "", ses.trace, nil); err == nil {
 		resp.Body.Close()
 	}
 

@@ -54,6 +54,18 @@
 // session/routed gauges. Every proxied response carries an
 // X-Tigris-Worker header naming the worker that served it, which is how
 // the load generator measures the fleet's load split.
+//
+// # Tracing
+//
+// Every session carries one trace id end to end: minted at create (or
+// adopted from the client's W3C traceparent header), forwarded to the
+// worker as traceparent on every proxied call, and echoed back on every
+// response as X-Tigris-Trace. The gateway records a routing-decision
+// trace per create and migration (policy, every candidate's health and
+// load signals, the chosen worker, the tie-break) — GET
+// /gateway/decisions lists the global ring, and GET /gateway/trace/{id}
+// serves the session's full Chrome-trace span tree stitched across
+// migrations together with its decisions. See internal/gateway/trace.go.
 package gateway
 
 import (
@@ -153,6 +165,16 @@ type gwSession struct {
 	prefix         []map[string]any
 	prefixClosures []map[string]any
 	migrations     int
+	// trace is the session's end-to-end trace id: minted at create (or
+	// adopted from the client's traceparent), propagated to every worker
+	// the session ever lives on, echoed on every response.
+	trace obs.TraceID
+	// prefixTrace carries span events captured from drained workers
+	// before their session copy was deleted (pid = worker epoch), the
+	// trace-side twin of the trajectory prefix. decisions is the
+	// session's routing-decision history (create, failovers, migrations).
+	prefixTrace []obs.ChromeEvent
+	decisions   []Decision
 }
 
 // Gateway is the fleet front door. It implements http.Handler.
@@ -175,6 +197,11 @@ type Gateway struct {
 	mu       sync.Mutex
 	sessions map[string]*gwSession
 	nextID   int
+
+	// Routing-decision trace: a bounded global ring (see trace.go).
+	decSeq    atomic.Int64
+	decMu     sync.Mutex
+	decisions []Decision
 
 	stopHealth chan struct{}
 }
@@ -240,6 +267,9 @@ func New(cfg Config) (*Gateway, error) {
 		g.reg.WritePrometheus(w)
 	})
 	g.mux.HandleFunc("GET /gateway/workers", g.handleWorkers)
+	g.mux.HandleFunc("GET /gateway/buildinfo", g.handleBuildinfo)
+	g.mux.HandleFunc("GET /gateway/decisions", g.handleDecisions)
+	g.mux.HandleFunc("GET /gateway/trace/{id}", g.withSession(g.handleTrace))
 	g.mux.HandleFunc("POST /gateway/drain", g.handleDrain)
 	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
 	g.mux.HandleFunc("GET /v1/backends", g.proxyFleet("/v1/backends"))
@@ -317,7 +347,7 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/metrics", "/v1/backends", "/v1/buildinfo", "/v1/sessions",
-		"/gateway/workers", "/gateway/drain":
+		"/gateway/workers", "/gateway/drain", "/gateway/buildinfo", "/gateway/decisions":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/sessions/"); ok {
@@ -328,6 +358,9 @@ func routeLabel(path string) string {
 		case "frames", "trajectory", "loops", "stats":
 			return "/v1/sessions/{id}/" + sub
 		}
+	}
+	if id, ok := strings.CutPrefix(path, "/gateway/trace/"); ok && !strings.Contains(id, "/") {
+		return "/gateway/trace/{id}"
 	}
 	return "other"
 }
@@ -472,13 +505,19 @@ func (g *Gateway) withSession(fn func(http.ResponseWriter, *http.Request, *gwSes
 			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 			return
 		}
+		// The session's trace id on every response, whichever worker ends
+		// up serving it — the handle a client follows into
+		// /gateway/trace/{gid}.
+		w.Header().Set("X-Tigris-Trace", ses.trace.String())
 		fn(w, r, ses)
 	}
 }
 
 // doUpstream issues one request to a worker, forwarding auth and
-// content-type headers. pathAndQuery must start with "/".
-func (g *Gateway) doUpstream(wk *worker, method, pathAndQuery, auth string, contentType string, body io.Reader) (*http.Response, error) {
+// content-type headers. pathAndQuery must start with "/". A non-zero
+// trace id rides along as a W3C traceparent header, so the worker tags
+// its spans with the gateway's trace id instead of minting its own.
+func (g *Gateway) doUpstream(wk *worker, method, pathAndQuery, auth string, contentType string, trace obs.TraceID, body io.Reader) (*http.Response, error) {
 	req, err := http.NewRequest(method, wk.url+pathAndQuery, body)
 	if err != nil {
 		return nil, err
@@ -488,6 +527,9 @@ func (g *Gateway) doUpstream(wk *worker, method, pathAndQuery, auth string, cont
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if !trace.IsZero() {
+		req.Header.Set("traceparent", obs.FormatTraceParent(trace, 0))
 	}
 	return g.client.Do(req)
 }
@@ -555,8 +597,16 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("g%d", g.nextID)
 	g.mu.Unlock()
 
+	// The session's trace id, minted at the front door (or adopted from
+	// the client's own traceparent) and handed to whichever worker wins
+	// placement, so gateway decisions and worker spans share one id.
+	trace, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		trace = obs.NewTraceID()
+	}
+
 	span := g.rec.Start("create")
-	wk, remoteID, respBody, status, err := g.createUpstream(id, body, g.clientAuth(r))
+	wk, remoteID, respBody, status, decs, err := g.createUpstream(id, "create", trace, body, g.clientAuth(r))
 	span.End()
 	if err != nil {
 		g.cNoWorker.Inc()
@@ -572,7 +622,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ses := &gwSession{id: id, w: wk, remoteID: remoteID, createBody: body}
+	ses := &gwSession{id: id, w: wk, remoteID: remoteID, createBody: body, trace: trace, decisions: decs}
 	g.mu.Lock()
 	g.sessions[id] = ses
 	g.mu.Unlock()
@@ -587,23 +637,48 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	created["id"] = id
 	created["worker"] = wk.url
+	created["trace"] = trace.String()
 	w.Header().Set(workerHeader, wk.url)
+	w.Header().Set("X-Tigris-Trace", trace.String())
 	writeJSON(w, http.StatusCreated, created)
 }
 
 // createUpstream tries policy-ordered candidates until one accepts the
 // session. Workers that refuse with 5xx or fail to connect are skipped
 // (connection failures also mark the worker unhealthy); a 4xx is the
-// client's problem and is returned as-is.
-func (g *Gateway) createUpstream(id string, body []byte, auth string) (*worker, string, []byte, int, error) {
+// client's problem and is returned as-is. Every placement attempt is
+// recorded as a routing Decision (the first under the given kind —
+// "create" or "migrate" — retries under "failover") and the recorded
+// decisions are returned for attachment to the session.
+func (g *Gateway) createUpstream(id, kind string, trace obs.TraceID, body []byte, auth string) (*worker, string, []byte, int, []Decision, error) {
 	tried := make(map[*worker]bool)
+	var decs []Decision
+	record := func(wk *worker, rows []DecisionCandidate, tieBreak string) {
+		d := Decision{
+			Session:    id,
+			TraceID:    trace.String(),
+			Kind:       kind,
+			Policy:     string(g.cfg.Policy),
+			TieBreak:   tieBreak,
+			Candidates: rows,
+		}
+		if wk != nil {
+			d.Chosen = wk.url
+		}
+		if len(decs) > 0 {
+			d.Kind = "failover"
+		}
+		g.recordDecision(&d)
+		decs = append(decs, d)
+	}
 	for range g.workers {
-		wk := g.pick(id, func(c *worker) bool { return tried[c] })
+		wk, rows, tieBreak := g.pickExplain(id, func(c *worker) bool { return tried[c] })
+		record(wk, rows, tieBreak)
 		if wk == nil {
 			break
 		}
 		tried[wk] = true
-		resp, err := g.doUpstream(wk, http.MethodPost, "/v1/sessions", auth, "application/json", strings.NewReader(string(body)))
+		resp, err := g.doUpstream(wk, http.MethodPost, "/v1/sessions", auth, "application/json", trace, strings.NewReader(string(body)))
 		if err != nil {
 			g.markUnhealthy(wk, err)
 			continue
@@ -614,7 +689,7 @@ func (g *Gateway) createUpstream(id string, body []byte, auth string) (*worker, 
 			continue
 		}
 		if resp.StatusCode != http.StatusCreated {
-			return wk, "", respBody, resp.StatusCode, nil
+			return wk, "", respBody, resp.StatusCode, decs, nil
 		}
 		var created struct {
 			ID string `json:"id"`
@@ -622,9 +697,9 @@ func (g *Gateway) createUpstream(id string, body []byte, auth string) (*worker, 
 		if err := json.Unmarshal(respBody, &created); err != nil || created.ID == "" {
 			continue
 		}
-		return wk, created.ID, respBody, http.StatusCreated, nil
+		return wk, created.ID, respBody, http.StatusCreated, decs, nil
 	}
-	return nil, "", nil, 0, fmt.Errorf("no available worker for session create")
+	return nil, "", nil, 0, decs, fmt.Errorf("no available worker for session create")
 }
 
 // handlePush proxies a frame push to the session's worker. The session
@@ -643,7 +718,7 @@ func (g *Gateway) handlePush(w http.ResponseWriter, r *http.Request, ses *gwSess
 	}
 	span := g.rec.Start("frames")
 	resp, err := g.doUpstream(wk, http.MethodPost, subPath(ses.remoteID, "frames", r.URL.RawQuery),
-		g.clientAuth(r), r.Header.Get("Content-Type"), r.Body)
+		g.clientAuth(r), r.Header.Get("Content-Type"), ses.trace, r.Body)
 	span.End()
 	if err != nil {
 		g.markUnhealthy(wk, err)
@@ -699,7 +774,7 @@ func (g *Gateway) handleTrajectory(w http.ResponseWriter, r *http.Request, ses *
 	}
 	span := g.rec.Start("trajectory")
 	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "trajectory", r.URL.RawQuery),
-		g.clientAuth(r), "", nil)
+		g.clientAuth(r), "", ses.trace, nil)
 	span.End()
 	if err != nil {
 		g.markUnhealthy(wk, err)
@@ -750,7 +825,7 @@ func (g *Gateway) handleLoops(w http.ResponseWriter, r *http.Request, ses *gwSes
 	}
 	span := g.rec.Start("loops")
 	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "loops", r.URL.RawQuery),
-		g.clientAuth(r), "", nil)
+		g.clientAuth(r), "", ses.trace, nil)
 	span.End()
 	if err != nil {
 		g.markUnhealthy(wk, err)
@@ -801,7 +876,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request, ses *gwSes
 	}
 	span := g.rec.Start("stats")
 	resp, err := g.doUpstream(wk, http.MethodGet, subPath(ses.remoteID, "stats", r.URL.RawQuery),
-		g.clientAuth(r), "", nil)
+		g.clientAuth(r), "", ses.trace, nil)
 	span.End()
 	if err != nil {
 		g.markUnhealthy(wk, err)
@@ -822,7 +897,7 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request, ses *gwSe
 	wk := ses.w
 	g.dropSession(ses)
 	span := g.rec.Start("delete")
-	resp, err := g.doUpstream(wk, http.MethodDelete, subPath(ses.remoteID, "", ""), g.clientAuth(r), "", nil)
+	resp, err := g.doUpstream(wk, http.MethodDelete, subPath(ses.remoteID, "", ""), g.clientAuth(r), "", ses.trace, nil)
 	span.End()
 	if err != nil {
 		g.markUnhealthy(wk, err)
@@ -848,7 +923,7 @@ func (g *Gateway) proxyFleet(path string) http.HandlerFunc {
 			if !wk.healthy.Load() {
 				continue
 			}
-			resp, err := g.doUpstream(wk, http.MethodGet, path, g.clientAuth(r), "", nil)
+			resp, err := g.doUpstream(wk, http.MethodGet, path, g.clientAuth(r), "", obs.TraceID{}, nil)
 			if err != nil {
 				g.markUnhealthy(wk, err)
 				continue

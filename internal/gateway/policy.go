@@ -54,18 +54,41 @@ func hrwScore(sessionID, workerURL string) uint64 {
 // excluded by skip (nil = none excluded). Returns nil when no worker
 // qualifies.
 func (g *Gateway) pick(sessionID string, skip func(*worker) bool) *worker {
+	wk, _, _ := g.pickExplain(sessionID, skip)
+	return wk
+}
+
+// pickExplain is pick plus its evidence: one DecisionCandidate row per
+// configured worker (including the excluded ones, with why), and the
+// tie-break criterion that decided among the eligible set — the raw
+// material of the routing-decision trace.
+func (g *Gateway) pickExplain(sessionID string, skip func(*worker) bool) (*worker, []DecisionCandidate, string) {
+	rows := make([]DecisionCandidate, len(g.workers))
 	cands := make([]*worker, 0, len(g.workers))
-	for _, wk := range g.workers {
-		if wk.available() && (skip == nil || !skip(wk)) {
+	for i, wk := range g.workers {
+		rows[i] = DecisionCandidate{
+			Worker:        wk.url,
+			Healthy:       wk.healthy.Load(),
+			Draining:      wk.draining.Load(),
+			Tried:         skip != nil && skip(wk),
+			PendingFrames: wk.polledPending.Load(),
+			Sessions:      wk.gwSessions.Load(),
+		}
+		if g.cfg.Policy == PolicyAffinity {
+			rows[i].Score = hrwScore(sessionID, wk.url)
+		}
+		if wk.available() && !rows[i].Tried {
 			cands = append(cands, wk)
 		}
 	}
 	if len(cands) == 0 {
-		return nil
+		return nil, rows, ""
 	}
+	var best *worker
+	tieBreak := ""
 	switch g.cfg.Policy {
 	case PolicyLeastLoaded:
-		best := cands[0]
+		best = cands[0]
 		for _, wk := range cands[1:] {
 			bp, wp := best.polledPending.Load(), wk.polledPending.Load()
 			bs, ws := best.gwSessions.Load(), wk.gwSessions.Load()
@@ -73,17 +96,44 @@ func (g *Gateway) pick(sessionID string, skip func(*worker) bool) *worker {
 				best = wk
 			}
 		}
-		return best
+		// Name the criterion that actually separated the winner from the
+		// rest of the eligible set.
+		tieBreak = "pending_frames"
+		pendingTies, sessionTies := 0, 0
+		for _, wk := range cands {
+			if wk == best {
+				continue
+			}
+			if wk.polledPending.Load() == best.polledPending.Load() {
+				pendingTies++
+				if wk.gwSessions.Load() == best.gwSessions.Load() {
+					sessionTies++
+				}
+			}
+		}
+		if pendingTies > 0 {
+			tieBreak = "sessions"
+			if sessionTies > 0 {
+				tieBreak = "index"
+			}
+		}
 	case PolicyAffinity:
-		best := cands[0]
+		best = cands[0]
 		bestScore := hrwScore(sessionID, best.url)
 		for _, wk := range cands[1:] {
 			if s := hrwScore(sessionID, wk.url); s > bestScore || (s == bestScore && wk.idx < best.idx) {
 				best, bestScore = wk, s
 			}
 		}
-		return best
+		tieBreak = "hrw"
 	default: // round-robin
-		return cands[int((g.rr.Add(1)-1)%uint64(len(cands)))]
+		best = cands[int((g.rr.Add(1)-1)%uint64(len(cands)))]
+		tieBreak = "rotation"
 	}
+	for i := range rows {
+		if rows[i].Worker == best.url {
+			rows[i].Picked = true
+		}
+	}
+	return best, rows, tieBreak
 }

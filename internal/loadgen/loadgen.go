@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -98,15 +99,31 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Digest is one latency family in the result, in milliseconds.
+// Digest is one latency family in the result, in milliseconds. The
+// top-level digests additionally carry trace-id exemplars: the slowest
+// observations of that family with the X-Tigris-Trace id the server
+// answered with, so a tail percentile in a BENCH record can be chased
+// straight into /gateway/trace/{id} or /debug/trace/{id}.
 type Digest struct {
-	Count  int64   `json:"count"`
-	P50Ms  float64 `json:"p50_ms"`
-	P95Ms  float64 `json:"p95_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
-	MeanMs float64 `json:"mean_ms"`
+	Count     int64           `json:"count"`
+	P50Ms     float64         `json:"p50_ms"`
+	P95Ms     float64         `json:"p95_ms"`
+	P99Ms     float64         `json:"p99_ms"`
+	MaxMs     float64         `json:"max_ms"`
+	MeanMs    float64         `json:"mean_ms"`
+	Exemplars []TraceExemplar `json:"trace_exemplars,omitempty"`
 }
+
+// TraceExemplar links one slow observation to its distributed trace.
+type TraceExemplar struct {
+	TraceID string  `json:"trace_id"`
+	Profile string  `json:"profile"`
+	Ms      float64 `json:"ms"`
+}
+
+// traceExemplarK bounds the slowest-exemplar list kept per latency
+// family.
+const traceExemplarK = 4
 
 // Result is the BENCH_serve.json record of one run.
 type Result struct {
@@ -129,13 +146,18 @@ type Result struct {
 	PerWorker       map[string]int    `json:"per_worker"`
 	ProfileSessions map[string]int    `json:"profile_sessions"`
 	Latency         map[string]Digest `json:"latency_percentiles"`
+	// PerProfile splits the latency digests by scenario profile, so a
+	// mixed run shows which scenario owns the tail instead of blending a
+	// dense session's p99 into a compact session's.
+	PerProfile map[string]map[string]Digest `json:"per_profile,omitempty"`
 }
 
 // runner is the shared state of one Run.
 type runner struct {
-	cfg    Config
-	client *http.Client
-	rec    *obs.Recorder
+	cfg      Config
+	client   *http.Client
+	rec      *obs.Recorder
+	profRecs map[string]*obs.Recorder // per-profile latency split
 
 	framesPushed atomic.Int64
 	rejected429  atomic.Int64
@@ -144,6 +166,37 @@ type runner struct {
 
 	mu        sync.Mutex
 	perWorker map[string]int
+	exemplars map[string][]TraceExemplar // stage → slowest traceExemplarK
+}
+
+// observe records one latency sample into the run-wide digest, the
+// profile's split digest, and (when the server attached a trace id) the
+// stage's slowest-K trace exemplars.
+func (r *runner) observe(stage, profile, trace string, d time.Duration) {
+	r.rec.Observe(stage, d)
+	if pr := r.profRecs[profile]; pr != nil {
+		pr.Observe(stage, d)
+	}
+	if trace == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf := r.exemplars[stage]
+	ex := TraceExemplar{TraceID: trace, Profile: profile, Ms: ms(d)}
+	if len(buf) < traceExemplarK {
+		r.exemplars[stage] = append(buf, ex)
+		return
+	}
+	min := 0
+	for i := 1; i < len(buf); i++ {
+		if buf[i].Ms < buf[min].Ms {
+			min = i
+		}
+	}
+	if ex.Ms > buf[min].Ms {
+		buf[min] = ex
+	}
 }
 
 // Run executes the load schedule and digests the outcome. It returns a
@@ -203,7 +256,12 @@ func Run(cfg Config) (*Result, error) {
 		cfg:       cfg,
 		client:    cfg.Client,
 		rec:       obs.NewRecorder(),
+		profRecs:  make(map[string]*obs.Recorder, len(cfg.Profiles)),
 		perWorker: make(map[string]int),
+		exemplars: make(map[string][]TraceExemplar),
+	}
+	for _, p := range cfg.Profiles {
+		r.profRecs[p.Name] = obs.NewRecorder()
 	}
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -261,16 +319,61 @@ func Run(cfg Config) (*Result, error) {
 		res.ProfileSessions[cfg.Profiles[pi].Name]++
 	}
 	for stage, s := range r.rec.Summaries() {
-		res.Latency[stage] = Digest{
-			Count:  s.Count,
-			P50Ms:  ms(s.P50),
-			P95Ms:  ms(s.P95),
-			P99Ms:  ms(s.P99),
-			MaxMs:  ms(s.Max),
-			MeanMs: ms(s.Mean),
+		d := digestOf(s)
+		if exs := r.exemplars[stage]; len(exs) > 0 {
+			d.Exemplars = append([]TraceExemplar(nil), exs...)
+			sort.Slice(d.Exemplars, func(i, j int) bool { return d.Exemplars[i].Ms > d.Exemplars[j].Ms })
 		}
+		res.Latency[stage] = d
+	}
+	for name, pr := range r.profRecs {
+		sums := pr.Summaries()
+		if len(sums) == 0 {
+			continue
+		}
+		split := make(map[string]Digest, len(sums))
+		for stage, s := range sums {
+			split[stage] = digestOf(s)
+		}
+		if res.PerProfile == nil {
+			res.PerProfile = make(map[string]map[string]Digest)
+		}
+		res.PerProfile[name] = split
 	}
 	return res, nil
+}
+
+// RunLadder sweeps Run across ascending arrival rates, one record per
+// step, holding everything but the rate fixed — the saturation-curve
+// experiment (find the knee where p99 departs) as a single invocation.
+// A step whose configuration fails aborts the sweep; per-session
+// failures within a step are recorded in that step's Result and do not.
+func RunLadder(cfg Config, rates []float64) ([]*Result, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: empty rate ladder")
+	}
+	out := make([]*Result, 0, len(rates))
+	for _, rate := range rates {
+		step := cfg
+		step.Rate = rate
+		res, err := Run(step)
+		if err != nil {
+			return out, fmt.Errorf("ladder step rate=%g: %w", rate, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func digestOf(s obs.Summary) Digest {
+	return Digest{
+		Count:  s.Count,
+		P50Ms:  ms(s.P50),
+		P95Ms:  ms(s.P95),
+		P99Ms:  ms(s.P99),
+		MaxMs:  ms(s.Max),
+		MeanMs: ms(s.Mean),
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -330,7 +433,7 @@ func renderProfile(p Profile, seed int64) ([][]byte, error) {
 
 // runSession drives one session end to end.
 func (r *runner) runSession(p Profile, frames [][]byte) error {
-	id, workerName, err := r.createSession(p)
+	id, workerName, trace, err := r.createSession(p)
 	if err != nil {
 		return err
 	}
@@ -339,7 +442,7 @@ func (r *runner) runSession(p Profile, frames [][]byte) error {
 	r.mu.Unlock()
 
 	for fi, frame := range frames {
-		if err := r.pushFrame(id, frame); err != nil {
+		if err := r.pushFrame(id, p.Name, trace, frame); err != nil {
 			return fmt.Errorf("frame %d: %w", fi, err)
 		}
 		r.framesPushed.Add(1)
@@ -347,12 +450,12 @@ func (r *runner) runSession(p Profile, frames [][]byte) error {
 
 	// Read the trajectory back: the session is only counted as served
 	// if every pushed frame committed.
-	span := r.rec.Start("trajectory")
+	start := time.Now()
 	resp, err := r.do(http.MethodGet, "/v1/sessions/"+id+"/trajectory?wait=1", "", nil)
-	span.End()
 	if err != nil {
 		return fmt.Errorf("trajectory: %w", err)
 	}
+	r.observe("trajectory", p.Name, trace, time.Since(start))
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -376,8 +479,10 @@ func (r *runner) runSession(p Profile, frames [][]byte) error {
 }
 
 // createSession creates one session, retrying per the overload policy,
-// and reports the gateway/worker that placed it.
-func (r *runner) createSession(p Profile) (id, workerName string, err error) {
+// and reports the gateway/worker that placed it plus the session's
+// distributed-trace id (from X-Tigris-Trace; empty against servers that
+// predate tracing).
+func (r *runner) createSession(p Profile) (id, workerName, trace string, err error) {
 	cfg := map[string]any{}
 	if p.Parallelism > 0 {
 		cfg["parallelism"] = p.Parallelism
@@ -387,23 +492,24 @@ func (r *runner) createSession(p Profile) (id, workerName string, err error) {
 	}
 	body, _ := json.Marshal(cfg)
 
-	span := r.rec.Start("create")
+	start := time.Now()
 	resp, err := r.doWithRetry(http.MethodPost, "/v1/sessions", "application/json", body)
-	span.End()
 	if err != nil {
-		return "", "", fmt.Errorf("create: %w", err)
+		return "", "", "", fmt.Errorf("create: %w", err)
 	}
+	trace = resp.Header.Get("X-Tigris-Trace")
+	r.observe("create", p.Name, trace, time.Since(start))
 	respBody, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return "", "", fmt.Errorf("create: status %d: %s", resp.StatusCode, respBody)
+		return "", "", "", fmt.Errorf("create: status %d: %s", resp.StatusCode, respBody)
 	}
 	var created struct {
 		ID     string `json:"id"`
 		Worker string `json:"worker"`
 	}
 	if err := json.Unmarshal(respBody, &created); err != nil || created.ID == "" {
-		return "", "", fmt.Errorf("create: bad response %s", respBody)
+		return "", "", "", fmt.Errorf("create: bad response %s", respBody)
 	}
 	// Identify the serving worker: the gateway names it in the response
 	// body and the X-Tigris-Worker header; a bare worker is itself.
@@ -414,18 +520,18 @@ func (r *runner) createSession(p Profile) (id, workerName string, err error) {
 	if workerName == "" {
 		workerName = r.cfg.Target
 	}
-	return created.ID, workerName, nil
+	return created.ID, workerName, trace, nil
 }
 
 // pushFrame pushes one frame with ?wait=1, so the recorded latency
 // covers queueing plus the whole per-frame pipeline.
-func (r *runner) pushFrame(id string, frame []byte) error {
-	span := r.rec.Start("frame")
+func (r *runner) pushFrame(id, profile, trace string, frame []byte) error {
+	start := time.Now()
 	resp, err := r.doWithRetry(http.MethodPost, "/v1/sessions/"+id+"/frames?wait=1", "application/octet-stream", frame)
-	span.End()
 	if err != nil {
 		return err
 	}
+	r.observe("frame", profile, trace, time.Since(start))
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusAccepted {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tigris/internal/gateway"
+	"tigris/internal/obs"
 	"tigris/internal/serve"
 )
 
@@ -256,5 +257,103 @@ func TestRunConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Target: "http://x", Sessions: 1, Rate: 1, Arrival: "bogus"}); err == nil {
 		t.Fatal("bad arrival accepted")
+	}
+}
+
+// TestPerProfileSplitsAndTraceExemplars pins the new digest surfaces:
+// a mixed run splits latency by profile, and each top-level digest
+// carries slowest-K trace-id exemplars resolvable as W3C trace ids.
+func TestPerProfileSplitsAndTraceExemplars(t *testing.T) {
+	target := startFleet(t, 2, gateway.PolicyRoundRobin, 0)
+	tiny2 := ciProfile
+	tiny2.Name = "tiny2"
+	res, err := Run(Config{
+		Target:   target,
+		Sessions: 6,
+		Rate:     200,
+		Seed:     9,
+		Profiles: []Profile{ciProfile, tiny2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SessionsOK != 6 {
+		t.Fatalf("sessions_ok = %d, want 6", res.SessionsOK)
+	}
+
+	// Per-profile split: every profile that ran sessions has digests,
+	// and the frame counts across profiles sum to the total.
+	var frameSum int64
+	for name, n := range res.ProfileSessions {
+		if n == 0 {
+			continue
+		}
+		split, ok := res.PerProfile[name]
+		if !ok {
+			t.Fatalf("profile %q ran %d sessions but has no per_profile digests", name, n)
+		}
+		if split["create"].Count != int64(n) {
+			t.Fatalf("profile %q create count = %d, want %d", name, split["create"].Count, n)
+		}
+		frameSum += split["frame"].Count
+	}
+	if frameSum != res.FramesPushed {
+		t.Fatalf("per-profile frame counts sum to %d, want %d", frameSum, res.FramesPushed)
+	}
+
+	// Trace exemplars: present on the frame digest, valid ids, sorted
+	// slowest-first, never more than the retention bound.
+	exs := res.Latency["frame"].Exemplars
+	if len(exs) == 0 || len(exs) > traceExemplarK {
+		t.Fatalf("frame digest has %d exemplars, want 1..%d", len(exs), traceExemplarK)
+	}
+	for i, ex := range exs {
+		if _, ok := obs.ParseTraceID(ex.TraceID); !ok {
+			t.Fatalf("exemplar %d trace id %q invalid", i, ex.TraceID)
+		}
+		if ex.Ms <= 0 || ex.Profile == "" {
+			t.Fatalf("exemplar %d = %+v, want positive ms and a profile", i, ex)
+		}
+		if i > 0 && ex.Ms > exs[i-1].Ms {
+			t.Fatalf("exemplars not slowest-first at %d", i)
+		}
+	}
+	if ms := res.Latency["frame"].MaxMs; exs[0].Ms != ms {
+		t.Fatalf("slowest exemplar %.3fms != digest max %.3fms", exs[0].Ms, ms)
+	}
+}
+
+// TestRunLadder pins the rate sweep: one Result per step, rates in
+// order, everything else held fixed.
+func TestRunLadder(t *testing.T) {
+	s := serve.New(serve.Config{Parallelism: 1})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	rates := []float64{100, 300}
+	results, err := RunLadder(Config{
+		Target:   ts.URL,
+		Sessions: 2,
+		Seed:     4,
+		Profiles: []Profile{ciProfile},
+	}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(rates) {
+		t.Fatalf("%d results, want %d", len(results), len(rates))
+	}
+	for i, res := range results {
+		if res.RatePerSec != rates[i] {
+			t.Fatalf("step %d rate = %g, want %g", i, res.RatePerSec, rates[i])
+		}
+		if res.SessionsOK != 2 || res.Seed != 4 {
+			t.Fatalf("step %d = %+v, want 2 clean sessions at seed 4", i, res)
+		}
+	}
+
+	if _, err := RunLadder(Config{Target: ts.URL, Sessions: 1}, nil); err == nil {
+		t.Fatal("empty ladder accepted")
 	}
 }

@@ -39,6 +39,19 @@ const (
 	StagePoseGraph = "posegraph_solve"
 )
 
+// recorderCore is the histogram storage a recorder and all its traced
+// derivatives share: one set of per-stage histograms however many
+// scoped handles record into them.
+type recorderCore struct {
+	reg    *Registry // nil for standalone recorders
+	family string    // Prometheus family name when published
+
+	hists sync.Map // stage name -> *Histogram
+
+	mu     sync.Mutex
+	stages []string // creation-ordered stage names, for Summaries
+}
+
 // Recorder is the pipeline-facing telemetry handle: a set of named
 // per-stage latency histograms. A nil *Recorder is valid and records
 // nothing — the default for library users, and the reason observability
@@ -50,26 +63,36 @@ const (
 // is created once on first use. Recorders can be chained with Tee so a
 // per-session recorder also feeds a server-global one, and published
 // into a Registry so the same histograms appear on /metrics.
+//
+// A recorder may additionally carry a trace scope (Traced): every
+// observation is then also recorded as a SpanEvent into a
+// FlightRecorder, under an ambient (parent span, frame) set with
+// SetScope. Traced handles share the parent's histograms and tee
+// chain, so the aggregate numbers are identical with tracing on or
+// off.
 type Recorder struct {
-	reg    *Registry // nil for standalone recorders
-	family string    // Prometheus family name when published
-	next   *Recorder // optional tee target
+	core *recorderCore
+	next *Recorder // optional tee target
 
-	hists sync.Map // stage name -> *Histogram
-
-	mu     sync.Mutex
-	stages []string // creation-ordered stage names, for Summaries
+	// Trace scope. flight == nil means histograms only. The scope
+	// fields are mutated by SetScope without synchronization: a traced
+	// handle belongs to exactly one goroutine (the stream engine keeps
+	// one per pipeline stage).
+	flight *FlightRecorder
+	trace  TraceID
+	parent uint64
+	frame  int32
 }
 
 // NewRecorder returns a standalone recorder (histograms not exposed on
 // any registry — read them back with Summaries).
-func NewRecorder() *Recorder { return &Recorder{} }
+func NewRecorder() *Recorder { return &Recorder{core: &recorderCore{}} }
 
 // NewPublishedRecorder returns a recorder whose stage histograms are
 // registered in reg under family{stage="<name>"}, so everything the
 // pipeline records is scrapeable as Prometheus series.
 func NewPublishedRecorder(reg *Registry, family string) *Recorder {
-	return &Recorder{reg: reg, family: family}
+	return &Recorder{core: &recorderCore{reg: reg, family: family}}
 }
 
 // Tee chains next after r: every Observe records into both r and next
@@ -80,33 +103,68 @@ func (r *Recorder) Tee(next *Recorder) *Recorder {
 	return r
 }
 
+// Traced returns a handle sharing r's histograms and tee chain that
+// additionally records every observation as a span event into fr,
+// tagged with the given trace id. The returned handle is intended for
+// a single goroutine: set its span context with SetScope before each
+// unit of work. Nil r or fr returns r unchanged.
+func (r *Recorder) Traced(fr *FlightRecorder, trace TraceID) *Recorder {
+	if r == nil || fr == nil {
+		return r
+	}
+	return &Recorder{core: r.core, next: r.next, flight: fr, trace: trace, frame: -1}
+}
+
+// SetScope sets the ambient parent span id and frame index stamped on
+// subsequent observations. Only meaningful on a Traced handle; must
+// not race with Observe on the same handle (one goroutine owns it).
+func (r *Recorder) SetScope(parent uint64, frame int) {
+	if r == nil {
+		return
+	}
+	r.parent = parent
+	r.frame = int32(frame)
+}
+
 // histogram returns the stage's histogram, creating it on first use.
 func (r *Recorder) histogram(stage string) *Histogram {
-	if h, ok := r.hists.Load(stage); ok {
+	c := r.core
+	if h, ok := c.hists.Load(stage); ok {
 		return h.(*Histogram)
 	}
 	var h *Histogram
-	if r.reg != nil {
-		h = r.reg.Histogram(r.family + `{stage="` + stage + `"}`)
+	if c.reg != nil {
+		h = c.reg.Histogram(c.family + `{stage="` + stage + `"}`)
 	} else {
 		h = NewHistogram()
 	}
-	if actual, loaded := r.hists.LoadOrStore(stage, h); loaded {
+	if actual, loaded := c.hists.LoadOrStore(stage, h); loaded {
 		return actual.(*Histogram)
 	}
-	r.mu.Lock()
-	r.stages = append(r.stages, stage)
-	r.mu.Unlock()
+	c.mu.Lock()
+	c.stages = append(c.stages, stage)
+	c.mu.Unlock()
 	return h
 }
 
 // Observe records one duration sample for a stage. Safe on a nil
-// receiver (no-op) and for concurrent use.
+// receiver (no-op) and for concurrent use. On a traced handle the
+// sample is also appended to the flight recorder as a span ending now.
 func (r *Recorder) Observe(stage string, d time.Duration) {
 	if r == nil {
 		return
 	}
 	r.histogram(stage).Record(d)
+	if r.flight != nil {
+		r.flight.Record(SpanEvent{
+			Trace:  r.trace,
+			Parent: r.parent,
+			Frame:  r.frame,
+			Stage:  stage,
+			Start:  time.Now().Add(-d).UnixNano(),
+			Dur:    int64(d),
+		})
+	}
 	r.next.Observe(stage, d)
 }
 
@@ -143,12 +201,13 @@ func (r *Recorder) Summaries() map[string]Summary {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	stages := append([]string(nil), r.stages...)
-	r.mu.Unlock()
+	c := r.core
+	c.mu.Lock()
+	stages := append([]string(nil), c.stages...)
+	c.mu.Unlock()
 	out := make(map[string]Summary, len(stages))
 	for _, st := range stages {
-		if h, ok := r.hists.Load(st); ok {
+		if h, ok := c.hists.Load(st); ok {
 			out[st] = h.(*Histogram).Summary()
 		}
 	}
@@ -161,9 +220,10 @@ func (r *Recorder) Stages() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	stages := append([]string(nil), r.stages...)
-	r.mu.Unlock()
+	c := r.core
+	c.mu.Lock()
+	stages := append([]string(nil), c.stages...)
+	c.mu.Unlock()
 	sort.Strings(stages)
 	return stages
 }

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace layer: structured span trees on top of the histogram recorder.
+//
+// A TraceID names one logical request stream (one serving session, one
+// bench run); SpanEvents are completed intervals inside it, linked by
+// span/parent ids into a tree (frame spans parent the per-stage spans
+// the registration pipeline already times). Events land in a
+// FlightRecorder — a bounded, sharded ring that is always on and
+// allocation-free on the record path, so it rides the same hot paths as
+// the histograms without disturbing the pipeline's determinism or its
+// per-frame allocation budgets. Slowest-K exemplar buffers per stage
+// retain the span trees behind the current tail even after the ring
+// wraps past them.
+
+// TraceID is a 16-byte W3C-trace-context-compatible trace identifier.
+// The zero value means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether t is the absent trace id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters (the W3C
+// trace-id field, and the X-Tigris-Trace header value).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// NewTraceID mints a random trace id. Randomness here is fine — ids
+// only name traces, they never influence pipeline computation.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		// Entropy failure: fall back to a counter so ids stay unique
+		// within the process rather than panicking a serving path.
+		n := fallbackTraceCtr.Add(1)
+		for i := 0; i < 8; i++ {
+			t[15-i] = byte(n >> (8 * i))
+		}
+		t[0] = 0xfb
+	}
+	return t
+}
+
+var fallbackTraceCtr atomic.Uint64
+
+// ParseTraceID parses 32 hex characters into a TraceID. The all-zero
+// id is rejected, per the W3C trace-context spec.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	if t.IsZero() {
+		return t, false
+	}
+	return t, true
+}
+
+// ParseTraceParent extracts the trace id from a W3C traceparent header
+// (`00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`). Only the
+// trace id is used — tigris spans form their own tree under it.
+func ParseTraceParent(s string) (TraceID, bool) {
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceID{}, false
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return TraceID{}, false
+	}
+	return ParseTraceID(s[3:35])
+}
+
+// FormatTraceParent renders a traceparent header for outbound
+// propagation. span is the caller's current span id (0 is rendered as
+// a synthetic non-zero parent, since the spec forbids all-zero).
+func FormatTraceParent(t TraceID, span uint64) string {
+	if span == 0 {
+		span = 1
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], t[:])
+	b[35] = '-'
+	var sp [8]byte
+	for i := 0; i < 8; i++ {
+		sp[i] = byte(span >> (8 * (7 - i)))
+	}
+	hex.Encode(b[36:52], sp[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// SpanEvent is one completed span: a (stage, duration) observation
+// annotated with its position in a trace's tree. Plain value type, no
+// heap references beyond the stage-name string (call sites pass the
+// obs.Stage* constants), so ring writes are a fixed-size copy.
+type SpanEvent struct {
+	Trace  TraceID
+	Span   uint64 // this span's id (unique within the recorder)
+	Parent uint64 // parent span id; 0 = root (a whole-frame span)
+	Frame  int32  // frame index the span belongs to; -1 if frameless
+	Stage  string // obs.Stage* vocabulary
+	Start  int64  // wall-clock start, UnixNano
+	Dur    int64  // nanoseconds
+}
+
+// Exemplar is one retained slowest-K entry for a stage: the span plus,
+// for root (whole-frame) spans, a copy of its subtree taken at
+// admission time — so the trees behind the tail survive ring wrap.
+type Exemplar struct {
+	Trace  TraceID
+	Span   uint64
+	Frame  int32
+	Start  int64
+	Dur    int64
+	Events []SpanEvent // root-first subtree snapshot; nil for leaf spans
+}
+
+// flightShards stripes the ring across independent segments picked by
+// the same per-goroutine stack hint the histograms use, so pipeline
+// stages recording concurrently do not serialize on one mutex.
+const flightShards = 4
+
+type flightShard struct {
+	mu   sync.Mutex
+	pos  uint64 // total events written to this shard
+	ring []SpanEvent
+	_    [64]byte
+}
+
+// FlightRecorder is a bounded in-memory span sink: a sharded ring
+// buffer holding the most recent ~capacity span events, plus per-stage
+// slowest-K exemplar buffers. All methods are safe on a nil receiver
+// and for concurrent use. Record never allocates in steady state (a
+// shard-local mutex guards a fixed-slot copy; exemplar admission
+// allocates only when a new tail-beating sample arrives).
+type FlightRecorder struct {
+	spanCtr   atomic.Uint64
+	total     atomic.Uint64
+	shards    [flightShards]flightShard
+	exemplars sync.Map // stage name -> *exemplarBuf
+	slowestK  int
+}
+
+// exemplarSpanBase keeps counter-allocated span ids disjoint from the
+// deterministic small ids the stream engine assigns to frame spans.
+const exemplarSpanBase = 1 << 32
+
+// NewFlightRecorder returns a recorder retaining roughly `capacity`
+// events (rounded up to a multiple of the shard count; min 64) and
+// `slowestK` exemplars per stage (min 1).
+func NewFlightRecorder(capacity, slowestK int) *FlightRecorder {
+	if capacity < 64 {
+		capacity = 64
+	}
+	if slowestK < 1 {
+		slowestK = 1
+	}
+	per := (capacity + flightShards - 1) / flightShards
+	f := &FlightRecorder{slowestK: slowestK}
+	f.spanCtr.Store(exemplarSpanBase)
+	for i := range f.shards {
+		f.shards[i].ring = make([]SpanEvent, per)
+	}
+	return f
+}
+
+// NextSpanID allocates a process-unique span id.
+func (f *FlightRecorder) NextSpanID() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.spanCtr.Add(1)
+}
+
+// Record appends one completed span to the ring (overwriting the
+// oldest event in its shard once full) and runs slowest-K admission
+// for the span's stage. ev.Span == 0 gets a fresh id. Nil-safe.
+func (f *FlightRecorder) Record(ev SpanEvent) {
+	if f == nil {
+		return
+	}
+	if ev.Span == 0 {
+		ev.Span = f.spanCtr.Add(1)
+	}
+	s := &f.shards[shardHint()&(flightShards-1)]
+	s.mu.Lock()
+	s.ring[s.pos%uint64(len(s.ring))] = ev
+	s.pos++
+	s.mu.Unlock()
+	f.total.Add(1)
+	f.admit(ev)
+}
+
+// TotalRecorded returns the number of events ever recorded (including
+// those the ring has since overwritten).
+func (f *FlightRecorder) TotalRecorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.total.Load()
+}
+
+// Events returns a merged snapshot of the ring, oldest first (sorted
+// by start time). Export path — allocates freely.
+func (f *FlightRecorder) Events() []SpanEvent {
+	if f == nil {
+		return nil
+	}
+	var out []SpanEvent
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		n := s.pos
+		cap64 := uint64(len(s.ring))
+		start := uint64(0)
+		if n > cap64 {
+			start = n - cap64
+		}
+		for p := start; p < n; p++ {
+			out = append(out, s.ring[p%cap64])
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// exemplarBuf holds one stage's slowest-K entries.
+type exemplarBuf struct {
+	mu      sync.Mutex
+	entries []Exemplar // len <= K; unordered, min found by scan (K is small)
+}
+
+func (f *FlightRecorder) stageBuf(stage string) *exemplarBuf {
+	if b, ok := f.exemplars.Load(stage); ok {
+		return b.(*exemplarBuf)
+	}
+	b := &exemplarBuf{entries: make([]Exemplar, 0, f.slowestK)}
+	if actual, loaded := f.exemplars.LoadOrStore(stage, b); loaded {
+		return actual.(*exemplarBuf)
+	}
+	return b
+}
+
+// admit runs slowest-K admission: keep ev if the stage's buffer has
+// room or ev outlasts the current minimum. Steady-state samples that
+// do not beat the retained tail cost one lock and a K-element scan —
+// no allocation.
+func (f *FlightRecorder) admit(ev SpanEvent) {
+	b := f.stageBuf(ev.Stage)
+	b.mu.Lock()
+	slot := -1
+	if len(b.entries) < cap(b.entries) {
+		b.entries = b.entries[:len(b.entries)+1]
+		slot = len(b.entries) - 1
+	} else {
+		min := 0
+		for i := 1; i < len(b.entries); i++ {
+			if b.entries[i].Dur < b.entries[min].Dur {
+				min = i
+			}
+		}
+		if ev.Dur > b.entries[min].Dur {
+			slot = min
+		}
+	}
+	if slot < 0 {
+		b.mu.Unlock()
+		return
+	}
+	ex := Exemplar{Trace: ev.Trace, Span: ev.Span, Frame: ev.Frame, Start: ev.Start, Dur: ev.Dur}
+	if ev.Parent == 0 {
+		// Root span: copy its subtree out of the ring now, before the
+		// ring wraps past the children. Admission is rare after warmup,
+		// so the allocation and scan stay off the steady-state budget.
+		ex.Events = f.collectTree(ev)
+	}
+	b.entries[slot] = ex
+	b.mu.Unlock()
+}
+
+// collectTree snapshots root and every ring event reachable from it
+// through parent links (the stage spans of one frame), root first.
+// The span forest is at most three levels deep (frame → stage →
+// sub-stage), so two expansion passes suffice.
+func (f *FlightRecorder) collectTree(root SpanEvent) []SpanEvent {
+	all := f.Events()
+	in := map[uint64]bool{root.Span: true}
+	tree := []SpanEvent{root}
+	for pass := 0; pass < 2; pass++ {
+		for _, ev := range all {
+			if ev.Trace == root.Trace && in[ev.Parent] && !in[ev.Span] {
+				in[ev.Span] = true
+				tree = append(tree, ev)
+			}
+		}
+	}
+	sort.Slice(tree[1:], func(i, j int) bool { return tree[i+1].Start < tree[j+1].Start })
+	return tree
+}
+
+// Slowest returns each stage's retained exemplars, slowest first.
+func (f *FlightRecorder) Slowest() map[string][]Exemplar {
+	if f == nil {
+		return nil
+	}
+	out := make(map[string][]Exemplar)
+	f.exemplars.Range(func(k, v any) bool {
+		b := v.(*exemplarBuf)
+		b.mu.Lock()
+		es := make([]Exemplar, len(b.entries))
+		for i := range b.entries {
+			es[i] = b.entries[i]
+			if b.entries[i].Events != nil {
+				es[i].Events = append([]SpanEvent(nil), b.entries[i].Events...)
+			}
+		}
+		b.mu.Unlock()
+		sort.Slice(es, func(i, j int) bool { return es[i].Dur > es[j].Dur })
+		out[k.(string)] = es
+		return true
+	})
+	return out
+}
+
+// Export is a consistent read-side view of a flight recorder: the ring
+// snapshot plus the exemplar buffers (whose copied subtrees may reach
+// further back than the ring itself).
+type Export struct {
+	Events  []SpanEvent
+	Slowest map[string][]Exemplar
+}
+
+// Export snapshots the recorder for serialization. Nil-safe.
+func (f *FlightRecorder) Export() Export {
+	if f == nil {
+		return Export{}
+	}
+	return Export{Events: f.Events(), Slowest: f.Slowest()}
+}

@@ -9,6 +9,7 @@
 //
 //	GET    /healthz                        liveness probe
 //	GET    /metrics                        Prometheus text exposition
+//	GET    /debug/trace/{id}               session span tree (Chrome trace JSON)
 //	GET    /v1/backends                    registered search-backend names
 //	GET    /v1/buildinfo                   binary build/VCS identity (JSON)
 //	POST   /v1/sessions                    create a session (JSON config)
@@ -29,6 +30,14 @@
 // /metrics and /healthz stay outside the auth gate so probes and
 // scrapers need no credentials. With Config.Logger set, every request is
 // logged (method, route, session, status, bytes, duration).
+//
+// Tracing rides the same always-on telemetry: every session carries a
+// trace id (minted at create, or adopted from an inbound W3C
+// `traceparent` header — the gateway propagates its own) and a bounded
+// flight recorder of span events; every session-scoped response echoes
+// the id in an `X-Tigris-Trace` header, and GET /debug/trace/{id}
+// exports the retained span tree as Chrome trace-event JSON (loadable
+// in Perfetto), including the slowest-K exemplar trees per stage.
 //
 // Frame pushes return the assigned frame index immediately (the engine
 // pipelines the heavy work); `?wait=1` on a push or trajectory request
@@ -122,6 +131,30 @@ type Config struct {
 	// are normalized patterns, not raw paths, so log cardinality stays
 	// bounded whatever clients send.
 	Logger *slog.Logger
+	// TraceCapacity bounds each session's flight-recorder ring (span
+	// events retained; 0 selects 1024). Tracing is always on — the
+	// recorder is allocation-free on the record path and deterministically
+	// inert, so there is no off switch to reason about.
+	TraceCapacity int
+	// TraceSlowestK is the per-stage slowest-K exemplar retention
+	// (0 selects 4).
+	TraceSlowestK int
+}
+
+// traceCapacity resolves Config.TraceCapacity's default.
+func (c Config) traceCapacity() int {
+	if c.TraceCapacity > 0 {
+		return c.TraceCapacity
+	}
+	return 1024
+}
+
+// traceSlowestK resolves Config.TraceSlowestK's default.
+func (c Config) traceSlowestK() int {
+	if c.TraceSlowestK > 0 {
+		return c.TraceSlowestK
+	}
+	return 4
 }
 
 // session pairs an engine with its idle-eviction bookkeeping. lastUsed is
@@ -129,7 +162,9 @@ type Config struct {
 // that touches the session.
 type session struct {
 	eng      *stream.Engine
-	rec      *obs.Recorder // per-session stage latencies, teed into the global recorder
+	rec      *obs.Recorder       // per-session stage latencies, teed into the global recorder
+	flight   *obs.FlightRecorder // bounded span ring behind /debug/trace/{id}
+	trace    obs.TraceID         // the session's identity on every X-Tigris-Trace header
 	lastUsed time.Time
 }
 
@@ -217,6 +252,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trajectory", s.withSession(s.handleTrajectory))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/loops", s.withSession(s.handleLoops))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.withSession(s.handleTrace))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	if cfg.SessionTTL > 0 {
 		s.stopJanitor = make(chan struct{})
@@ -307,6 +343,9 @@ func routeLabel(path string) (route, sessionID string) {
 		case "frames", "trajectory", "loops", "stats":
 			return "/v1/sessions/{id}/" + sub, id
 		}
+	}
+	if id, ok := strings.CutPrefix(path, "/debug/trace/"); ok && !strings.Contains(id, "/") {
+		return "/debug/trace/{id}", id
 	}
 	return "other", ""
 }
@@ -532,6 +571,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		origin = &tr
 	}
 	rec := obs.NewRecorder().Tee(s.globalRec)
+	// The session's trace id: adopted from an inbound W3C traceparent
+	// (the gateway propagates one per g-session) or minted fresh, stamped
+	// on every span the flight recorder retains and echoed on every
+	// response's X-Tigris-Trace header.
+	trace, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		trace = obs.NewTraceID()
+	}
+	flight := obs.NewFlightRecorder(s.cfg.traceCapacity(), s.cfg.traceSlowestK())
 	eng := stream.New(stream.Config{
 		Pipeline:       cfg,
 		Pipelined:      pipelined,
@@ -540,20 +588,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Loop:           loopCfg,
 		LoopEdgeWeight: loopWeight,
 		Obs:            rec,
+		Flight:         flight,
+		Trace:          trace,
 	})
 
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = &session{eng: eng, rec: rec, lastUsed: time.Now()}
+	s.sessions[id] = &session{eng: eng, rec: rec, flight: flight, trace: trace, lastUsed: time.Now()}
 	s.mu.Unlock()
 	s.cSessionsOpened.Inc()
 
+	w.Header().Set("X-Tigris-Trace", trace.String())
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":        id,
 		"pipelined": pipelined,
 		"backend":   cfg.Searcher.BackendName(),
 		"loop":      loopCfg != nil,
+		"trace":     trace.String(),
 	})
 }
 
@@ -637,6 +689,10 @@ func (s *Server) withSession(fn func(http.ResponseWriter, *http.Request, *sessio
 			httpError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 			return
 		}
+		// Every session-scoped response carries the session's trace id, so
+		// any client (loadgen, the gateway, a curl) can jump from a slow
+		// response to its span tree on /debug/trace/{id}.
+		w.Header().Set("X-Tigris-Trace", ses.trace.String())
 		fn(w, r, ses)
 	}
 }
@@ -852,6 +908,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ses *sessio
 		"loop_ms":           float64(st.LoopTime.Microseconds()) / 1e3,
 		"latency_ms":        latencyDigest(ses.rec),
 	})
+}
+
+// handleTrace exports the session's retained span tree as Chrome
+// trace-event JSON: the flight-recorder ring plus the slowest-K
+// exemplar subtrees (which survive ring wrap), sorted by timestamp.
+// Load the document in Perfetto (ui.perfetto.dev → "Open trace file")
+// or chrome://tracing to see each frame's stage tree on its own track.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, ses *session) {
+	w.Header().Set("Content-Type", "application/json")
+	meta := map[string]any{
+		"session":  r.PathValue("id"),
+		"trace_id": ses.trace.String(),
+		"frames":   ses.eng.Trajectory().Len(),
+	}
+	_ = obs.WriteChromeTrace(w, ses.flight.Export(), meta)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

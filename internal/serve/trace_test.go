@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tigris/internal/obs"
+	"tigris/internal/synth"
+)
+
+// TestTraceAdoptionAndDebugTrace drives a traced session end to end on
+// one worker: the inbound W3C traceparent's trace id is adopted, echoed
+// on every response as X-Tigris-Trace, and /debug/trace/{id} serves a
+// Chrome trace-event document whose spans all carry that id.
+func TestTraceAdoptionAndDebugTrace(t *testing.T) {
+	srv := New(Config{Parallelism: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	want := obs.NewTraceID()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", bytes.NewReader([]byte(`{"parallelism":1}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", obs.FormatTraceParent(want, 0))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Tigris-Trace"); got != want.String() {
+		t.Fatalf("create X-Tigris-Trace = %q, want adopted %q", got, want)
+	}
+	if created["trace"] != want.String() {
+		t.Fatalf("create body trace = %v, want %q", created["trace"], want)
+	}
+	id := created["id"].(string)
+
+	const frames = 3
+	seq := synth.GenerateSequence(synth.QuickSequenceConfig(frames, 61))
+	for i, f := range seq.Frames {
+		out := pushFrame(t, client, ts.URL, id, f, i == frames-1)
+		if int(out["frame"].(float64)) != i {
+			t.Fatalf("frame %d assigned index %v", i, out["frame"])
+		}
+	}
+
+	// Every session response echoes the trace id, not just create.
+	tr, err := client.Get(ts.URL + "/v1/sessions/" + id + "/trajectory?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if got := tr.Header.Get("X-Tigris-Trace"); got != want.String() {
+		t.Fatalf("trajectory X-Tigris-Trace = %q, want %q", got, want)
+	}
+
+	resp, err = client.Get(ts.URL + "/debug/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Slowest map[string][]map[string]any `json:"slowest"`
+		Meta    map[string]any              `json:"otherData"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/trace: bad JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/trace: no span events")
+	}
+	if doc.Meta["trace_id"] != want.String() {
+		t.Fatalf("otherData.trace_id = %v, want %q", doc.Meta["trace_id"], want)
+	}
+	frameSpans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d has ph %q, want complete-event X", i, ev.Ph)
+		}
+		if i > 0 && ev.Ts < doc.TraceEvents[i-1].Ts {
+			t.Fatalf("events not sorted by ts at %d", i)
+		}
+		if ev.Args["trace_id"] != want.String() {
+			t.Fatalf("event %q trace_id = %v, want %q", ev.Name, ev.Args["trace_id"], want)
+		}
+		if ev.Name == obs.StageFrame {
+			frameSpans++
+		}
+	}
+	if frameSpans != frames {
+		t.Fatalf("%d whole-frame spans, want %d", frameSpans, frames)
+	}
+	if len(doc.Slowest[obs.StageFrame]) == 0 {
+		t.Fatal("no slowest-K frame exemplars in /debug/trace")
+	}
+}
+
+// TestTraceMintedWithoutTraceparent pins the default path: no inbound
+// traceparent still yields a valid session trace id.
+func TestTraceMintedWithoutTraceparent(t *testing.T) {
+	srv := New(Config{Parallelism: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	got := resp.Header.Get("X-Tigris-Trace")
+	if _, ok := obs.ParseTraceID(got); !ok {
+		t.Fatalf("minted X-Tigris-Trace %q is not a valid trace id", got)
+	}
+}

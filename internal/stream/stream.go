@@ -125,6 +125,22 @@ type Config struct {
 	// deterministically inert: trajectories, closures, and optimized
 	// poses are bit-identical with Obs set or nil.
 	Obs *obs.Recorder
+	// Flight, when non-nil, additionally records every observation as a
+	// structured span event: each frame gets a whole-frame root span
+	// (deterministic span id, wall-clock interval from front-end start
+	// to commit) and every stage/queue-wait observation becomes a child
+	// span, forming the per-frame tree the /debug/trace surface and the
+	// slowest-K exemplars expose. Same inertness contract as Obs: the
+	// trajectory, closures, and optimized poses are bit-identical with
+	// the flight recorder attached or not, in both pipelining modes.
+	// Note the frame root span measures the wall interval (including
+	// pipeline hand-off waits), while the obs.StageFrame histogram keeps
+	// its compute-only PrepTime+AlignTime semantic.
+	Flight *obs.FlightRecorder
+	// Trace is the trace id stamped on every span (a session's identity
+	// end to end). Zero with Flight set mints a fresh id; read it back
+	// with TraceID.
+	Trace obs.TraceID
 }
 
 // FrameResult records one frame's outcome in the trajectory.
@@ -199,6 +215,17 @@ type Engine struct {
 	// every stage, so registration's per-stage taps land here.
 	rec *obs.Recorder
 
+	// Tracing (Config.Flight). stageRecs holds one traced handle per
+	// pipeline stage, each owned by exactly one goroutine (prep worker,
+	// align worker, loop worker — or the serialized Push path in
+	// sequential mode), so rescoping them per frame with SetScope is
+	// race-free and allocation-free. loopObsRec is the detector's
+	// handle, rescoped in observeLoop on the commit goroutine.
+	flight     *obs.FlightRecorder
+	trace      obs.TraceID
+	stageRecs  [3]*obs.Recorder
+	loopObsRec *obs.Recorder
+
 	// Work counters, on lock-free atomics so Stats can be polled
 	// concurrently with running stages (the /stats endpoint does) without
 	// touching the engine mutex. searchStats (a struct of durations)
@@ -264,17 +291,31 @@ type loopTask struct {
 
 // queuedCloud is a raw frame in flight to the front-end worker, stamped
 // at enqueue so the hand-off wait (obs.StageQueueWaitPrep) is visible.
+// idx is the frame's Push-order index, threaded through the pipeline so
+// every stage can scope its spans to the right frame before the frame
+// is committed.
 type queuedCloud struct {
 	c   *cloud.Cloud
+	idx int
 	enq time.Time
 }
 
 // queuedFrame is a prepared frame in flight to the alignment worker,
-// stamped at enqueue (obs.StageQueueWaitAlign).
+// stamped at enqueue (obs.StageQueueWaitAlign). prepStart anchors the
+// frame's wall-clock root span.
 type queuedFrame struct {
-	pf  *registration.PreparedFrame
-	enq time.Time
+	pf        *registration.PreparedFrame
+	idx       int
+	prepStart time.Time
+	enq       time.Time
 }
+
+// frameSpanID is the deterministic span id of frame idx's whole-frame
+// root span: stable across the prep/align/loop stages (which parent
+// their spans to it before the frame span itself is recorded at
+// commit) and disjoint from the flight recorder's counter-allocated
+// stage-span ids.
+func frameSpanID(idx int) uint64 { return uint64(idx) + 1 }
 
 // ErrClosed is returned by Push after Close.
 var ErrClosed = errors.New("stream: engine closed")
@@ -293,9 +334,29 @@ func New(cfg Config) *Engine {
 	// per-stage taps (normals, keypoints, KPCE, ICP, ...) land in the
 	// session's histograms.
 	e.cfg.Pipeline.Obs = cfg.Obs
+	if cfg.Flight != nil {
+		e.flight = cfg.Flight
+		e.trace = cfg.Trace
+		if e.trace.IsZero() {
+			e.trace = obs.NewTraceID()
+		}
+		// Tracing without a histogram recorder still needs a core for
+		// the traced handles to share.
+		if e.rec == nil {
+			e.rec = obs.NewRecorder()
+			e.cfg.Pipeline.Obs = e.rec
+		}
+		for s := range e.stageRecs {
+			e.stageRecs[s] = e.rec.Traced(e.flight, e.trace)
+		}
+		e.loopObsRec = e.rec.Traced(e.flight, e.trace)
+	}
 	if cfg.Loop != nil {
 		lc := *cfg.Loop
-		lc.Obs = cfg.Obs
+		lc.Obs = e.cfg.Pipeline.Obs
+		if e.loopObsRec != nil {
+			lc.Obs = e.loopObsRec
+		}
 		det, err := loop.NewDetector(lc)
 		if err != nil {
 			panic(fmt.Sprintf("stream: %v (validate loop configs at the boundary with loop.Config.Validate)", err))
@@ -376,19 +437,32 @@ func (e *Engine) Push(c *cloud.Cloud) (int, error) {
 	e.cFramesPushed.Inc()
 
 	if e.cfg.Pipelined {
-		e.in <- queuedCloud{c: c, enq: time.Now()}
+		e.in <- queuedCloud{c: c, idx: idx, enq: time.Now()}
 		return idx, nil
 	}
-	e.process(c)
+	e.process(c, idx)
 	return idx, nil
 }
 
 // process runs both stages synchronously (sequential mode).
-func (e *Engine) process(c *cloud.Cloud) {
-	pf := e.prepare(c)
+func (e *Engine) process(c *cloud.Cloud, idx int) {
+	prepStart := time.Now()
+	pf := e.prepare(c, idx)
 	prev := e.prev
 	e.prev = pf
-	e.commit(pf, prev)
+	e.commit(pf, prev, idx, prepStart)
+}
+
+// traceRec returns the stage's traced recorder handle rescoped to
+// frame idx, or nil when tracing is off. Each handle is owned by the
+// one goroutine that runs the stage, so the rescope is race-free.
+func (e *Engine) traceRec(stage, idx int) *obs.Recorder {
+	sr := e.stageRecs[stage]
+	if sr == nil {
+		return nil
+	}
+	sr.SetScope(frameSpanID(idx), idx)
+	return sr
 }
 
 // splitAlpha is the EWMA weight of the latest per-stage work sample:
@@ -447,10 +521,13 @@ func (e *Engine) observeStage(stage int, d time.Duration, workers int) {
 // prepare runs the front-end stage under the limiter. The build-once
 // counters are bumped here — at the site that actually builds — so the
 // stats assert real work, not commits.
-func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
+func (e *Engine) prepare(c *cloud.Cloud, idx int) *registration.PreparedFrame {
 	e.cfg.Limiter.acquire()
 	defer e.cfg.Limiter.release()
 	cfg, workers := e.stageConfig(stagePrep)
+	if sr := e.traceRec(stagePrep, idx); sr != nil {
+		cfg.Obs = sr
+	}
 	pf := registration.PrepareFrame(c, cfg)
 	e.observeStage(stagePrep, pf.PrepTotal, workers)
 	e.cFramesPrepared.Inc()
@@ -460,11 +537,14 @@ func (e *Engine) prepare(c *cloud.Cloud) *registration.PreparedFrame {
 
 // commit aligns pf against prev (nil for the first frame), appends the
 // frame's trajectory record, releases prev, and wakes Drain waiters.
-func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
+func (e *Engine) commit(pf, prev *registration.PreparedFrame, idx int, prepStart time.Time) {
 	fr := FrameResult{PrepTime: pf.PrepTotal, Delta: geom.IdentityTransform()}
 	if prev != nil {
 		e.cfg.Limiter.acquire()
 		cfg, workers := e.stageConfig(stageAlign)
+		if sr := e.traceRec(stageAlign, idx); sr != nil {
+			cfg.Obs = sr
+		}
 		start := time.Now()
 		fr.Reg = registration.Align(pf, prev, cfg)
 		fr.AlignTime = time.Since(start)
@@ -497,6 +577,16 @@ func (e *Engine) commit(pf, prev *registration.PreparedFrame) {
 		e.cPairsAligned.Inc()
 	}
 	e.rec.Observe(obs.StageFrame, fr.PrepTime+fr.AlignTime)
+	if e.flight != nil {
+		// The whole-frame root span: the wall interval from front-end
+		// start to commit, under the frame's deterministic span id so the
+		// stage spans recorded earlier already point at it.
+		e.flight.Record(obs.SpanEvent{
+			Trace: e.trace, Span: frameSpanID(idx), Parent: 0,
+			Frame: int32(idx), Stage: obs.StageFrame,
+			Start: prepStart.UnixNano(), Dur: int64(time.Since(prepStart)),
+		})
+	}
 
 	e.observeLoop(fr.Index, pf)
 
@@ -551,6 +641,7 @@ func (e *Engine) observeLoop(index int, pf *registration.PreparedFrame) {
 	// place, which would race with a concurrent verification's read).
 	// Cloning at observe time also pins the retained content to the same
 	// snapshot in pipelined and sequential modes.
+	e.loopObsRec.SetScope(frameSpanID(index), index)
 	cands := e.det.Observe(index, pf.Desc, pf.Raw.Clone())
 	if len(cands) == 0 {
 		return
@@ -588,7 +679,12 @@ func (e *Engine) verifyLoop(cands []loop.Candidate) {
 	e.observeStage(stageLoop, elapsed, workers)
 	e.cfg.Limiter.release()
 	e.cLoopTimeNs.Add(int64(elapsed))
-	e.rec.Observe(obs.StageLoopVerify, elapsed)
+	// The verification span hangs off the proposing frame's root span.
+	vrec := e.rec
+	if sr := e.traceRec(stageLoop, cands[0].From); sr != nil {
+		vrec = sr
+	}
+	vrec.Observe(obs.StageLoopVerify, elapsed)
 
 	if accepted != nil {
 		e.mu.Lock()
@@ -616,8 +712,13 @@ func (e *Engine) prepWorker(out chan<- queuedFrame) {
 	defer e.wg.Done()
 	defer close(out)
 	for qc := range e.in {
-		e.rec.Observe(obs.StageQueueWaitPrep, time.Since(qc.enq))
-		out <- queuedFrame{pf: e.prepare(qc.c), enq: time.Now()}
+		wrec := e.rec
+		if sr := e.traceRec(stagePrep, qc.idx); sr != nil {
+			wrec = sr
+		}
+		wrec.Observe(obs.StageQueueWaitPrep, time.Since(qc.enq))
+		prepStart := time.Now()
+		out <- queuedFrame{pf: e.prepare(qc.c, qc.idx), idx: qc.idx, prepStart: prepStart, enq: time.Now()}
 	}
 }
 
@@ -630,8 +731,12 @@ func (e *Engine) alignWorker(in <-chan queuedFrame) {
 	defer e.wg.Done()
 	var prev *registration.PreparedFrame
 	for qf := range in {
-		e.rec.Observe(obs.StageQueueWaitAlign, time.Since(qf.enq))
-		e.commit(qf.pf, prev)
+		wrec := e.rec
+		if sr := e.traceRec(stageAlign, qf.idx); sr != nil {
+			wrec = sr
+		}
+		wrec.Observe(obs.StageQueueWaitAlign, time.Since(qf.enq))
+		e.commit(qf.pf, prev, qf.idx, qf.prepStart)
 		prev = qf.pf
 	}
 	if prev != nil {
@@ -784,5 +889,17 @@ func (e *Engine) OptimizedPoses(opts posegraph.Options) ([]geom.Transform, poseg
 	}
 	poses, res, err := g.Optimize(opts)
 	e.rec.Observe(obs.StagePoseGraph, res.SolveTime)
+	if e.flight != nil {
+		// Frameless root span: the back-end solve belongs to the session,
+		// not to any one frame.
+		e.flight.Record(obs.SpanEvent{
+			Trace: e.trace, Parent: 0, Frame: -1, Stage: obs.StagePoseGraph,
+			Start: time.Now().Add(-res.SolveTime).UnixNano(), Dur: int64(res.SolveTime),
+		})
+	}
 	return poses, res, err
 }
+
+// TraceID returns the trace id stamped on the session's spans (zero
+// when no flight recorder is attached).
+func (e *Engine) TraceID() obs.TraceID { return e.trace }
